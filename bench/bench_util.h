@@ -1,0 +1,75 @@
+#ifndef XRPC_BENCH_BENCH_UTIL_H_
+#define XRPC_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-table benchmark binaries: peer setup and
+// fixed-width table printing. The binaries print the same rows/series the
+// paper reports; absolute times differ from the 2007 testbed (documented
+// in EXPERIMENTS.md), the shapes are the reproduced claims.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/peer_network.h"
+
+namespace xrpc::bench {
+
+/// Milliseconds (one decimal) from microseconds.
+inline std::string Ms(int64_t us) {
+  char buf[32];
+  double ms = static_cast<double>(us) / 1000.0;
+  std::snprintf(buf, sizeof(buf), ms < 10 ? "%.2f" : "%.1f", ms);
+  return buf;
+}
+
+/// Total modeled latency of a query execution: local processing (measured)
+/// plus modeled wire time (virtual, from the network profile).
+inline int64_t TotalMicros(const core::ExecutionReport& report) {
+  return report.wall_micros + report.network_micros;
+}
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) sep += "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s ", static_cast<int>(widths[c]), row[c].c_str());
+      if (c + 1 < row.size()) std::printf("|");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xrpc::bench
+
+#endif  // XRPC_BENCH_BENCH_UTIL_H_

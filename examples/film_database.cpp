@@ -1,0 +1,92 @@
+// The full film-database scenario of Section 2: queries Q1, Q2, Q3 and Q6
+// against multiple peers, showing how Bulk RPC batches the calls of a
+// for-loop (one request per destination peer) while the final result stays
+// in query order despite parallel, out-of-order execution.
+
+#include <cstdio>
+
+#include "core/peer_network.h"
+#include "xmark/xmark.h"
+
+namespace {
+
+constexpr char kFilmDbY[] =
+    "<films>"
+    "<film><name>The Rock</name><actor>Sean Connery</actor></film>"
+    "<film><name>Goldfinger</name><actor>Sean Connery</actor></film>"
+    "<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>"
+    "</films>";
+
+constexpr char kFilmDbZ[] =
+    "<films>"
+    "<film><name>Sound Of Music</name><actor>Julie Andrews</actor></film>"
+    "</films>";
+
+void Run(xrpc::core::PeerNetwork* net, const char* label,
+         const std::string& query) {
+  auto report = net->Execute("p0.example.org", query);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n  result:   %s\n  requests: %lld, network: %.2f ms\n\n",
+              label, xrpc::xdm::SequenceToString(report->result).c_str(),
+              static_cast<long long>(report->requests_sent),
+              static_cast<double>(report->network_micros) / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  using xrpc::core::PeerNetwork;
+  PeerNetwork net;
+  net.AddPeer("p0.example.org");
+  xrpc::core::Peer* y = net.AddPeer("y.example.org");
+  xrpc::core::Peer* z = net.AddPeer("z.example.org");
+  (void)y->AddDocument("filmDB.xml", kFilmDbY);
+  (void)z->AddDocument("filmDB.xml", kFilmDbZ);
+  (void)y->RegisterModule(xrpc::xmark::FilmModuleSource(),
+                          "http://x.example.org/film.xq");
+  (void)z->RegisterModule(xrpc::xmark::FilmModuleSource(),
+                          "http://x.example.org/film.xq");
+
+  const char* import_line =
+      "import module namespace f=\"films\" at "
+      "\"http://x.example.org/film.xq\";\n";
+
+  Run(&net, "Q1 (single remote call)",
+      std::string(import_line) + R"(
+      <films> {
+        execute at {"xrpc://y.example.org"}
+        {f:filmsByActor("Sean Connery")}
+      } </films>)");
+
+  Run(&net, "Q2 (two calls, one peer -> ONE Bulk RPC request)",
+      std::string(import_line) + R"(
+      <films> {
+        for $actor in ("Julie Andrews", "Sean Connery")
+        let $dst := "xrpc://y.example.org"
+        return execute at {$dst} {f:filmsByActor($actor)}
+      } </films>)");
+
+  Run(&net, "Q3 (four calls, two peers -> one Bulk RPC per peer)",
+      std::string(import_line) + R"(
+      <films> {
+        for $actor in ("Julie Andrews", "Sean Connery")
+        for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+        return execute at {$dst} {f:filmsByActor($actor)}
+      } </films>)");
+
+  Run(&net,
+      "Q6 (two call sites -> two Bulk RPCs, out-of-order execution,\n"
+      "    result restored to query order)",
+      std::string(import_line) + R"(
+      for $name in ("Julie", "Sean")
+      let $connery := concat($name, " ", "Connery")
+      let $andrews := concat($name, " ", "Andrews")
+      return (
+        execute at {"xrpc://y.example.org"} {f:filmsByActor($connery)},
+        execute at {"xrpc://y.example.org"} {f:filmsByActor($andrews)} ))");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// The XRPC wrapper (Section 4): a plain XQuery engine with no XRPC support
+// serves Bulk RPC calls through a generated query. This example prints
+// the actual Figure-3-style query the wrapper generates for a getPerson
+// request, then runs a heterogeneous distributed query against it.
+
+#include <cstdio>
+
+#include "core/peer_network.h"
+#include "xmark/xmark.h"
+
+int main() {
+  using xrpc::core::EngineKind;
+  xrpc::core::PeerNetwork net;
+  net.AddPeer("p0.example.org", EngineKind::kRelational);
+  xrpc::core::Peer* saxon =
+      net.AddPeer("saxon.example.org", EngineKind::kWrapper);
+
+  xrpc::xmark::XmarkConfig cfg;
+  cfg.num_persons = 50;
+  (void)saxon->AddDocument("persons.xml", xrpc::xmark::GeneratePersons(cfg));
+  (void)saxon->RegisterModule(xrpc::xmark::GetPersonModuleSource(),
+                              "http://example.org/functions.xq");
+
+  // A bulk getPerson: ten calls in one SOAP request; the wrapper turns
+  // them into ONE generated XQuery query iterating over //xrpc:call.
+  auto report = net.Execute("p0.example.org", R"(
+      import module namespace func="functions"
+        at "http://example.org/functions.xq";
+      for $i in (0, 2, 4, 6, 8, 10, 12, 14, 16, 18)
+      return execute at {"xrpc://saxon.example.org"}
+             {func:getPerson("persons.xml", concat("person", string($i)))})");
+  if (!report.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== query the wrapper generated (cf. Figure 3) ==\n%s\n\n",
+              saxon->wrapper_engine()->last_generated_query().c_str());
+
+  std::printf("== results (%zu persons via one Bulk RPC request) ==\n",
+              report->result.size());
+  for (const auto& item : report->result) {
+    std::printf("  %s\n", item.StringValue().c_str());
+  }
+  const auto& t = saxon->wrapper_engine()->last_timings();
+  std::printf(
+      "\nwrapper timings: treebuild=%.2f ms compile=%.2f ms exec=%.2f ms\n",
+      static_cast<double>(t.treebuild_us) / 1000.0,
+      static_cast<double>(t.compile_us) / 1000.0,
+      static_cast<double>(t.exec_us) / 1000.0);
+  return 0;
+}

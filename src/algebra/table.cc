@@ -1,0 +1,257 @@
+#include "algebra/table.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace xrpc::algebra {
+
+std::string Cell::Key() const {
+  if (kind == Kind::kInt) return "i" + std::to_string(num);
+  if (item.IsNode()) {
+    std::ostringstream os;
+    os << "n" << static_cast<const void*>(item.node());
+    return os.str();
+  }
+  return std::string("a") + xdm::AtomicTypeName(item.atomic().type()) + "|" +
+         item.atomic().ToString();
+}
+
+bool CellEquals(const Cell& a, const Cell& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Cell::Kind::kInt) return a.num == b.num;
+  if (a.item.IsNode() != b.item.IsNode()) return false;
+  if (a.item.IsNode()) return a.item.node() == b.item.node();
+  return a.item.atomic() == b.item.atomic() &&
+         a.item.atomic().type() == b.item.atomic().type();
+}
+
+Table Table::IterPosItem() { return Table({"iter", "pos", "item"}); }
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::AppendRow(std::vector<Cell> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    os << (i ? " | " : "") << names_[i];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i ? " | " : "");
+      if (row[i].kind == Cell::Kind::kInt) {
+        os << row[i].num;
+      } else if (row[i].item.IsNode()) {
+        os << "<" << row[i].item.node()->name().Lexical() << ">";
+      } else {
+        os << "\"" << row[i].item.atomic().ToString() << "\"";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Table Select(const Table& in, const std::string& column) {
+  int c = in.ColumnIndex(column);
+  Table out(in.column_names());
+  if (c < 0) return out;
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    if (in.At(i, c).kind == Cell::Kind::kInt && in.At(i, c).num != 0) {
+      out.AppendRow(in.Row(i));
+    }
+  }
+  return out;
+}
+
+Table SelectWhere(const Table& in,
+                  const std::function<bool(const std::vector<Cell>&)>& pred) {
+  Table out(in.column_names());
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    if (pred(in.Row(i))) out.AppendRow(in.Row(i));
+  }
+  return out;
+}
+
+StatusOr<Table> Project(
+    const Table& in,
+    const std::vector<std::pair<std::string, std::string>>& columns) {
+  std::vector<std::string> names;
+  std::vector<int> sources;
+  for (const auto& [new_name, old_name] : columns) {
+    int c = in.ColumnIndex(old_name);
+    if (c < 0) {
+      return Status::Internal("project: no column named " + old_name);
+    }
+    names.push_back(new_name);
+    sources.push_back(c);
+  }
+  Table out(std::move(names));
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    std::vector<Cell> row;
+    row.reserve(sources.size());
+    for (int c : sources) row.push_back(in.At(i, static_cast<size_t>(c)));
+    out.AppendRow(std::move(row));
+  }
+  return out;
+}
+
+Table Distinct(const Table& in) {
+  Table out(in.column_names());
+  std::set<std::string> seen;
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    std::string key;
+    for (const Cell& c : in.Row(i)) {
+      key += c.Key();
+      key += '\x1f';
+    }
+    if (seen.insert(key).second) out.AppendRow(in.Row(i));
+  }
+  return out;
+}
+
+StatusOr<Table> DisjointUnion(const Table& a, const Table& b) {
+  if (a.NumColumns() != b.NumColumns()) {
+    return Status::Internal("disjoint union: schema mismatch");
+  }
+  Table out(a.column_names());
+  for (size_t i = 0; i < a.NumRows(); ++i) out.AppendRow(a.Row(i));
+  for (size_t i = 0; i < b.NumRows(); ++i) out.AppendRow(b.Row(i));
+  return out;
+}
+
+StatusOr<Table> EquiJoin(const Table& a, const Table& b,
+                         const std::string& col_a, const std::string& col_b) {
+  int ca = a.ColumnIndex(col_a);
+  int cb = b.ColumnIndex(col_b);
+  if (ca < 0 || cb < 0) {
+    return Status::Internal("join: missing column " + col_a + "/" + col_b);
+  }
+  std::vector<std::string> names = a.column_names();
+  std::vector<int> b_cols;
+  for (size_t i = 0; i < b.NumColumns(); ++i) {
+    if (static_cast<int>(i) == cb) continue;
+    std::string name = b.column_names()[i];
+    while (std::find(names.begin(), names.end(), name) != names.end()) {
+      name += "'";
+    }
+    names.push_back(name);
+    b_cols.push_back(static_cast<int>(i));
+  }
+  // Hash join: build on b.
+  std::multimap<std::string, size_t> build;
+  for (size_t i = 0; i < b.NumRows(); ++i) {
+    build.emplace(b.At(i, cb).Key(), i);
+  }
+  Table out(std::move(names));
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    auto [lo, hi] = build.equal_range(a.At(i, ca).Key());
+    for (auto it = lo; it != hi; ++it) {
+      std::vector<Cell> row = a.Row(i);
+      for (int c : b_cols) {
+        row.push_back(b.At(it->second, static_cast<size_t>(c)));
+      }
+      out.AppendRow(std::move(row));
+    }
+  }
+  return out;
+}
+
+StatusOr<Table> RowNumber(const Table& in, const std::string& new_column,
+                          const std::vector<std::string>& order_columns,
+                          const std::string& partition_column) {
+  std::vector<int> order;
+  for (const std::string& c : order_columns) {
+    int idx = in.ColumnIndex(c);
+    if (idx < 0) return Status::Internal("rownum: no column " + c);
+    order.push_back(idx);
+  }
+  int part = -1;
+  if (!partition_column.empty()) {
+    part = in.ColumnIndex(partition_column);
+    if (part < 0) {
+      return Status::Internal("rownum: no column " + partition_column);
+    }
+  }
+  // Stable sort of row indices by (partition, order columns).
+  std::vector<size_t> idx(in.NumRows());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto cell_less = [](const Cell& x, const Cell& y) {
+    if (x.kind == Cell::Kind::kInt && y.kind == Cell::Kind::kInt) {
+      return x.num < y.num;
+    }
+    return x.Key() < y.Key();
+  };
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+    if (part >= 0) {
+      const Cell& px = in.At(x, part);
+      const Cell& py = in.At(y, part);
+      if (!CellEquals(px, py)) return cell_less(px, py);
+    }
+    for (int c : order) {
+      const Cell& cx = in.At(x, c);
+      const Cell& cy = in.At(y, c);
+      if (!CellEquals(cx, cy)) return cell_less(cx, cy);
+    }
+    return false;
+  });
+  std::vector<std::string> names = in.column_names();
+  names.push_back(new_column);
+  Table out(std::move(names));
+  // Assign ranks in sorted order, then restore original row order.
+  std::vector<int64_t> ranks(in.NumRows(), 0);
+  int64_t rank = 0;
+  for (size_t k = 0; k < idx.size(); ++k) {
+    bool new_partition =
+        k == 0 || (part >= 0 && !CellEquals(in.At(idx[k], part),
+                                            in.At(idx[k - 1], part)));
+    rank = new_partition ? 1 : rank + 1;
+    ranks[idx[k]] = rank;
+  }
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    std::vector<Cell> row = in.Row(i);
+    row.push_back(Cell::Int(ranks[i]));
+    out.AppendRow(std::move(row));
+  }
+  return out;
+}
+
+Table LiteralTable(std::vector<std::string> names,
+                   std::vector<std::vector<Cell>> rows) {
+  Table out(std::move(names));
+  for (auto& row : rows) out.AppendRow(std::move(row));
+  return out;
+}
+
+StatusOr<Table> SortBy(const Table& in,
+                       const std::vector<std::string>& columns) {
+  std::vector<int> cols;
+  for (const std::string& c : columns) {
+    int idx = in.ColumnIndex(c);
+    if (idx < 0) return Status::Internal("sort: no column " + c);
+    cols.push_back(idx);
+  }
+  std::vector<size_t> idx(in.NumRows());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+    for (int c : cols) {
+      int64_t vx = in.At(x, c).num;
+      int64_t vy = in.At(y, c).num;
+      if (vx != vy) return vx < vy;
+    }
+    return false;
+  });
+  Table out(in.column_names());
+  for (size_t i : idx) out.AppendRow(in.Row(i));
+  return out;
+}
+
+}  // namespace xrpc::algebra

@@ -1,0 +1,51 @@
+#ifndef XRPC_BASE_CLOCK_H_
+#define XRPC_BASE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xrpc {
+
+/// Accumulates simulated time, used by the simulated network transport to
+/// model wire latency and bandwidth without sleeping.
+///
+/// The paper's experiments ran on a real 1 Gb/s LAN; we account the network
+/// component of elapsed time virtually (deterministic, hardware-independent)
+/// and combine it with measured CPU time in the benchmark harness.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Advances simulated time by `us` microseconds.
+  void Advance(int64_t us) { now_us_ += us; }
+
+  /// Current simulated time in microseconds since Reset().
+  int64_t NowMicros() const { return now_us_; }
+
+  void Reset() { now_us_ = 0; }
+
+ private:
+  int64_t now_us_ = 0;
+};
+
+/// Measures wall-clock time of a code region (steady clock).
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Elapsed wall time in microseconds since construction or last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xrpc
+
+#endif  // XRPC_BASE_CLOCK_H_

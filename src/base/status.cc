@@ -1,0 +1,45 @@
+#include "base/status.h"
+
+namespace xrpc {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kEvalError:
+      return "EvalError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+    case StatusCode::kSoapFault:
+      return "SoapFault";
+    case StatusCode::kIsolationError:
+      return "IsolationError";
+    case StatusCode::kTransactionError:
+      return "TransactionError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace xrpc

@@ -1,0 +1,127 @@
+#ifndef XRPC_BASE_STATUS_H_
+#define XRPC_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xrpc {
+
+/// Error categories used across the XRPC library.
+///
+/// The taxonomy mirrors the failure classes of the paper: static (parse/type)
+/// errors, dynamic evaluation errors, network faults, and the SOAP Fault
+/// conditions an XRPC server reports back to the query originator.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a malformed value.
+  kParseError,        ///< XML or XQuery syntax error.
+  kTypeError,         ///< XQuery static or dynamic type error (XPTY*).
+  kEvalError,         ///< XQuery dynamic error (FO*/XQDY*).
+  kNotFound,          ///< Unknown document, module, function or peer.
+  kNetworkError,      ///< Transport-level failure.
+  kSoapFault,         ///< Remote peer answered with a SOAP Fault.
+  kIsolationError,    ///< Expired/unknown queryID or snapshot conflict.
+  kTransactionError,  ///< 2PC prepare/commit failure.
+  kUnsupported,       ///< Feature outside the implemented XQuery subset.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome carrying an error code and message; no exceptions are
+/// used anywhere in this library (RocksDB/Arrow idiom).
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy in the OK
+/// case and are annotated [[nodiscard]] at factory functions so that dropped
+/// errors are compiler-visible.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  [[nodiscard]] static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  [[nodiscard]] static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  [[nodiscard]] static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  [[nodiscard]] static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  [[nodiscard]] static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  [[nodiscard]] static Status SoapFault(std::string msg) {
+    return Status(StatusCode::kSoapFault, std::move(msg));
+  }
+  [[nodiscard]] static Status IsolationError(std::string msg) {
+    return Status(StatusCode::kIsolationError, std::move(msg));
+  }
+  [[nodiscard]] static Status TransactionError(std::string msg) {
+    return Status(StatusCode::kTransactionError, std::move(msg));
+  }
+  [[nodiscard]] static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  [[nodiscard]] static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define XRPC_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::xrpc::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value on success and
+/// returning the error otherwise. `lhs` may declare a new variable.
+#define XRPC_ASSIGN_OR_RETURN(lhs, expr)                        \
+  XRPC_ASSIGN_OR_RETURN_IMPL_(                                  \
+      XRPC_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define XRPC_STATUS_CONCAT_INNER_(a, b) a##b
+#define XRPC_STATUS_CONCAT_(a, b) XRPC_STATUS_CONCAT_INNER_(a, b)
+#define XRPC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace xrpc
+
+#endif  // XRPC_BASE_STATUS_H_

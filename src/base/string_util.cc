@@ -1,0 +1,139 @@
+#include "base/string_util.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace xrpc {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsXmlWhitespace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsXmlWhitespace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view s) {
+  std::string_view t = TrimWhitespace(s);
+  if (t.empty()) return Status::InvalidArgument("empty integer literal");
+  size_t i = 0;
+  bool neg = false;
+  if (t[i] == '+' || t[i] == '-') {
+    neg = (t[i] == '-');
+    ++i;
+  }
+  if (i == t.size()) return Status::InvalidArgument("sign without digits");
+  uint64_t acc = 0;
+  const uint64_t limit =
+      neg ? static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1
+          : static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  for (; i < t.size(); ++i) {
+    char c = t[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid integer literal: " +
+                                     std::string(s));
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (acc > (limit - digit) / 10) {
+      return Status::InvalidArgument("integer overflow: " + std::string(s));
+    }
+    acc = acc * 10 + digit;
+  }
+  if (neg) {
+    return static_cast<int64_t>(~acc + 1);  // two's complement negate
+  }
+  return static_cast<int64_t>(acc);
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  std::string t(TrimWhitespace(s));
+  if (t.empty()) return Status::InvalidArgument("empty double literal");
+  if (t == "INF" || t == "+INF") return std::numeric_limits<double>::infinity();
+  if (t == "-INF") return -std::numeric_limits<double>::infinity();
+  if (t == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size() || errno == ERANGE) {
+    if (errno == ERANGE && end == t.c_str() + t.size()) {
+      return v;  // denormal underflow / overflow to inf is acceptable
+    }
+    return Status::InvalidArgument("invalid double literal: " + t);
+  }
+  return v;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "INF" : "-INF";
+  if (v == 0) return std::signbit(v) ? "-0" : "0";
+  double r = std::round(v);
+  if (r == v && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest representation that round-trips.
+  for (int prec = 1; prec <= 17; ++prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_ws = true;  // leading whitespace is dropped
+  for (char c : s) {
+    if (IsXmlWhitespace(c)) {
+      in_ws = true;
+    } else {
+      if (in_ws && !out.empty()) out.push_back(' ');
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace xrpc

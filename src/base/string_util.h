@@ -1,0 +1,52 @@
+#ifndef XRPC_BASE_STRING_UTIL_H_
+#define XRPC_BASE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace xrpc {
+
+/// True if `c` is XML whitespace (space, tab, CR, LF).
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Strips leading and trailing XML whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict signed 64-bit integer parse of the full string (XML Schema
+/// integer lexical space: optional sign, digits).
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// Strict double parse of the full string; accepts XML Schema double
+/// lexical forms including "INF", "-INF" and "NaN".
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Formats a double in XQuery number-to-string style: integral values
+/// without a fractional part ("3" not "3.0" is NOT XQuery style -- XQuery
+/// serializes xs:double 3 as "3"), shortest round-trip representation
+/// otherwise.
+std::string FormatDouble(double v);
+
+/// Collapses runs of XML whitespace to single spaces and trims (the
+/// whitespace facet "collapse").
+std::string CollapseWhitespace(std::string_view s);
+
+}  // namespace xrpc
+
+#endif  // XRPC_BASE_STRING_UTIL_H_

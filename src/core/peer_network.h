@@ -1,0 +1,154 @@
+#ifndef XRPC_CORE_PEER_NETWORK_H_
+#define XRPC_CORE_PEER_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "compiler/relational_engine.h"
+#include "net/simulated_network.h"
+#include "server/remote_docs.h"
+#include "server/rpc_client.h"
+#include "server/xrpc_service.h"
+#include "wrapper/wrapper_engine.h"
+
+namespace xrpc::core {
+
+/// Namespace of the built-in system module every peer serves (remote
+/// document fetch); see server/remote_docs.h.
+using server::kSystemModuleNs;
+
+/// Which XQuery engine a peer runs.
+enum class EngineKind {
+  kRelational,         ///< loop-lifted relational plans + function cache
+                       ///< (the MonetDB/XQuery role)
+  kRelationalNoCache,  ///< same, recompiling every request (Table 2)
+  kInterpreter,        ///< direct tree-walking interpretation
+  kInterpreterNoCache, ///< interpretation with per-request module reparse
+  kWrapper,            ///< XRPC wrapper over the interpreter (the Saxon
+                       ///< role, Section 4)
+};
+
+const char* EngineKindToString(EngineKind kind);
+
+/// One XQuery peer: database + module registry + execution engine + XRPC
+/// service, addressable as xrpc://<name> on the owning PeerNetwork.
+class Peer {
+ public:
+  Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network);
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Stores a document (parsed from text) in this peer's database.
+  Status AddDocument(const std::string& doc_name, std::string_view xml_text);
+  Status AddDocumentNode(const std::string& doc_name, xml::NodePtr doc);
+
+  /// Registers an XQuery module this peer can execute XRPC calls against.
+  Status RegisterModule(std::string_view source, const std::string& location = "");
+
+  const std::string& name() const { return name_; }
+  const std::string& uri() const { return uri_; }
+  EngineKind engine_kind() const { return kind_; }
+
+  server::Database& database() { return db_; }
+  server::ModuleRegistry& registry() { return registry_; }
+  server::XrpcService& service() { return *service_; }
+
+  /// Engine-specific handles (null when the peer runs another engine).
+  compiler::RelationalEngine* relational_engine() { return relational_.get(); }
+  wrapper::WrapperEngine* wrapper_engine() { return wrapper_.get(); }
+
+ private:
+  friend class PeerNetwork;
+
+  std::string name_;
+  std::string uri_;
+  EngineKind kind_;
+  net::SimulatedNetwork* network_;
+  server::Database db_;
+  server::ModuleRegistry registry_;
+  std::unique_ptr<compiler::RelationalEngine> relational_;
+  std::unique_ptr<wrapper::WrapperEngine> wrapper_;
+  std::unique_ptr<server::InterpreterEngine> interpreter_;
+  std::unique_ptr<server::XrpcService> service_;
+};
+
+/// Options controlling query execution at the originating peer.
+struct ExecuteOptions {
+  /// Capture the Figure-1 intermediate tables of every Bulk RPC.
+  bool trace_bulk_rpc = false;
+  /// Disable loop-lifted Bulk RPC at p0 and issue one request per
+  /// `execute at` evaluation (the "one-at-a-time" comparison mechanism of
+  /// Table 2).
+  bool force_one_at_a_time = false;
+
+  /// Ablation toggles for the engine optimizations (bench_ablation).
+  bool disable_hoisting = false;
+  bool disable_join_rewrite = false;
+};
+
+/// Everything measured about one query execution.
+struct ExecutionReport {
+  xdm::Sequence result;
+
+  /// Updating queries under repeatable isolation: distributed 2PC outcome.
+  bool committed = true;
+  std::string abort_reason;
+
+  int64_t requests_sent = 0;
+  int64_t network_micros = 0;  ///< modeled wire time (critical path)
+  int64_t wall_micros = 0;     ///< measured processing time at p0
+                               ///< (includes synchronous remote handling)
+  int64_t remote_micros = 0;   ///< measured processing time at remote peers
+  std::set<std::string> participants;
+
+  bool used_relational = false;  ///< p0 ran the loop-lifted engine
+  bool fell_back = false;        ///< relational p0 fell back to interpreter
+  std::vector<compiler::BulkRpcTrace> traces;
+};
+
+/// A network of XQuery peers connected by the simulated transport — the
+/// top-level handle of the library. Typical use:
+///
+///   PeerNetwork net;
+///   Peer* x = net.AddPeer("x.example.org");
+///   x->AddDocument("filmDB.xml", ...);
+///   x->RegisterModule(film_module);
+///   auto report = net.Execute("p0", query_with_execute_at);
+class PeerNetwork {
+ public:
+  explicit PeerNetwork(net::NetworkProfile profile = {});
+
+  PeerNetwork(const PeerNetwork&) = delete;
+  PeerNetwork& operator=(const PeerNetwork&) = delete;
+
+  /// Creates a peer reachable at xrpc://<name>.
+  Peer* AddPeer(const std::string& name,
+                EngineKind kind = EngineKind::kRelational);
+  Peer* GetPeer(const std::string& name);
+
+  net::SimulatedNetwork& network() { return network_; }
+
+  /// Runs `query_text` with peer `peer_name` in the p0 role: parses it,
+  /// honors its declare option xrpc:isolation / xrpc:timeout, executes it
+  /// on the peer's engine with loop-lifted Bulk RPC dispatch (relational
+  /// peers), and — for updating queries under repeatable isolation —
+  /// coordinates the WS-AT two-phase commit across all participants.
+  StatusOr<ExecutionReport> Execute(const std::string& peer_name,
+                                    const std::string& query_text,
+                                    const ExecuteOptions& options = {});
+
+ private:
+  net::SimulatedNetwork network_;
+  std::map<std::string, std::unique_ptr<Peer>> peers_;
+  int64_t next_query_serial_ = 1;
+};
+
+}  // namespace xrpc::core
+
+#endif  // XRPC_CORE_PEER_NETWORK_H_

@@ -1,0 +1,217 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "base/string_util.h"
+#include "net/uri.h"
+
+namespace xrpc::net {
+
+namespace {
+
+// Reads from fd until the full HTTP message (headers + Content-Length body)
+// has arrived. Returns headers+body as one string.
+StatusOr<std::string> ReadHttpMessage(int fd) {
+  std::string buf;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) return Status::NetworkError("recv failed");
+    if (n == 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = buf.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Parse Content-Length.
+        std::string headers = buf.substr(0, header_end);
+        for (char& c : headers) c = static_cast<char>(std::tolower(c));
+        size_t cl = headers.find("content-length:");
+        if (cl != std::string::npos) {
+          size_t start = cl + 15;
+          size_t end = headers.find("\r\n", start);
+          auto len = ParseInt64(std::string_view(headers).substr(
+              start, end == std::string::npos ? std::string::npos
+                                              : end - start));
+          if (!len.ok()) return Status::NetworkError("bad Content-Length");
+          content_length = static_cast<size_t>(len.value());
+        }
+      }
+    }
+    if (header_end != std::string::npos &&
+        buf.size() >= header_end + 4 + content_length) {
+      break;
+    }
+  }
+  if (header_end == std::string::npos) {
+    return Status::NetworkError("truncated HTTP message");
+  }
+  return buf;
+}
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return Status::NetworkError("send failed");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string ExtractBody(const std::string& message) {
+  size_t pos = message.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : message.substr(pos + 4);
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+StatusOr<int> HttpServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::NetworkError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    return Status::NetworkError("bind() failed on port " +
+                                std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    return Status::NetworkError("listen() failed");
+  }
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) return;
+      continue;
+    }
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  auto message = ReadHttpMessage(fd);
+  std::string reply_body;
+  std::string status_line = "HTTP/1.1 200 OK";
+  if (!message.ok()) {
+    status_line = "HTTP/1.1 400 Bad Request";
+  } else {
+    // First line: METHOD SP path SP version.
+    const std::string& m = message.value();
+    size_t sp1 = m.find(' ');
+    size_t sp2 = m.find(' ', sp1 + 1);
+    std::string method = m.substr(0, sp1);
+    std::string path =
+        sp2 == std::string::npos ? "/" : m.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "POST") {
+      status_line = "HTTP/1.1 405 Method Not Allowed";
+    } else {
+      if (!path.empty() && path[0] == '/') path = path.substr(1);
+      auto handled = endpoint_->Handle(path, ExtractBody(m));
+      if (handled.ok()) {
+        reply_body = std::move(handled).value();
+      } else {
+        status_line = "HTTP/1.1 500 Internal Server Error";
+        reply_body = handled.status().ToString();
+      }
+    }
+  }
+  std::string response = status_line +
+                         "\r\nContent-Type: application/soap+xml"
+                         "\r\nContent-Length: " +
+                         std::to_string(reply_body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + reply_body;
+  (void)SendAll(fd, response);
+  ::close(fd);
+}
+
+StatusOr<std::string> HttpPost(const std::string& host, int port,
+                               const std::string& path,
+                               const std::string& body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  std::string ip = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::NetworkError("unresolvable host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::NetworkError("connect failed: " + host + ":" +
+                                std::to_string(port));
+  }
+  std::string request = "POST /" + path +
+                        " HTTP/1.1\r\nHost: " + host +
+                        "\r\nContent-Type: application/soap+xml"
+                        "\r\nContent-Length: " +
+                        std::to_string(body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + body;
+  Status st = SendAll(fd, request);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto message = ReadHttpMessage(fd);
+  ::close(fd);
+  XRPC_RETURN_IF_ERROR(message.status());
+  const std::string& m = message.value();
+  if (m.find(" 200 ") == std::string::npos &&
+      m.rfind("HTTP/1.1 200", 0) != 0) {
+    return Status::NetworkError("HTTP error: " + m.substr(0, m.find("\r\n")));
+  }
+  return ExtractBody(m);
+}
+
+StatusOr<PostResult> HttpTransport::Post(const std::string& dest_uri,
+                                         const std::string& body) {
+  XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
+  XRPC_ASSIGN_OR_RETURN(std::string reply,
+                        HttpPost(uri.host, uri.port, uri.path, body));
+  PostResult result;
+  result.body = std::move(reply);
+  return result;
+}
+
+}  // namespace xrpc::net

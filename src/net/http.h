@@ -1,0 +1,63 @@
+#ifndef XRPC_NET_HTTP_H_
+#define XRPC_NET_HTTP_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/statusor.h"
+#include "net/transport.h"
+
+namespace xrpc::net {
+
+/// Minimal embedded HTTP/1.1 server (the paper uses the ultra-light SHTTPD
+/// daemon; this plays the same role). Accepts POST requests, hands the body
+/// to a SoapEndpoint, and replies with the SOAP response body.
+///
+/// One thread accepts connections; each request is served synchronously on
+/// a short-lived worker thread (connection: close semantics).
+class HttpServer {
+ public:
+  explicit HttpServer(SoapEndpoint* endpoint) : endpoint_(endpoint) {}
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = pick a free port) and
+  /// starts the accept loop. Returns the bound port.
+  StatusOr<int> Start(int port = 0);
+
+  /// Stops accepting and joins all threads.
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  SoapEndpoint* endpoint_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+/// Transport that POSTs over real loopback/host TCP sockets.
+class HttpTransport : public Transport {
+ public:
+  StatusOr<PostResult> Post(const std::string& dest_uri,
+                            const std::string& body) override;
+};
+
+/// Low-level helper: POST `body` to host:port/path, return response body.
+StatusOr<std::string> HttpPost(const std::string& host, int port,
+                               const std::string& path,
+                               const std::string& body);
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_HTTP_H_

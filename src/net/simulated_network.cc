@@ -1,0 +1,69 @@
+#include "net/simulated_network.h"
+
+#include "base/clock.h"
+
+namespace xrpc::net {
+
+void SimulatedNetwork::RegisterPeer(const XrpcUri& address,
+                                    SoapEndpoint* endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[address.PeerKey()] = endpoint;
+}
+
+void SimulatedNetwork::DisconnectPeer(const XrpcUri& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.erase(address.PeerKey());
+}
+
+void SimulatedNetwork::FailNextPost(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_failure_ = std::move(status);
+  has_injected_failure_ = true;
+}
+
+void SimulatedNetwork::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  messages_ = 0;
+  bytes_sent_ = 0;
+  bytes_received_ = 0;
+  clock_.Reset();
+}
+
+StatusOr<PostResult> SimulatedNetwork::Post(const std::string& dest_uri,
+                                            const std::string& body) {
+  XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
+  SoapEndpoint* endpoint = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_injected_failure_) {
+      has_injected_failure_ = false;
+      return injected_failure_;
+    }
+    auto it = peers_.find(uri.PeerKey());
+    if (it == peers_.end()) {
+      return Status::NetworkError("connection refused: " + uri.PeerKey());
+    }
+    endpoint = it->second;
+  }
+
+  int64_t request_cost = profile_.MessageCost(body.size());
+  StopWatch handler_watch;
+  XRPC_ASSIGN_OR_RETURN(std::string reply, endpoint->Handle(uri.path, body));
+  int64_t server_micros = handler_watch.ElapsedMicros();
+  int64_t response_cost = profile_.MessageCost(reply.size());
+
+  PostResult result;
+  result.network_micros = request_cost + response_cost;
+  result.server_micros = server_micros;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++messages_;
+    bytes_sent_ += static_cast<int64_t>(body.size());
+    bytes_received_ += static_cast<int64_t>(reply.size());
+    clock_.Advance(result.network_micros);
+  }
+  result.body = std::move(reply);
+  return result;
+}
+
+}  // namespace xrpc::net

@@ -1,0 +1,83 @@
+#ifndef XRPC_NET_SIMULATED_NETWORK_H_
+#define XRPC_NET_SIMULATED_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "base/clock.h"
+#include "net/transport.h"
+#include "net/uri.h"
+
+namespace xrpc::net {
+
+/// Wire model of the simulated network.
+///
+/// The paper's testbed is two machines on 1 Gb/s Ethernet; the defaults
+/// model that LAN: ~100 us round-trip-half latency and 125 bytes/us
+/// (= 1 Gb/s) of bandwidth. A WAN profile simply raises latency.
+struct NetworkProfile {
+  int64_t latency_us = 100;          ///< one-way latency per message
+  double bandwidth_bytes_per_us = 125.0;
+
+  /// Modeled one-way cost of a message of `bytes` bytes.
+  int64_t MessageCost(size_t bytes) const {
+    return latency_us +
+           static_cast<int64_t>(static_cast<double>(bytes) /
+                                bandwidth_bytes_per_us);
+  }
+};
+
+/// In-process transport connecting registered peers, with a deterministic
+/// virtual-time cost model and failure injection.
+///
+/// Post() accounts 2 one-way message costs (request + response) plus the
+/// server handler's execution; the cost is returned in
+/// PostResult::network_micros and also accumulated on the global virtual
+/// clock (which therefore reflects *serialized* network time — callers
+/// dispatching in parallel take the max of per-destination costs instead).
+class SimulatedNetwork : public Transport {
+ public:
+  explicit SimulatedNetwork(NetworkProfile profile = {}) : profile_(profile) {}
+
+  SimulatedNetwork(const SimulatedNetwork&) = delete;
+  SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
+
+  /// Registers (or replaces) the SOAP endpoint of peer `host:port`.
+  void RegisterPeer(const XrpcUri& address, SoapEndpoint* endpoint);
+
+  /// Makes a peer unreachable (connection refused) until re-registered.
+  void DisconnectPeer(const XrpcUri& address);
+
+  /// Injects a one-shot failure: the next Post() fails with this status.
+  void FailNextPost(Status status);
+
+  StatusOr<PostResult> Post(const std::string& dest_uri,
+                            const std::string& body) override;
+
+  /// Simulated network statistics.
+  int64_t messages_sent() const { return messages_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_received() const { return bytes_received_; }
+  VirtualClock& clock() { return clock_; }
+  const NetworkProfile& profile() const { return profile_; }
+  void set_profile(NetworkProfile profile) { profile_ = profile; }
+
+  void ResetStats();
+
+ private:
+  NetworkProfile profile_;
+  std::map<std::string, SoapEndpoint*> peers_;  // keyed by host:port
+  VirtualClock clock_;
+  int64_t messages_ = 0;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+  Status injected_failure_;
+  bool has_injected_failure_ = false;
+  std::mutex mu_;
+};
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_SIMULATED_NETWORK_H_

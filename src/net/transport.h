@@ -1,0 +1,44 @@
+#ifndef XRPC_NET_TRANSPORT_H_
+#define XRPC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/statusor.h"
+
+namespace xrpc::net {
+
+/// Result of an HTTP POST exchange.
+struct PostResult {
+  std::string body;           ///< response entity body (a SOAP envelope)
+  int64_t network_micros = 0; ///< modeled wire time (simulated transports)
+  int64_t server_micros = 0;  ///< measured handler time at the destination
+};
+
+/// Abstract request/response transport carrying SOAP messages over HTTP
+/// POST. Implementations: SimulatedNetwork (in-process, virtual-time cost
+/// model) and HttpTransport (real sockets).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// POSTs `body` to the peer addressed by `dest_uri` (an xrpc:// URI) and
+  /// returns the response body. A non-2xx HTTP status or connectivity
+  /// failure yields a kNetworkError status; SOAP Faults travel as ordinary
+  /// 200 responses and are decoded by the SOAP layer.
+  virtual StatusOr<PostResult> Post(const std::string& dest_uri,
+                                    const std::string& body) = 0;
+};
+
+/// Server-side request handler: receives the POSTed SOAP envelope (and the
+/// request path) and produces the SOAP reply body.
+class SoapEndpoint {
+ public:
+  virtual ~SoapEndpoint() = default;
+  virtual StatusOr<std::string> Handle(const std::string& path,
+                                       const std::string& body) = 0;
+};
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_TRANSPORT_H_

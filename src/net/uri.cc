@@ -1,0 +1,49 @@
+#include "net/uri.h"
+
+#include "base/string_util.h"
+
+namespace xrpc::net {
+
+std::string XrpcUri::ToString() const {
+  std::string out = "xrpc://" + host;
+  if (port != kDefaultXrpcPort) out += ":" + std::to_string(port);
+  if (!path.empty()) out += "/" + path;
+  return out;
+}
+
+StatusOr<XrpcUri> ParseXrpcUri(std::string_view uri) {
+  std::string_view rest = uri;
+  if (StartsWith(rest, "xrpc://")) {
+    rest = rest.substr(7);
+  } else if (rest.find("://") != std::string_view::npos) {
+    return Status::InvalidArgument("not an xrpc:// URI: " + std::string(uri));
+  }
+  if (rest.empty()) {
+    return Status::InvalidArgument("empty XRPC destination");
+  }
+  XrpcUri out;
+  size_t slash = rest.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (slash != std::string_view::npos) {
+    out.path = std::string(rest.substr(slash + 1));
+  }
+  size_t colon = authority.find(':');
+  if (colon == std::string_view::npos) {
+    out.host = std::string(authority);
+  } else {
+    out.host = std::string(authority.substr(0, colon));
+    XRPC_ASSIGN_OR_RETURN(int64_t port,
+                          ParseInt64(authority.substr(colon + 1)));
+    if (port <= 0 || port > 65535) {
+      return Status::InvalidArgument("invalid port in " + std::string(uri));
+    }
+    out.port = static_cast<int>(port);
+  }
+  if (out.host.empty()) {
+    return Status::InvalidArgument("empty host in " + std::string(uri));
+  }
+  return out;
+}
+
+}  // namespace xrpc::net

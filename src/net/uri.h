@@ -1,0 +1,33 @@
+#ifndef XRPC_NET_URI_H_
+#define XRPC_NET_URI_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/statusor.h"
+
+namespace xrpc::net {
+
+/// Default port of the XRPC SOAP/HTTP service.
+inline constexpr int kDefaultXrpcPort = 50001;
+
+/// A parsed xrpc:// destination: xrpc://<host>[:port][/[path]].
+struct XrpcUri {
+  std::string host;
+  int port = kDefaultXrpcPort;
+  std::string path;  ///< optional local path at the remote peer ("" if none)
+
+  /// Canonical "host:port" peer key used for registry lookups.
+  std::string PeerKey() const { return host + ":" + std::to_string(port); }
+
+  /// Re-renders the URI.
+  std::string ToString() const;
+};
+
+/// Parses an xrpc:// URI. Bare "host" or "host:port" strings (as used in
+/// the paper's examples, e.g. execute at {"B"}) are accepted as host names.
+StatusOr<XrpcUri> ParseXrpcUri(std::string_view uri);
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_URI_H_

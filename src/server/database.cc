@@ -1,0 +1,76 @@
+#include "server/database.h"
+
+#include "xml/parser.h"
+
+namespace xrpc::server {
+
+void Database::PutDocument(const std::string& name, xml::NodePtr tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = docs_[name];
+  e.tree = std::move(tree);
+  ++e.version;
+}
+
+Status Database::PutDocumentText(const std::string& name,
+                                 std::string_view xml_text) {
+  XRPC_ASSIGN_OR_RETURN(xml::NodePtr doc, xml::ParseXml(xml_text));
+  PutDocument(name, std::move(doc));
+  return Status::OK();
+}
+
+StatusOr<xml::NodePtr> Database::GetDocument(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) {
+    return Status::NotFound("document not found: " + name);
+  }
+  return it->second.tree;
+}
+
+StatusOr<std::pair<xml::NodePtr, uint64_t>> Database::GetWithVersion(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) {
+    return Status::NotFound("document not found: " + name);
+  }
+  return std::pair<xml::NodePtr, uint64_t>(it->second.tree,
+                                           it->second.version);
+}
+
+Status Database::ReplaceIfVersion(const std::string& name,
+                                  uint64_t expected_version,
+                                  xml::NodePtr tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = docs_[name];
+  if (e.version != expected_version) {
+    return Status::IsolationError(
+        "write-write conflict on document " + name + ": expected version " +
+        std::to_string(expected_version) + ", found " +
+        std::to_string(e.version));
+  }
+  e.tree = std::move(tree);
+  ++e.version;
+  return Status::OK();
+}
+
+uint64_t Database::VersionOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  return it == docs_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> Database::DocumentNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(docs_.size());
+  for (const auto& [name, entry] : docs_) names.push_back(name);
+  return names;
+}
+
+bool Database::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.count(name) > 0;
+}
+
+}  // namespace xrpc::server

@@ -1,0 +1,96 @@
+#include "server/isolation.h"
+
+#include <chrono>
+
+namespace xrpc::server {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+IsolationManager::IsolationManager(Database* db,
+                                   std::function<int64_t()> now_us)
+    : db_(db), now_us_(now_us ? std::move(now_us) : SteadyNowMicros) {}
+
+StatusOr<QuerySession*> IsolationManager::GetSession(const soap::QueryId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_us_();
+  auto it = sessions_.find(id.id);
+  if (it != sessions_.end()) {
+    QuerySession* s = it->second.get();
+    if (now > s->deadline_us) {
+      expired_ids_.insert(id.id);
+      auto& latest = latest_expired_timestamp_by_host_[s->id.host];
+      latest = std::max(latest, s->id.timestamp);
+      sessions_.erase(it);
+      return Status::IsolationError("queryID expired: " + id.id);
+    }
+    return s;
+  }
+  if (expired_ids_.count(id.id) > 0 ||
+      (latest_expired_timestamp_by_host_.count(id.host) > 0 &&
+       id.timestamp <= latest_expired_timestamp_by_host_[id.host] &&
+       id.timestamp != 0)) {
+    return Status::IsolationError("request arrived after queryID expired: " +
+                                  id.id);
+  }
+  auto session = std::make_unique<QuerySession>();
+  session->id = id;
+  session->deadline_us = now + id.timeout_sec * 1'000'000;
+  QuerySession* raw = session.get();
+  sessions_[id.id] = std::move(session);
+  return raw;
+}
+
+StatusOr<QuerySession*> IsolationManager::FindSession(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::IsolationError("unknown queryID: " + id);
+  }
+  return it->second.get();
+}
+
+void IsolationManager::EndSession(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+void IsolationManager::ExpireSessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_us_();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now > it->second->deadline_us) {
+      expired_ids_.insert(it->first);
+      auto& latest = latest_expired_timestamp_by_host_[it->second->id.host];
+      latest = std::max(latest, it->second->id.timestamp);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t IsolationManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+StatusOr<xml::NodePtr> IsolationManager::SnapshotProvider::GetDocument(
+    const std::string& uri) {
+  auto it = session_->docs.find(uri);
+  if (it != session_->docs.end()) return it->second.first;
+  // First access under this query: pin a private copy of the current state.
+  XRPC_ASSIGN_OR_RETURN(auto versioned, db_->GetWithVersion(uri));
+  xml::NodePtr clone = versioned.first->Clone();
+  session_->docs[uri] = {clone, versioned.second};
+  return clone;
+}
+
+}  // namespace xrpc::server

@@ -1,0 +1,105 @@
+#ifndef XRPC_SERVER_ISOLATION_H_
+#define XRPC_SERVER_ISOLATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "base/statusor.h"
+#include "server/database.h"
+#include "soap/message.h"
+#include "xquery/context.h"
+#include "xquery/update.h"
+
+namespace xrpc::server {
+
+/// Per-query state a peer keeps for repeatable-read isolation (rule R'Fr /
+/// R'Fu): the pinned database state db_p(t_q^p) — realized as lazy private
+/// document clones — plus the accumulated pending update lists ∆_q^p, the
+/// 2PC state, and the snapshot expiry deadline.
+struct QuerySession {
+  soap::QueryId id;
+
+  /// Lazily cloned documents: name -> (private tree, base version).
+  std::map<std::string, std::pair<xml::NodePtr, uint64_t>> docs;
+
+  /// Union of pending update lists of all updating calls handled so far.
+  xquery::PendingUpdateList pul;
+
+  /// Steady-clock deadline (microseconds) after which the snapshot may be
+  /// discarded.
+  int64_t deadline_us = 0;
+
+  bool prepared = false;  ///< 2PC: Prepare() succeeded and the PUL is logged
+
+  /// Documents (by name) the logged PUL writes, determined at Prepare.
+  std::set<std::string> written_docs;
+};
+
+/// Manages repeatable-read query sessions at one peer, including snapshot
+/// expiry and the bookkeeping of expired queryIDs ("the local XRPC handler
+/// should still remember expired queryIDs, such that it can give errors on
+/// XRPC requests that arrive too late").
+class IsolationManager {
+ public:
+  /// `now_us` supplies monotonic time; injectable for deterministic tests.
+  explicit IsolationManager(Database* db,
+                            std::function<int64_t()> now_us = nullptr);
+
+  IsolationManager(const IsolationManager&) = delete;
+  IsolationManager& operator=(const IsolationManager&) = delete;
+
+  /// Returns the session for `id`, creating it on first contact (pinning
+  /// t_q^p = now). Expired or discarded ids yield kIsolationError.
+  StatusOr<QuerySession*> GetSession(const soap::QueryId& id);
+
+  /// Looks up an existing session without creating one.
+  StatusOr<QuerySession*> FindSession(const std::string& id);
+
+  /// Drops the session (after Commit/Rollback completed).
+  void EndSession(const std::string& id);
+
+  /// Discards sessions whose timeout has passed, remembering their ids.
+  void ExpireSessions();
+
+  size_t active_sessions() const;
+
+  /// A DocumentProvider serving a session's pinned state: documents are
+  /// cloned from the live database on first access and cached in the
+  /// session, so every call of the query sees the same trees.
+  class SnapshotProvider : public xquery::DocumentProvider {
+   public:
+    SnapshotProvider(Database* db, QuerySession* session)
+        : db_(db), session_(session) {}
+    StatusOr<xml::NodePtr> GetDocument(const std::string& uri) override;
+
+   private:
+    Database* db_;
+    QuerySession* session_;
+  };
+
+  Database* database() { return db_; }
+  int64_t NowMicros() const { return now_us_(); }
+
+  /// Replaces the time source (deterministic expiry tests).
+  void SetTimeSource(std::function<int64_t()> now_us) {
+    now_us_ = std::move(now_us);
+  }
+
+ private:
+  Database* db_;
+  std::function<int64_t()> now_us_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<QuerySession>> sessions_;
+  /// Expired ids, with per-host latest expired timestamp for pruning.
+  std::set<std::string> expired_ids_;
+  std::map<std::string, int64_t> latest_expired_timestamp_by_host_;
+};
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_ISOLATION_H_

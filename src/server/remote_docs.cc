@@ -1,0 +1,50 @@
+#include "server/remote_docs.h"
+
+#include "base/string_util.h"
+#include "net/uri.h"
+
+namespace xrpc::server {
+
+const char* SystemModuleSource() {
+  return R"(
+module namespace sys = "http://monetdb.cwi.nl/XQuery/system";
+declare function sys:doc($uri as xs:string) as document-node()
+{ exactly-one(doc($uri)) };
+)";
+}
+
+StatusOr<xml::NodePtr> FederatedDocumentProvider::GetDocument(
+    const std::string& uri) {
+  if (!StartsWith(uri, "xrpc://")) {
+    if (base_ == nullptr) return Status::NotFound("document not found: " + uri);
+    return base_->GetDocument(uri);
+  }
+  auto cached = remote_cache_.find(uri);
+  if (cached != remote_cache_.end()) return cached->second;
+  if (client_ == nullptr) {
+    return Status::NetworkError("no outgoing transport for remote document " +
+                                uri);
+  }
+  XRPC_ASSIGN_OR_RETURN(net::XrpcUri parsed, net::ParseXrpcUri(uri));
+  if (parsed.path.empty()) {
+    return Status::InvalidArgument("remote document URI lacks a path: " + uri);
+  }
+  std::string doc_name = parsed.path;
+  net::XrpcUri peer = parsed;
+  peer.path.clear();
+  xquery::RpcCall call;
+  call.dest_uri = peer.ToString();
+  call.module_ns = kSystemModuleNs;
+  call.function = xml::QName(kSystemModuleNs, "doc", "sys");
+  call.args = {
+      xdm::Sequence{xdm::Item(xdm::AtomicValue::String(std::move(doc_name)))}};
+  XRPC_ASSIGN_OR_RETURN(xdm::Sequence fetched, client_->Execute(call));
+  if (fetched.size() != 1 || !fetched[0].IsNode()) {
+    return Status::SoapFault("remote fn:doc did not return one document");
+  }
+  xml::NodePtr doc = fetched[0].node()->shared_from_this();
+  remote_cache_[uri] = doc;
+  return doc;
+}
+
+}  // namespace xrpc::server

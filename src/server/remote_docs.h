@@ -1,0 +1,42 @@
+#ifndef XRPC_SERVER_REMOTE_DOCS_H_
+#define XRPC_SERVER_REMOTE_DOCS_H_
+
+#include <map>
+#include <string>
+
+#include "server/rpc_client.h"
+#include "xquery/context.h"
+
+namespace xrpc::server {
+
+/// Namespace of the built-in system module every peer serves; its sys:doc
+/// function implements remote document fetch (the data-shipping fn:doc of
+/// Section 5: fn:doc with an xrpc:// URI ships the document to the caller).
+inline constexpr char kSystemModuleNs[] =
+    "http://monetdb.cwi.nl/XQuery/system";
+
+/// Source of that module (registered automatically by peers).
+const char* SystemModuleSource();
+
+/// DocumentProvider that resolves plain names against `base` and
+/// xrpc://host/path URIs by fetching the document from the remote peer via
+/// a sys:doc XRPC call. Fetched documents are cached for the lifetime of
+/// the provider (one query), which both avoids refetching in loop-lifted
+/// plans and keeps fn:doc's stable-identity guarantee within a query.
+class FederatedDocumentProvider : public xquery::DocumentProvider {
+ public:
+  /// `client` may be null; remote URIs then fail with kNetworkError.
+  FederatedDocumentProvider(xquery::DocumentProvider* base, RpcClient* client)
+      : base_(base), client_(client) {}
+
+  StatusOr<xml::NodePtr> GetDocument(const std::string& uri) override;
+
+ private:
+  xquery::DocumentProvider* base_;
+  RpcClient* client_;
+  std::map<std::string, xml::NodePtr> remote_cache_;
+};
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_REMOTE_DOCS_H_

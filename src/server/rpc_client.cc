@@ -1,0 +1,79 @@
+#include <algorithm>
+
+#include "server/rpc_client.h"
+
+namespace xrpc::server {
+
+StatusOr<xdm::Sequence> RpcClient::Execute(const xquery::RpcCall& call) {
+  soap::XrpcRequest request;
+  request.module_ns = call.module_ns;
+  request.method = call.function.local;
+  request.location = call.module_location;
+  request.arity = call.args.size();
+  request.updating = call.updating;
+  request.calls.push_back(call.args);
+  XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
+                        ExecuteBulk(call.dest_uri, std::move(request)));
+  if (response.results.size() != 1) {
+    return Status::SoapFault("expected 1 result sequence, got " +
+                             std::to_string(response.results.size()));
+  }
+  return std::move(response.results[0]);
+}
+
+StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
+    std::vector<Destination> destinations) {
+  std::vector<soap::XrpcResponse> responses;
+  responses.reserve(destinations.size());
+  // Parallel-dispatch accounting: each request still executes (the
+  // simulated network is synchronous), but the modeled elapsed network
+  // time of the group is the maximum over destinations, not the sum.
+  int64_t before = network_micros_;
+  int64_t serial = 0;
+  int64_t critical_path = 0;
+  for (Destination& d : destinations) {
+    int64_t mark = network_micros_;
+    XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
+                          ExecuteBulk(d.dest_uri, std::move(d.request)));
+    int64_t cost = network_micros_ - mark;
+    serial += cost;
+    critical_path = std::max(critical_path, cost);
+    responses.push_back(std::move(response));
+  }
+  network_micros_ = before + critical_path;
+  (void)serial;
+  return responses;
+}
+
+StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
+    const std::string& dest_uri, soap::XrpcRequest request) {
+  if (options_.isolation == IsolationLevel::kRepeatable &&
+      !options_.simple_query) {
+    if (!options_.query_id.has_value()) {
+      return Status::Internal("repeatable isolation requires a queryID");
+    }
+    request.query_id = options_.query_id;
+  }
+  if (request.updating) sent_updating_ = true;
+  size_t call_count = request.calls.size();
+  std::string body = soap::SerializeRequest(request);
+  XRPC_ASSIGN_OR_RETURN(net::PostResult posted,
+                        transport_->Post(dest_uri, body));
+  network_micros_ += posted.network_micros;
+  remote_micros_ += posted.server_micros;
+  ++requests_sent_;
+  XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
+                        soap::ParseResponse(posted.body));
+  if (response.results.size() != call_count) {
+    return Status::SoapFault(
+        "bulk response has " + std::to_string(response.results.size()) +
+        " result sequences for " + std::to_string(call_count) + " calls");
+  }
+  participating_peers_.insert(dest_uri);
+  for (const std::string& peer : response.participating_peers) {
+    participating_peers_.insert(peer);
+  }
+  return response;
+}
+
+}  // namespace xrpc::server

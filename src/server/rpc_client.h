@@ -1,0 +1,91 @@
+#ifndef XRPC_SERVER_RPC_CLIENT_H_
+#define XRPC_SERVER_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "base/statusor.h"
+#include "net/transport.h"
+#include "server/engine.h"
+#include "soap/message.h"
+#include "xquery/context.h"
+
+namespace xrpc::server {
+
+/// Isolation level of outgoing XRPC calls (declare option xrpc:isolation).
+enum class IsolationLevel {
+  kNone,        ///< rule RFr / RFu: every call sees the current state
+  kRepeatable,  ///< rule R'Fr / R'Fu: calls of one query share one state
+};
+
+/// Client side of the SOAP XRPC protocol: marshals calls into request
+/// envelopes, POSTs them over a transport, and unmarshals responses.
+///
+/// One RpcClient instance serves one query: it carries the query's
+/// isolation options, accumulates the set of participating peers
+/// (piggybacked in responses, for WS-Coordinator registration) and the
+/// modeled network time.
+///
+/// Execute() implements xquery::RpcHandler — one call per request, the
+/// one-at-a-time mechanism. ExecuteBulk() sends a prepared Bulk RPC
+/// request; the relational engine and the dispatcher use it to amortize
+/// latency over many calls.
+class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
+ public:
+  struct Options {
+    IsolationLevel isolation = IsolationLevel::kNone;
+    std::optional<soap::QueryId> query_id;  ///< required for kRepeatable
+    /// Suppress the queryID for provably simple queries (single non-nested
+    /// XRPC call), which get repeatable reads for free (Section 3.2).
+    bool simple_query = false;
+  };
+
+  RpcClient(net::Transport* transport, Options options)
+      : transport_(transport), options_(std::move(options)) {}
+
+  /// One-at-a-time RPC (xquery::RpcHandler).
+  StatusOr<xdm::Sequence> Execute(const xquery::RpcCall& call) override;
+
+  /// Sends a Bulk RPC request to `dest_uri` and returns the full response.
+  StatusOr<soap::XrpcResponse> ExecuteBulk(const std::string& dest_uri,
+                                           soap::XrpcRequest request);
+
+  /// BulkRpcChannel: dispatches one Bulk RPC per destination. The requests
+  /// of one invocation are logically parallel (MonetDB dispatches them
+  /// concurrently), so network time is accounted as the maximum over
+  /// destinations rather than their sum.
+  StatusOr<std::vector<soap::XrpcResponse>> ExecuteBulkAll(
+      std::vector<Destination> destinations) override;
+
+  /// Peers that participated in calls made through this client
+  /// (transitively, via response piggybacking). Includes direct callees.
+  const std::set<std::string>& participating_peers() const {
+    return participating_peers_;
+  }
+
+  /// Accumulated modeled network time of all exchanges.
+  int64_t network_micros() const { return network_micros_; }
+  /// Number of request messages sent.
+  int64_t requests_sent() const { return requests_sent_; }
+  /// True if any request carried updCall (drives the 2PC decision).
+  bool sent_updating() const { return sent_updating_; }
+  /// Accumulated measured processing time at destination peers.
+  int64_t remote_micros() const { return remote_micros_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  net::Transport* transport_;
+  Options options_;
+  std::set<std::string> participating_peers_;
+  int64_t network_micros_ = 0;
+  int64_t remote_micros_ = 0;
+  int64_t requests_sent_ = 0;
+  bool sent_updating_ = false;
+};
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_RPC_CLIENT_H_

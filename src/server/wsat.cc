@@ -1,0 +1,164 @@
+#include "server/wsat.h"
+
+#include "net/uri.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xrpc::server {
+
+namespace {
+
+using xml::Node;
+using xml::NodeKind;
+using xml::NodePtr;
+using xml::QName;
+
+const char* OpName(WsatOp op) {
+  switch (op) {
+    case WsatOp::kPrepare:
+      return "prepare";
+    case WsatOp::kCommit:
+      return "commit";
+    case WsatOp::kRollback:
+      return "rollback";
+  }
+  return "prepare";
+}
+
+std::string Serialize(const WsatMessage& m, bool response) {
+  NodePtr elem = Node::NewElement(
+      QName(kWsatNs, response ? "response" : "request", "wsat"));
+  elem->SetAttribute(Node::NewAttribute(QName("op"), OpName(m.op)));
+  elem->SetAttribute(Node::NewAttribute(QName("queryID"), m.query_id));
+  if (response) {
+    elem->SetAttribute(
+        Node::NewAttribute(QName("vote"), m.ok ? "ok" : "abort"));
+    if (!m.reason.empty()) {
+      elem->SetAttribute(Node::NewAttribute(QName("reason"), m.reason));
+    }
+  }
+  xml::SerializeOptions opts;
+  opts.xml_declaration = true;
+  return xml::SerializeNode(*elem, opts);
+}
+
+}  // namespace
+
+std::string SerializeWsatRequest(const WsatMessage& message) {
+  return Serialize(message, /*response=*/false);
+}
+
+std::string SerializeWsatResponse(const WsatMessage& message) {
+  return Serialize(message, /*response=*/true);
+}
+
+StatusOr<WsatMessage> ParseWsatMessage(std::string_view text) {
+  XRPC_ASSIGN_OR_RETURN(NodePtr doc, xml::ParseXml(text));
+  const Node* elem = nullptr;
+  for (const NodePtr& c : doc->children()) {
+    if (c->kind() == NodeKind::kElement) elem = c.get();
+  }
+  if (elem == nullptr || elem->name().ns_uri != kWsatNs) {
+    return Status::InvalidArgument("not a WS-AT message");
+  }
+  WsatMessage out;
+  if (const Node* a = elem->FindAttribute(QName("op"))) {
+    if (a->value() == "prepare") {
+      out.op = WsatOp::kPrepare;
+    } else if (a->value() == "commit") {
+      out.op = WsatOp::kCommit;
+    } else if (a->value() == "rollback") {
+      out.op = WsatOp::kRollback;
+    } else {
+      return Status::InvalidArgument("unknown WS-AT op: " + a->value());
+    }
+  }
+  if (const Node* a = elem->FindAttribute(QName("queryID"))) {
+    out.query_id = a->value();
+  }
+  if (const Node* a = elem->FindAttribute(QName("vote"))) {
+    out.ok = a->value() == "ok";
+  }
+  if (const Node* a = elem->FindAttribute(QName("reason"))) {
+    out.reason = a->value();
+  }
+  return out;
+}
+
+Status StableLog::Append(Record record) {
+  if (has_injected_) {
+    has_injected_ = false;
+    return injected_;
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+void StableLog::FailNextAppend(Status status) {
+  injected_ = std::move(status);
+  has_injected_ = true;
+}
+
+namespace {
+
+StatusOr<WsatMessage> SendWsat(net::Transport* transport,
+                               const std::string& participant, WsatOp op,
+                               const std::string& query_id) {
+  WsatMessage req;
+  req.op = op;
+  req.query_id = query_id;
+  // Route to the peer's WS-AT endpoint path.
+  XRPC_ASSIGN_OR_RETURN(net::XrpcUri uri, net::ParseXrpcUri(participant));
+  uri.path = kWsatPath;
+  XRPC_ASSIGN_OR_RETURN(
+      net::PostResult result,
+      transport->Post(uri.ToString(), SerializeWsatRequest(req)));
+  return ParseWsatMessage(result.body);
+}
+
+}  // namespace
+
+StatusOr<CommitOutcome> RunTwoPhaseCommit(
+    net::Transport* transport, const std::vector<std::string>& participants,
+    const std::string& query_id) {
+  CommitOutcome outcome;
+
+  // Phase 1: Prepare on every participant.
+  std::vector<std::string> prepared;
+  for (const std::string& p : participants) {
+    ++outcome.prepares_sent;
+    auto vote = SendWsat(transport, p, WsatOp::kPrepare, query_id);
+    if (!vote.ok() || !vote.value().ok) {
+      outcome.abort_reason = vote.ok()
+                                 ? vote.value().reason
+                                 : vote.status().ToString();
+      // Phase 2 (abort): roll back everyone reached so far (and the voter
+      // that answered abort, which discards its own state anyway).
+      for (const std::string& q : prepared) {
+        ++outcome.rollbacks_sent;
+        (void)SendWsat(transport, q, WsatOp::kRollback, query_id);
+      }
+      outcome.committed = false;
+      return outcome;
+    }
+    prepared.push_back(p);
+  }
+
+  // Phase 2: Commit.
+  for (const std::string& p : participants) {
+    ++outcome.commits_sent;
+    auto done = SendWsat(transport, p, WsatOp::kCommit, query_id);
+    if (!done.ok() || !done.value().ok) {
+      // A commit failure after unanimous prepare is a serious condition;
+      // surface it (real WS-AT would retry until success).
+      return Status::TransactionError(
+          "commit failed at " + p + ": " +
+          (done.ok() ? done.value().reason : done.status().ToString()));
+    }
+  }
+  outcome.committed = true;
+  return outcome;
+}
+
+}  // namespace xrpc::server

@@ -1,0 +1,77 @@
+#ifndef XRPC_SERVER_WSAT_H_
+#define XRPC_SERVER_WSAT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "net/transport.h"
+
+namespace xrpc::server {
+
+/// Namespace of our WS-AtomicTransaction-style messages.
+inline constexpr char kWsatNs[] = "http://schemas.xmlsoap.org/ws/2004/10/wsat";
+
+/// Path under which peers expose the WS-AT participant endpoint.
+inline constexpr char kWsatPath[] = "wsat";
+
+/// WS-AT verbs exchanged between the coordinator and participants.
+enum class WsatOp { kPrepare, kCommit, kRollback };
+
+/// One WS-AT request/response message. Responses reuse the struct with
+/// `op` echoing the verb and `ok`/`reason` carrying the vote.
+struct WsatMessage {
+  WsatOp op = WsatOp::kPrepare;
+  std::string query_id;
+  bool ok = true;
+  std::string reason;
+};
+
+std::string SerializeWsatRequest(const WsatMessage& message);
+std::string SerializeWsatResponse(const WsatMessage& message);
+StatusOr<WsatMessage> ParseWsatMessage(std::string_view text);
+
+/// The "stable storage" a participant logs pending update lists to at
+/// Prepare ("it logs the union of the pending update lists to stable
+/// storage, ensuring q can commit later"). In-memory here, with failure
+/// injection so tests and benches can exercise abort paths.
+class StableLog {
+ public:
+  struct Record {
+    std::string query_id;
+    size_t update_count = 0;
+  };
+
+  /// Appends a prepare record; fails if a fault was injected.
+  Status Append(Record record);
+
+  /// Injects a one-shot failure into the next Append.
+  void FailNextAppend(Status status);
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+  Status injected_;
+  bool has_injected_ = false;
+};
+
+/// Outcome of a distributed commit.
+struct CommitOutcome {
+  bool committed = false;
+  std::string abort_reason;
+  int prepares_sent = 0;
+  int commits_sent = 0;
+  int rollbacks_sent = 0;
+};
+
+/// The WS-Coordinator role (run by the peer that started the query):
+/// registers the participating peers and drives Prepare/Commit (or
+/// Rollback on any prepare failure) over the transport.
+StatusOr<CommitOutcome> RunTwoPhaseCommit(
+    net::Transport* transport, const std::vector<std::string>& participants,
+    const std::string& query_id);
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_WSAT_H_

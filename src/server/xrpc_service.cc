@@ -1,0 +1,248 @@
+#include "server/xrpc_service.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "server/remote_docs.h"
+#include "server/rpc_client.h"
+
+namespace xrpc::server {
+
+namespace {
+
+/// PutSink that stores fn:put documents into the peer's database.
+class DatabasePutSink : public xquery::PutSink {
+ public:
+  explicit DatabasePutSink(Database* db) : db_(db) {}
+  Status Put(const std::string& uri, xml::NodePtr doc) override {
+    db_->PutDocument(uri, std::move(doc));
+    return Status::OK();
+  }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace
+
+XrpcService::XrpcService(Options options, Database* database,
+                         ModuleRegistry* registry, ExecutionEngine* engine,
+                         net::Transport* outgoing)
+    : options_(std::move(options)),
+      database_(database),
+      registry_(registry),
+      engine_(engine),
+      outgoing_(outgoing),
+      isolation_(database) {}
+
+StatusOr<std::string> XrpcService::Handle(const std::string& path,
+                                          const std::string& body) {
+  if (path == kWsatPath) return HandleWsat(body);
+  return HandleXrpc(body);
+}
+
+StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
+  ++requests_handled_;
+  auto parsed = soap::ParseRequest(body);
+  if (!parsed.ok()) {
+    return soap::SerializeFault(soap::FaultFromStatus(parsed.status()));
+  }
+  const soap::XrpcRequest& request = parsed.value();
+  calls_handled_ += static_cast<int64_t>(request.calls.size());
+
+  // Choose the database view per the isolation level of the request.
+  QuerySession* session = nullptr;
+  std::unique_ptr<xquery::DocumentProvider> provider;
+  if (request.query_id.has_value()) {
+    auto session_or = isolation_.GetSession(*request.query_id);
+    if (!session_or.ok()) {
+      return soap::SerializeFault(soap::FaultFromStatus(session_or.status()));
+    }
+    session = session_or.value();
+    provider = std::make_unique<IsolationManager::SnapshotProvider>(database_,
+                                                                    session);
+  } else {
+    provider = std::make_unique<LiveDocumentProvider>(database_);
+  }
+
+  // Nested `execute at` calls from function bodies reuse this query's
+  // isolation options and contribute to the participating-peer set.
+  std::unique_ptr<RpcClient> nested;
+  if (outgoing_ != nullptr) {
+    RpcClient::Options copts;
+    if (request.query_id.has_value()) {
+      copts.isolation = IsolationLevel::kRepeatable;
+      copts.query_id = request.query_id;
+    }
+    nested = std::make_unique<RpcClient>(outgoing_, copts);
+  }
+
+  // Function bodies may themselves call fn:doc on xrpc:// URIs (the Q_B2
+  // execution-relocation pattern); route those through the nested client.
+  FederatedDocumentProvider federated(provider.get(), nested.get());
+
+  CallContext context;
+  context.documents = &federated;
+  context.modules = registry_;
+  context.rpc = nested.get();
+  context.bulk_rpc = nested.get();
+
+  xquery::PendingUpdateList pul;
+  auto results = engine_->ExecuteRequest(request, context, &pul);
+  if (!results.ok()) {
+    return soap::SerializeFault(soap::FaultFromStatus(results.status()));
+  }
+
+  if (!pul.empty()) {
+    // A request may lack updCall when the caller could not resolve the
+    // module locally; the pending update list itself is authoritative.
+    if (session != nullptr) {
+      // Rule R'Fu: defer; the coordinator commits via WS-AT.
+      session->pul.BeginCall();
+      session->pul.Merge(std::move(pul));
+    } else {
+      // Rule RFu: apply each request's updates immediately.
+      Status applied = ApplyImmediate(&pul, provider.get());
+      if (!applied.ok()) {
+        return soap::SerializeFault(soap::FaultFromStatus(applied));
+      }
+    }
+  }
+
+  soap::XrpcResponse response;
+  response.module_ns = request.module_ns;
+  response.method = request.method;
+  response.results = std::move(results).value();
+  response.participating_peers.push_back(options_.self_uri);
+  if (nested != nullptr) {
+    for (const std::string& peer : nested->participating_peers()) {
+      response.participating_peers.push_back(peer);
+    }
+  }
+  return soap::SerializeResponse(response);
+}
+
+Status XrpcService::ApplyImmediate(xquery::PendingUpdateList* pul,
+                                   xquery::DocumentProvider* docs_used) {
+  (void)docs_used;
+  // Map live tree roots back to document names so versions can be bumped.
+  std::map<const xml::Node*, std::string> root_to_name;
+  for (const std::string& name : database_->DocumentNames()) {
+    auto doc = database_->GetDocument(name);
+    if (doc.ok()) root_to_name[doc.value().get()] = name;
+  }
+  std::vector<std::string> written;
+  for (const auto& entry : pul->entries()) {
+    const xquery::UpdatePrimitive& p = entry.primitive;
+    if (p.kind == xquery::UpdatePrimitive::Kind::kPut) continue;
+    if (p.target.node() == nullptr) continue;
+    auto it = root_to_name.find(p.target.node()->Root());
+    if (it != root_to_name.end()) written.push_back(it->second);
+  }
+  DatabasePutSink sink(database_);
+  XRPC_RETURN_IF_ERROR(xquery::ApplyUpdates(pul, &sink));
+  for (const std::string& name : written) {
+    auto doc = database_->GetDocument(name);
+    if (doc.ok()) database_->PutDocument(name, doc.value());  // version bump
+  }
+  return Status::OK();
+}
+
+Status XrpcService::ResolveWrittenDocs(QuerySession* session) {
+  session->written_docs.clear();
+  for (const auto& entry : session->pul.entries()) {
+    const xquery::UpdatePrimitive& p = entry.primitive;
+    if (p.kind == xquery::UpdatePrimitive::Kind::kPut) {
+      session->written_docs.insert(p.put_uri);
+      continue;
+    }
+    if (p.target.node() == nullptr) continue;
+    const xml::Node* root = p.target.node()->Root();
+    for (const auto& [name, versioned] : session->docs) {
+      if (versioned.first.get() == root) {
+        session->written_docs.insert(name);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
+  auto parsed = ParseWsatMessage(body);
+  if (!parsed.ok()) {
+    WsatMessage err;
+    err.ok = false;
+    err.reason = parsed.status().ToString();
+    return SerializeWsatResponse(err);
+  }
+  const WsatMessage& msg = parsed.value();
+  WsatMessage reply;
+  reply.op = msg.op;
+  reply.query_id = msg.query_id;
+
+  auto respond_abort = [&](const std::string& reason) {
+    reply.ok = false;
+    reply.reason = reason;
+    isolation_.EndSession(msg.query_id);
+    return SerializeWsatResponse(reply);
+  };
+
+  switch (msg.op) {
+    case WsatOp::kPrepare: {
+      auto session_or = isolation_.FindSession(msg.query_id);
+      if (!session_or.ok()) {
+        return respond_abort(session_or.status().ToString());
+      }
+      QuerySession* session = session_or.value();
+      XRPC_RETURN_IF_ERROR(ResolveWrittenDocs(session));
+      // First-committer-wins: another transaction must not have committed
+      // to any written document since our snapshot was pinned.
+      for (const std::string& name : session->written_docs) {
+        auto it = session->docs.find(name);
+        if (it == session->docs.end()) continue;  // fn:put of a new doc
+        if (database_->VersionOf(name) != it->second.second) {
+          return respond_abort("conflicting transaction on document " + name);
+        }
+      }
+      Status logged = log_.Append(
+          {msg.query_id, session->pul.size()});
+      if (!logged.ok()) return respond_abort(logged.ToString());
+      session->prepared = true;
+      reply.ok = true;
+      return SerializeWsatResponse(reply);
+    }
+    case WsatOp::kCommit: {
+      auto session_or = isolation_.FindSession(msg.query_id);
+      if (!session_or.ok()) {
+        return respond_abort(session_or.status().ToString());
+      }
+      QuerySession* session = session_or.value();
+      if (!session->prepared) {
+        return respond_abort("commit without successful prepare");
+      }
+      DatabasePutSink sink(database_);
+      Status applied = xquery::ApplyUpdates(&session->pul, &sink);
+      if (!applied.ok()) return respond_abort(applied.ToString());
+      for (const std::string& name : session->written_docs) {
+        auto it = session->docs.find(name);
+        if (it == session->docs.end()) continue;  // fn:put handled by sink
+        Status installed = database_->ReplaceIfVersion(
+            name, it->second.second, it->second.first);
+        if (!installed.ok()) return respond_abort(installed.ToString());
+      }
+      isolation_.EndSession(msg.query_id);
+      reply.ok = true;
+      return SerializeWsatResponse(reply);
+    }
+    case WsatOp::kRollback: {
+      isolation_.EndSession(msg.query_id);
+      reply.ok = true;
+      return SerializeWsatResponse(reply);
+    }
+  }
+  return Status::Internal("unhandled WS-AT op");
+}
+
+}  // namespace xrpc::server

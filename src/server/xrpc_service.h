@@ -1,0 +1,79 @@
+#ifndef XRPC_SERVER_XRPC_SERVICE_H_
+#define XRPC_SERVER_XRPC_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/statusor.h"
+#include "net/transport.h"
+#include "server/database.h"
+#include "server/engine.h"
+#include "server/isolation.h"
+#include "server/module_registry.h"
+#include "server/wsat.h"
+
+namespace xrpc::server {
+
+/// The XRPC request handler of one peer (the server side of the protocol,
+/// Section 3): listens for SOAP requests, executes the requested module
+/// function through the configured execution engine, and replies with a
+/// SOAP response or Fault.
+///
+/// The same endpoint also serves the WS-AtomicTransaction participant
+/// interface on path "wsat" (Prepare/Commit/Rollback), implementing rules
+/// R'Fu and the 2PC judgments of Section 2.3.
+class XrpcService : public net::SoapEndpoint {
+ public:
+  struct Options {
+    /// This peer's own xrpc:// URI, reported in participating-peer lists.
+    std::string self_uri;
+  };
+
+  /// `outgoing` is the transport used for nested `execute at` calls made
+  /// by function bodies (may be null for leaf peers).
+  XrpcService(Options options, Database* database, ModuleRegistry* registry,
+              ExecutionEngine* engine, net::Transport* outgoing);
+
+  /// net::SoapEndpoint: dispatches on path ("" = XRPC, "wsat" = WS-AT).
+  StatusOr<std::string> Handle(const std::string& path,
+                               const std::string& body) override;
+
+  IsolationManager& isolation() { return isolation_; }
+  StableLog& stable_log() { return log_; }
+  Database& database() { return *database_; }
+  ModuleRegistry& registry() { return *registry_; }
+
+  /// Statistics.
+  int64_t requests_handled() const { return requests_handled_; }
+  int64_t calls_handled() const { return calls_handled_; }
+  void ResetStats() {
+    requests_handled_ = 0;
+    calls_handled_ = 0;
+  }
+
+ private:
+  StatusOr<std::string> HandleXrpc(const std::string& body);
+  StatusOr<std::string> HandleWsat(const std::string& body);
+
+  /// Determines which documents a session's PUL writes (maps update target
+  /// roots back to document names) and records them in the session.
+  Status ResolveWrittenDocs(QuerySession* session);
+
+  /// Applies a PUL against the live database (rule RFu, isolation none).
+  Status ApplyImmediate(xquery::PendingUpdateList* pul,
+                        xquery::DocumentProvider* docs_used);
+
+  Options options_;
+  Database* database_;
+  ModuleRegistry* registry_;
+  ExecutionEngine* engine_;
+  net::Transport* outgoing_;
+  IsolationManager isolation_;
+  StableLog log_;
+  int64_t requests_handled_ = 0;
+  int64_t calls_handled_ = 0;
+};
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_XRPC_SERVICE_H_

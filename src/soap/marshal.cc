@@ -1,0 +1,145 @@
+#include "soap/marshal.h"
+
+#include <string>
+
+#include "xdm/atomic.h"
+
+namespace xrpc::soap {
+
+namespace {
+
+using xdm::AtomicType;
+using xdm::AtomicValue;
+using xdm::Item;
+using xdm::Sequence;
+using xml::Node;
+using xml::NodeKind;
+using xml::NodePtr;
+using xml::QName;
+
+QName XrpcName(const char* local) { return QName(xml::kXrpcNs, local, "xrpc"); }
+
+}  // namespace
+
+NodePtr SequenceToNode(const Sequence& sequence) {
+  NodePtr seq = Node::NewElement(XrpcName("sequence"));
+  for (const Item& item : sequence) {
+    if (item.IsAtomic()) {
+      const AtomicValue& v = item.atomic();
+      NodePtr av = Node::NewElement(XrpcName("atomic-value"));
+      av->SetAttribute(Node::NewAttribute(
+          QName(xml::kXsiNs, "type", "xsi"), AtomicTypeName(v.type())));
+      std::string lexical = v.ToString();
+      if (!lexical.empty()) av->AppendChild(Node::NewText(std::move(lexical)));
+      seq->AppendChild(std::move(av));
+      continue;
+    }
+    const Node* n = item.node();
+    switch (n->kind()) {
+      case NodeKind::kElement: {
+        NodePtr wrap = Node::NewElement(XrpcName("element"));
+        wrap->AppendChild(n->Clone());
+        seq->AppendChild(std::move(wrap));
+        break;
+      }
+      case NodeKind::kDocument: {
+        NodePtr wrap = Node::NewElement(XrpcName("document"));
+        for (const NodePtr& c : n->children()) wrap->AppendChild(c->Clone());
+        seq->AppendChild(std::move(wrap));
+        break;
+      }
+      case NodeKind::kAttribute: {
+        NodePtr wrap = Node::NewElement(XrpcName("attribute"));
+        wrap->SetAttribute(n->Clone());
+        seq->AppendChild(std::move(wrap));
+        break;
+      }
+      case NodeKind::kText: {
+        NodePtr wrap = Node::NewElement(XrpcName("text"));
+        if (!n->value().empty()) wrap->AppendChild(Node::NewText(n->value()));
+        seq->AppendChild(std::move(wrap));
+        break;
+      }
+      case NodeKind::kComment: {
+        NodePtr wrap = Node::NewElement(XrpcName("comment"));
+        if (!n->value().empty()) wrap->AppendChild(Node::NewText(n->value()));
+        seq->AppendChild(std::move(wrap));
+        break;
+      }
+      case NodeKind::kProcessingInstruction: {
+        NodePtr wrap = Node::NewElement(XrpcName("pi"));
+        wrap->SetAttribute(
+            Node::NewAttribute(QName("target"), n->name().local));
+        if (!n->value().empty()) wrap->AppendChild(Node::NewText(n->value()));
+        seq->AppendChild(std::move(wrap));
+        break;
+      }
+    }
+  }
+  return seq;
+}
+
+StatusOr<Sequence> NodeToSequence(const Node& sequence_element) {
+  if (sequence_element.kind() != NodeKind::kElement ||
+      sequence_element.name() != XrpcName("sequence")) {
+    return Status::InvalidArgument("n2s: not an xrpc:sequence element");
+  }
+  Sequence out;
+  for (const NodePtr& child : sequence_element.children()) {
+    if (child->kind() != NodeKind::kElement) continue;  // ignorable text
+    if (child->name().ns_uri != xml::kXrpcNs) {
+      return Status::InvalidArgument("n2s: unexpected element " +
+                                     child->name().Clark());
+    }
+    const std::string& kind = child->name().local;
+    if (kind == "atomic-value") {
+      const Node* type_attr =
+          child->FindAttribute(QName(xml::kXsiNs, "type"));
+      AtomicType type = AtomicType::kUntypedAtomic;
+      if (type_attr != nullptr) {
+        XRPC_ASSIGN_OR_RETURN(type, xdm::AtomicTypeFromName(type_attr->value()));
+      }
+      XRPC_ASSIGN_OR_RETURN(
+          AtomicValue v,
+          AtomicValue::Untyped(child->StringValue()).CastTo(type));
+      out.push_back(Item(std::move(v)));
+    } else if (kind == "element") {
+      const Node* elem = nullptr;
+      for (const NodePtr& c : child->children()) {
+        if (c->kind() == NodeKind::kElement) {
+          elem = c.get();
+          break;
+        }
+      }
+      if (elem == nullptr) {
+        return Status::InvalidArgument("n2s: empty xrpc:element");
+      }
+      // Fresh fragment: a deep copy detached from the SOAP message.
+      out.push_back(Item::Node(elem->Clone()));
+    } else if (kind == "document") {
+      NodePtr doc = Node::NewDocument();
+      for (const NodePtr& c : child->children()) {
+        doc->AppendChild(c->Clone());
+      }
+      out.push_back(Item::Node(std::move(doc)));
+    } else if (kind == "attribute") {
+      if (child->attributes().empty()) {
+        return Status::InvalidArgument("n2s: empty xrpc:attribute");
+      }
+      out.push_back(Item::Node(child->attributes()[0]->Clone()));
+    } else if (kind == "text") {
+      out.push_back(Item::Node(Node::NewText(child->StringValue())));
+    } else if (kind == "comment") {
+      out.push_back(Item::Node(Node::NewComment(child->StringValue())));
+    } else if (kind == "pi") {
+      const Node* target = child->FindAttribute(QName("target"));
+      out.push_back(Item::Node(Node::NewProcessingInstruction(
+          target != nullptr ? target->value() : "pi", child->StringValue())));
+    } else {
+      return Status::InvalidArgument("n2s: unknown value kind xrpc:" + kind);
+    }
+  }
+  return out;
+}
+
+}  // namespace xrpc::soap

@@ -1,0 +1,33 @@
+#ifndef XRPC_SOAP_MARSHAL_H_
+#define XRPC_SOAP_MARSHAL_H_
+
+#include "base/statusor.h"
+#include "xdm/item.h"
+#include "xml/node.h"
+
+namespace xrpc::soap {
+
+/// s2n(): marshals an XDM sequence into its SOAP XRPC representation, a new
+/// <xrpc:sequence> element (Section 2.2 of the paper).
+///
+/// Encodings (per XRPC.xsd):
+///  - atomic values:  <xrpc:atomic-value xsi:type="xs:T">lexical</...>
+///  - elements:       <xrpc:element>deep copy</xrpc:element>
+///  - documents:      <xrpc:document>serialized root content</xrpc:document>
+///  - attributes:     <xrpc:attribute name="value"/>
+///  - text:           <xrpc:text>value</xrpc:text>
+///  - comments:       <xrpc:comment>value</xrpc:comment>
+///  - proc. instr.:   <xrpc:pi target="t">value</xrpc:pi>
+xml::NodePtr SequenceToNode(const xdm::Sequence& sequence);
+
+/// n2s(): unmarshals a <xrpc:sequence> element back into an XDM sequence.
+///
+/// Node-typed values are returned as *separate XML fragments* with fresh
+/// node identities (call-by-value): navigating upward or sideways from them
+/// yields empty results and never exposes the SOAP envelope. This mirrors
+/// the paper's explicit requirement on n2s().
+StatusOr<xdm::Sequence> NodeToSequence(const xml::Node& sequence_element);
+
+}  // namespace xrpc::soap
+
+#endif  // XRPC_SOAP_MARSHAL_H_

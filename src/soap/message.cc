@@ -1,0 +1,281 @@
+#include "soap/message.h"
+
+#include "base/string_util.h"
+#include "soap/marshal.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xrpc::soap {
+
+namespace {
+
+using xml::Node;
+using xml::NodeKind;
+using xml::NodePtr;
+using xml::QName;
+
+QName EnvName(const char* local) {
+  return QName(xml::kSoapEnvelopeNs, local, "env");
+}
+QName XrpcName(const char* local) { return QName(xml::kXrpcNs, local, "xrpc"); }
+
+NodePtr NewEnvelope(NodePtr body_content) {
+  NodePtr envelope = Node::NewElement(EnvName("Envelope"));
+  envelope->SetAttribute(Node::NewAttribute(
+      QName(xml::kXsiNs, "schemaLocation", "xsi"),
+      "http://monetdb.cwi.nl/XQuery http://monetdb.cwi.nl/XQuery/XRPC.xsd"));
+  NodePtr body = Node::NewElement(EnvName("Body"));
+  body->AppendChild(std::move(body_content));
+  envelope->AppendChild(std::move(body));
+  NodePtr doc = Node::NewDocument();
+  doc->AppendChild(std::move(envelope));
+  return doc;
+}
+
+std::string SerializeEnvelope(const NodePtr& doc) {
+  xml::SerializeOptions opts;
+  opts.xml_declaration = true;
+  return xml::SerializeNode(*doc, opts);
+}
+
+// Locates env:Envelope/env:Body and returns its single element child.
+StatusOr<const Node*> FindBodyChild(const Node& doc) {
+  const Node* envelope = nullptr;
+  for (const NodePtr& c : doc.children()) {
+    if (c->kind() == NodeKind::kElement) envelope = c.get();
+  }
+  if (envelope == nullptr || envelope->name() != EnvName("Envelope")) {
+    return Status::InvalidArgument("SOAP: missing env:Envelope");
+  }
+  const Node* body = nullptr;
+  for (const NodePtr& c : envelope->children()) {
+    if (c->kind() == NodeKind::kElement && c->name() == EnvName("Body")) {
+      body = c.get();
+    }
+  }
+  if (body == nullptr) return Status::InvalidArgument("SOAP: missing env:Body");
+  for (const NodePtr& c : body->children()) {
+    if (c->kind() == NodeKind::kElement) return c.get();
+  }
+  return Status::InvalidArgument("SOAP: empty env:Body");
+}
+
+StatusOr<Fault> ParseFaultElement(const Node& fault) {
+  Fault out;
+  for (const NodePtr& c : fault.children()) {
+    if (c->kind() != NodeKind::kElement) continue;
+    if (c->name() == EnvName("Code")) {
+      for (const NodePtr& v : c->children()) {
+        if (v->kind() == NodeKind::kElement && v->name() == EnvName("Value")) {
+          out.code = v->StringValue();
+        }
+      }
+    } else if (c->name() == EnvName("Reason")) {
+      for (const NodePtr& t : c->children()) {
+        if (t->kind() == NodeKind::kElement && t->name() == EnvName("Text")) {
+          out.reason = t->StringValue();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeRequest(const XrpcRequest& request) {
+  NodePtr req = Node::NewElement(XrpcName("request"));
+  req->SetAttribute(Node::NewAttribute(QName("module"), request.module_ns));
+  req->SetAttribute(Node::NewAttribute(QName("method"), request.method));
+  req->SetAttribute(
+      Node::NewAttribute(QName("arity"), std::to_string(request.arity)));
+  if (!request.location.empty()) {
+    req->SetAttribute(Node::NewAttribute(QName("location"), request.location));
+  }
+  if (request.updating) {
+    req->SetAttribute(Node::NewAttribute(QName("updCall"), "true"));
+  }
+  req->SetAttribute(Node::NewAttribute(QName("iter-count"),
+                                       std::to_string(request.calls.size())));
+  if (request.query_id.has_value()) {
+    const QueryId& q = *request.query_id;
+    NodePtr qid = Node::NewElement(XrpcName("queryID"));
+    qid->SetAttribute(Node::NewAttribute(QName("host"), q.host));
+    qid->SetAttribute(Node::NewAttribute(QName("timestamp"),
+                                         std::to_string(q.timestamp)));
+    qid->SetAttribute(
+        Node::NewAttribute(QName("timeout"), std::to_string(q.timeout_sec)));
+    qid->AppendChild(Node::NewText(q.id));
+    req->AppendChild(std::move(qid));
+  }
+  for (const std::vector<xdm::Sequence>& call : request.calls) {
+    NodePtr call_elem = Node::NewElement(XrpcName("call"));
+    for (const xdm::Sequence& param : call) {
+      call_elem->AppendChild(SequenceToNode(param));
+    }
+    req->AppendChild(std::move(call_elem));
+  }
+  return SerializeEnvelope(NewEnvelope(std::move(req)));
+}
+
+StatusOr<XrpcRequest> ParseRequest(std::string_view text) {
+  xml::ParseOptions opts;
+  opts.strip_ignorable_whitespace = true;
+  XRPC_ASSIGN_OR_RETURN(NodePtr doc, xml::ParseXml(text, opts));
+  XRPC_ASSIGN_OR_RETURN(const Node* req, FindBodyChild(*doc));
+  if (req->name() != XrpcName("request")) {
+    return Status::InvalidArgument("SOAP: expected xrpc:request, got " +
+                                   req->name().Clark());
+  }
+  XrpcRequest out;
+  if (const Node* a = req->FindAttribute(QName("module"))) {
+    out.module_ns = a->value();
+  }
+  if (const Node* a = req->FindAttribute(QName("method"))) {
+    out.method = a->value();
+  }
+  if (const Node* a = req->FindAttribute(QName("location"))) {
+    out.location = a->value();
+  }
+  if (const Node* a = req->FindAttribute(QName("arity"))) {
+    XRPC_ASSIGN_OR_RETURN(int64_t arity, ParseInt64(a->value()));
+    out.arity = static_cast<size_t>(arity);
+  }
+  if (const Node* a = req->FindAttribute(QName("updCall"))) {
+    out.updating = a->value() == "true" || a->value() == "1";
+  }
+  for (const NodePtr& child : req->children()) {
+    if (child->kind() != NodeKind::kElement) continue;
+    if (child->name() == XrpcName("queryID")) {
+      QueryId q;
+      q.id = child->StringValue();
+      if (const Node* a = child->FindAttribute(QName("host"))) {
+        q.host = a->value();
+      }
+      if (const Node* a = child->FindAttribute(QName("timestamp"))) {
+        auto ts = ParseInt64(a->value());
+        if (ts.ok()) q.timestamp = ts.value();
+      }
+      if (const Node* a = child->FindAttribute(QName("timeout"))) {
+        auto t = ParseInt64(a->value());
+        if (t.ok()) q.timeout_sec = t.value();
+      }
+      out.query_id = std::move(q);
+      continue;
+    }
+    if (child->name() == XrpcName("call")) {
+      std::vector<xdm::Sequence> params;
+      for (const NodePtr& seq : child->children()) {
+        if (seq->kind() != NodeKind::kElement) continue;
+        XRPC_ASSIGN_OR_RETURN(xdm::Sequence param, NodeToSequence(*seq));
+        params.push_back(std::move(param));
+      }
+      if (params.size() != out.arity) {
+        return Status::InvalidArgument(
+            "SOAP: call has " + std::to_string(params.size()) +
+            " parameters, expected arity " + std::to_string(out.arity));
+      }
+      out.calls.push_back(std::move(params));
+    }
+  }
+  if (out.calls.empty()) {
+    return Status::InvalidArgument("SOAP: request has no calls");
+  }
+  return out;
+}
+
+std::string SerializeResponse(const XrpcResponse& response) {
+  NodePtr resp = Node::NewElement(XrpcName("response"));
+  resp->SetAttribute(Node::NewAttribute(QName("module"), response.module_ns));
+  resp->SetAttribute(Node::NewAttribute(QName("method"), response.method));
+  for (const xdm::Sequence& result : response.results) {
+    resp->AppendChild(SequenceToNode(result));
+  }
+  if (!response.participating_peers.empty()) {
+    NodePtr peers = Node::NewElement(XrpcName("participatingPeers"));
+    for (const std::string& uri : response.participating_peers) {
+      NodePtr p = Node::NewElement(XrpcName("peer"));
+      p->SetAttribute(Node::NewAttribute(QName("uri"), uri));
+      peers->AppendChild(std::move(p));
+    }
+    resp->AppendChild(std::move(peers));
+  }
+  return SerializeEnvelope(NewEnvelope(std::move(resp)));
+}
+
+std::string SerializeFault(const Fault& fault) {
+  NodePtr f = Node::NewElement(EnvName("Fault"));
+  NodePtr code = Node::NewElement(EnvName("Code"));
+  NodePtr value = Node::NewElement(EnvName("Value"));
+  value->AppendChild(Node::NewText(fault.code));
+  code->AppendChild(std::move(value));
+  f->AppendChild(std::move(code));
+  NodePtr reason = Node::NewElement(EnvName("Reason"));
+  NodePtr text = Node::NewElement(EnvName("Text"));
+  text->SetAttribute(Node::NewAttribute(
+      QName("http://www.w3.org/XML/1998/namespace", "lang", "xml"), "en"));
+  text->AppendChild(Node::NewText(fault.reason));
+  reason->AppendChild(std::move(text));
+  f->AppendChild(std::move(reason));
+  return SerializeEnvelope(NewEnvelope(std::move(f)));
+}
+
+Fault FaultFromStatus(const Status& status) {
+  Fault f;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kNotFound:
+      f.code = "env:Sender";
+      break;
+    default:
+      f.code = "env:Receiver";
+      break;
+  }
+  f.reason = status.ToString();
+  return f;
+}
+
+Status StatusFromFault(const Fault& fault) {
+  return Status::SoapFault(fault.code + ": " + fault.reason);
+}
+
+StatusOr<XrpcResponse> ParseResponse(std::string_view text) {
+  xml::ParseOptions opts;
+  opts.strip_ignorable_whitespace = true;
+  XRPC_ASSIGN_OR_RETURN(NodePtr doc, xml::ParseXml(text, opts));
+  XRPC_ASSIGN_OR_RETURN(const Node* child, FindBodyChild(*doc));
+  if (child->name() == EnvName("Fault")) {
+    XRPC_ASSIGN_OR_RETURN(Fault fault, ParseFaultElement(*child));
+    return StatusFromFault(fault);
+  }
+  if (child->name() != XrpcName("response")) {
+    return Status::InvalidArgument("SOAP: expected xrpc:response, got " +
+                                   child->name().Clark());
+  }
+  XrpcResponse out;
+  if (const Node* a = child->FindAttribute(QName("module"))) {
+    out.module_ns = a->value();
+  }
+  if (const Node* a = child->FindAttribute(QName("method"))) {
+    out.method = a->value();
+  }
+  for (const NodePtr& c : child->children()) {
+    if (c->kind() != NodeKind::kElement) continue;
+    if (c->name() == XrpcName("sequence")) {
+      XRPC_ASSIGN_OR_RETURN(xdm::Sequence result, NodeToSequence(*c));
+      out.results.push_back(std::move(result));
+    } else if (c->name() == XrpcName("participatingPeers")) {
+      for (const NodePtr& p : c->children()) {
+        if (p->kind() != NodeKind::kElement) continue;
+        if (const Node* a = p->FindAttribute(QName("uri"))) {
+          out.participating_peers.push_back(a->value());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xrpc::soap

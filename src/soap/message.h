@@ -1,0 +1,85 @@
+#ifndef XRPC_SOAP_MESSAGE_H_
+#define XRPC_SOAP_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "xdm/item.h"
+
+namespace xrpc::soap {
+
+/// The queryID isolation extension (Section 2.2): identifies the query a
+/// request belongs to so a peer can pin one database state per query.
+struct QueryId {
+  std::string id;         ///< globally unique query identifier
+  std::string host;       ///< originating host
+  int64_t timestamp = 0;  ///< UTC start time at the originating host (usec)
+  int64_t timeout_sec = 30;  ///< relative seconds to retain the snapshot
+
+  friend bool operator==(const QueryId& a, const QueryId& b) {
+    return a.id == b.id;
+  }
+};
+
+/// A SOAP XRPC request: one Bulk RPC with one or more calls to the same
+/// function (module, method, arity), each with `arity` parameter sequences.
+struct XrpcRequest {
+  std::string module_ns;
+  std::string method;
+  std::string location;  ///< module at-hint
+  size_t arity = 0;
+  bool updating = false;  ///< updCall: invokes an XQUF updating function
+
+  /// calls[i][j] = parameter j of call i. All calls share the function; a
+  /// request with calls.size() > 1 is a Bulk RPC.
+  std::vector<std::vector<xdm::Sequence>> calls;
+
+  std::optional<QueryId> query_id;  ///< present => repeatable-read isolation
+};
+
+/// A SOAP XRPC response: one result sequence per call of the request, plus
+/// the piggybacked list of peers that (transitively) participated — used by
+/// the WS-Coordination registration for distributed commit.
+struct XrpcResponse {
+  std::string module_ns;
+  std::string method;
+  std::vector<xdm::Sequence> results;
+  std::vector<std::string> participating_peers;
+};
+
+/// A SOAP Fault (the XRPC error message).
+struct Fault {
+  std::string code;    ///< e.g. "env:Sender" or "env:Receiver"
+  std::string reason;  ///< human-readable text
+};
+
+/// Serializes a request into a complete SOAP envelope document.
+std::string SerializeRequest(const XrpcRequest& request);
+
+/// Parses a SOAP envelope holding an xrpc:request.
+StatusOr<XrpcRequest> ParseRequest(std::string_view text);
+
+/// Serializes a response into a complete SOAP envelope document.
+std::string SerializeResponse(const XrpcResponse& response);
+
+/// Serializes a SOAP Fault envelope.
+std::string SerializeFault(const Fault& fault);
+
+/// Builds the Fault corresponding to a Status (code env:Sender for caller
+/// errors, env:Receiver for server-side failures).
+Fault FaultFromStatus(const Status& status);
+
+/// Reconstructs a Status from a received Fault.
+Status StatusFromFault(const Fault& fault);
+
+/// Parses a SOAP envelope that holds either an xrpc:response or a Fault;
+/// a Fault is surfaced as a kSoapFault Status (any error causes a run-time
+/// error at the originating site, per Section 2.1).
+StatusOr<XrpcResponse> ParseResponse(std::string_view text);
+
+}  // namespace xrpc::soap
+
+#endif  // XRPC_SOAP_MESSAGE_H_

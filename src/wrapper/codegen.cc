@@ -1,0 +1,139 @@
+#include "wrapper/codegen.h"
+
+#include <sstream>
+
+namespace xrpc::wrapper {
+
+namespace {
+
+using xquery::SequenceType;
+
+/// Emits the pure-XQuery n2s() for parameter `index` (1-based) with the
+/// declared type `type`, reading from $call.
+std::string N2sExpr(size_t index, const SequenceType& type) {
+  std::string seq = "$call/xrpc:sequence[" + std::to_string(index) + "]";
+  std::ostringstream os;
+  switch (type.kind) {
+    case SequenceType::ItemKind::kAtomic: {
+      // Values were up-cast by the caller; re-validate with the
+      // constructor function of the declared type.
+      std::string ctor = xdm::AtomicTypeName(type.atomic);
+      os << "for $v in " << seq << "/* return " << ctor << "(string($v))";
+      return os.str();
+    }
+    case SequenceType::ItemKind::kElement:
+    case SequenceType::ItemKind::kNode:
+    case SequenceType::ItemKind::kDocument:
+      // Copy the payload into a fresh wrapper element, then step down so
+      // the function sees free-standing fragments (upward navigation must
+      // not reach the SOAP envelope).
+      os << "for $v in " << seq << "/xrpc:element"
+         << " return exactly-one(<xrpc:w>{$v/*}</xrpc:w>/*)";
+      return os.str();
+    case SequenceType::ItemKind::kText:
+      os << "for $v in " << seq << "/xrpc:text return text {string($v)}";
+      return os.str();
+    default: {
+      // item()*: dispatch on the wire representation at run time.
+      os << "for $v in " << seq << "/*\n"
+         << "      return if (local-name($v) = \"atomic-value\")\n"
+         << "      then (\n"
+         << "        if ($v/@xsi:type = \"xs:integer\") then "
+            "xs:integer(string($v))\n"
+         << "        else if ($v/@xsi:type = \"xs:double\") then "
+            "xs:double(string($v))\n"
+         << "        else if ($v/@xsi:type = \"xs:decimal\") then "
+            "xs:decimal(string($v))\n"
+         << "        else if ($v/@xsi:type = \"xs:boolean\") then "
+            "xs:boolean(string($v))\n"
+         << "        else string($v))\n"
+         << "      else exactly-one(<xrpc:w>{$v/*}</xrpc:w>/*)";
+      return os.str();
+    }
+  }
+}
+
+/// Emits the pure-XQuery s2n() wrapping the result of the call (bound as
+/// the expression `result`), honoring the declared return type.
+std::string S2nExpr(const std::string& result, const SequenceType& type) {
+  std::ostringstream os;
+  switch (type.kind) {
+    case SequenceType::ItemKind::kAtomic:
+      os << "for $r in " << result << " return <xrpc:atomic-value "
+         << "xsi:type=\"" << xdm::AtomicTypeName(type.atomic) << "\">"
+         << "{string($r)}</xrpc:atomic-value>";
+      return os.str();
+    case SequenceType::ItemKind::kElement:
+    case SequenceType::ItemKind::kNode:
+      os << "for $r in " << result
+         << " return <xrpc:element>{$r}</xrpc:element>";
+      return os.str();
+    case SequenceType::ItemKind::kDocument:
+      os << "for $r in " << result
+         << " return <xrpc:document>{$r/*}</xrpc:document>";
+      return os.str();
+    case SequenceType::ItemKind::kText:
+      os << "for $r in " << result
+         << " return <xrpc:text>{string($r)}</xrpc:text>";
+      return os.str();
+    default:
+      os << "for $r in " << result << "\n"
+         << "    return if ($r instance of node())\n"
+         << "    then <xrpc:element>{$r}</xrpc:element>\n"
+         << "    else if ($r instance of xs:integer)\n"
+         << "    then <xrpc:atomic-value xsi:type=\"xs:integer\">"
+            "{string($r)}</xrpc:atomic-value>\n"
+         << "    else if ($r instance of xs:double)\n"
+         << "    then <xrpc:atomic-value xsi:type=\"xs:double\">"
+            "{string($r)}</xrpc:atomic-value>\n"
+         << "    else if ($r instance of xs:boolean)\n"
+         << "    then <xrpc:atomic-value xsi:type=\"xs:boolean\">"
+            "{string($r)}</xrpc:atomic-value>\n"
+         << "    else <xrpc:atomic-value xsi:type=\"xs:string\">"
+            "{string($r)}</xrpc:atomic-value>";
+      return os.str();
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> GenerateWrapperQuery(const soap::XrpcRequest& request,
+                                           const xquery::FunctionDef& def) {
+  if (def.arity() != request.arity) {
+    return Status::InvalidArgument("wrapper: arity mismatch for " +
+                                   request.method);
+  }
+  std::ostringstream q;
+  q << "import module namespace func = \"" << request.module_ns << "\"";
+  if (!request.location.empty()) {
+    q << " at \"" << request.location << "\"";
+  }
+  q << ";\n";
+  q << "declare namespace env = \"" << xml::kSoapEnvelopeNs << "\";\n";
+  q << "declare namespace xrpc = \"" << xml::kXrpcNs << "\";\n\n";
+  q << "<env:Envelope xmlns:env=\"" << xml::kSoapEnvelopeNs << "\"\n"
+    << "    xmlns:xrpc=\"" << xml::kXrpcNs << "\"\n"
+    << "    xmlns:xs=\"" << xml::kXsNs << "\"\n"
+    << "    xmlns:xsi=\"" << xml::kXsiNs << "\">\n"
+    << "<env:Body>\n"
+    << "<xrpc:response module=\"" << request.module_ns << "\" method=\""
+    << request.method << "\">{\n"
+    << "  for $call in doc(\"" << kRequestDocName << "\")//xrpc:call\n";
+  std::string call_args;
+  for (size_t p = 0; p < def.arity(); ++p) {
+    q << "  let $param" << (p + 1) << " := " << N2sExpr(p + 1, def.params[p].type)
+      << "\n";
+    if (p > 0) call_args += ", ";
+    call_args += "$param" + std::to_string(p + 1);
+  }
+  std::string call = "func:" + request.method + "(" + call_args + ")";
+  q << "  return <xrpc:sequence>{\n"
+    << "    " << S2nExpr(call, def.return_type) << "\n"
+    << "  }</xrpc:sequence>\n"
+    << "}</xrpc:response>\n"
+    << "</env:Body>\n"
+    << "</env:Envelope>";
+  return q.str();
+}
+
+}  // namespace xrpc::wrapper

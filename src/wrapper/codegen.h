@@ -1,0 +1,33 @@
+#ifndef XRPC_WRAPPER_CODEGEN_H_
+#define XRPC_WRAPPER_CODEGEN_H_
+
+#include <string>
+
+#include "base/statusor.h"
+#include "soap/message.h"
+#include "xquery/module.h"
+
+namespace xrpc::wrapper {
+
+/// Name under which the stored SOAP request message is visible to the
+/// generated query (the "/tmp/requestXXX.xml" of Figure 3).
+inline constexpr char kRequestDocName[] = "xrpc-wrapper-request.xml";
+
+/// Generates the XQuery query that computes the SOAP response for a (bulk)
+/// XRPC request on a plain XQuery engine — Figure 3 of the paper.
+///
+/// The generated query iterates over all xrpc:call elements of the stored
+/// request document (so a Bulk RPC becomes one set-oriented query), applies
+/// the pure-XQuery equivalents of n2s() to each parameter and of s2n() to
+/// each result, and assembles the full SOAP envelope by element
+/// construction.
+///
+/// `def` supplies the declared parameter and return types, which the
+/// generator uses to emit the correct marshaling code (the protocol carries
+/// arity; the wrapper host has the module and therefore the signature).
+StatusOr<std::string> GenerateWrapperQuery(const soap::XrpcRequest& request,
+                                           const xquery::FunctionDef& def);
+
+}  // namespace xrpc::wrapper
+
+#endif  // XRPC_WRAPPER_CODEGEN_H_

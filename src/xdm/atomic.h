@@ -1,0 +1,97 @@
+#ifndef XRPC_XDM_ATOMIC_H_
+#define XRPC_XDM_ATOMIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "base/statusor.h"
+
+namespace xrpc::xdm {
+
+/// The atomic types of the XQuery Data Model subset XRPC marshals.
+///
+/// Decimals are represented as doubles (sufficient for the paper's
+/// workloads; documented restriction). Dates/times keep their lexical form
+/// and compare lexically, which is correct for valid canonical values.
+enum class AtomicType {
+  kUntypedAtomic,
+  kString,
+  kBoolean,
+  kInteger,
+  kDecimal,
+  kDouble,
+  kQName,
+  kDate,
+  kDateTime,
+  kAnyUri,
+};
+
+/// XML Schema name ("xs:integer") for a type, as used in xsi:type.
+const char* AtomicTypeName(AtomicType type);
+
+/// Parses an "xs:NNN" (or bare "NNN") schema type name.
+StatusOr<AtomicType> AtomicTypeFromName(std::string_view name);
+
+/// True for integer/decimal/double.
+bool IsNumericType(AtomicType type);
+
+/// An atomic value: a typed XDM scalar.
+///
+/// Value semantics; cheap to copy for non-string payloads.
+class AtomicValue {
+ public:
+  /// Default: empty xs:string.
+  AtomicValue() : type_(AtomicType::kString), value_(std::string()) {}
+
+  static AtomicValue Untyped(std::string v);
+  static AtomicValue String(std::string v);
+  static AtomicValue Boolean(bool v);
+  static AtomicValue Integer(int64_t v);
+  static AtomicValue Decimal(double v);
+  static AtomicValue Double(double v);
+  static AtomicValue QNameValue(std::string lexical);
+  static AtomicValue Date(std::string lexical);
+  static AtomicValue DateTime(std::string lexical);
+  static AtomicValue AnyUri(std::string v);
+
+  AtomicType type() const { return type_; }
+
+  /// Lexical (string) form of the value, XQuery serialization rules.
+  std::string ToString() const;
+
+  /// Casts to the target type; error on invalid lexical form or
+  /// unsupported cast (XPTY0004-style).
+  StatusOr<AtomicValue> CastTo(AtomicType target) const;
+
+  /// Numeric value for numeric types (integer widened to double).
+  double AsDouble() const;
+  int64_t AsInteger() const;
+  bool AsBoolean() const;
+
+  bool IsNumeric() const { return IsNumericType(type_); }
+
+  /// Deep equality: same type and same value (used by tests; query-level
+  /// comparison goes through CompareAtomic).
+  friend bool operator==(const AtomicValue& a, const AtomicValue& b);
+
+ private:
+  AtomicType type_;
+  std::variant<std::string, bool, int64_t, double> value_;
+};
+
+/// Three-way comparison following XQuery value-comparison semantics after
+/// type promotion:
+///  - untypedAtomic is compared as string with strings, as double with
+///    numerics, and cast for the remaining types;
+///  - numeric types promote to the wider of the two;
+///  - strings/URIs compare by codepoint; booleans false<true;
+///  - date/dateTime compare lexically (valid canonical lexical forms order
+///    correctly).
+/// Returns -1/0/1, or error for incomparable types (XPTY0004).
+StatusOr<int> CompareAtomic(const AtomicValue& a, const AtomicValue& b);
+
+}  // namespace xrpc::xdm
+
+#endif  // XRPC_XDM_ATOMIC_H_

@@ -1,0 +1,108 @@
+#include "xdm/item.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xml/serializer.h"
+
+namespace xrpc::xdm {
+
+Item Item::Node(xml::NodePtr node) {
+  Item item;
+  item.node_ = node.get();
+  item.anchor_ = node->RootPtr();
+  return item;
+}
+
+Item Item::NodeInTree(xml::Node* node, xml::NodePtr anchor) {
+  Item item;
+  item.node_ = node;
+  item.anchor_ = std::move(anchor);
+  return item;
+}
+
+AtomicValue Item::Atomize() const {
+  if (IsAtomic()) return atomic_;
+  return AtomicValue::Untyped(node_->StringValue());
+}
+
+std::string Item::StringValue() const {
+  if (IsAtomic()) return atomic_.ToString();
+  return node_->StringValue();
+}
+
+Sequence SingletonInt(int64_t v) { return {Item(AtomicValue::Integer(v))}; }
+Sequence SingletonString(std::string v) {
+  return {Item(AtomicValue::String(std::move(v)))};
+}
+Sequence SingletonBool(bool v) { return {Item(AtomicValue::Boolean(v))}; }
+Sequence SingletonDouble(double v) { return {Item(AtomicValue::Double(v))}; }
+
+StatusOr<bool> EffectiveBooleanValue(const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (seq[0].IsNode()) return true;
+  if (seq.size() > 1) {
+    return Status::TypeError(
+        "effective boolean value of a multi-item atomic sequence (FORG0006)");
+  }
+  const AtomicValue& v = seq[0].atomic();
+  switch (v.type()) {
+    case AtomicType::kBoolean:
+      return v.AsBoolean();
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kAnyUri:
+      return !v.ToString().empty();
+    case AtomicType::kInteger:
+      return v.AsInteger() != 0;
+    case AtomicType::kDecimal:
+    case AtomicType::kDouble: {
+      double d = v.AsDouble();
+      return d != 0 && !std::isnan(d);
+    }
+    default:
+      return Status::TypeError(
+          "effective boolean value undefined for this type (FORG0006)");
+  }
+}
+
+std::vector<AtomicValue> AtomizeSequence(const Sequence& seq) {
+  std::vector<AtomicValue> out;
+  out.reserve(seq.size());
+  for (const Item& item : seq) out.push_back(item.Atomize());
+  return out;
+}
+
+Status SortByDocumentOrder(Sequence* seq) {
+  for (const Item& item : *seq) {
+    if (!item.IsNode()) {
+      return Status::TypeError(
+          "path step result contains an atomic value (XPTY0018)");
+    }
+  }
+  std::stable_sort(seq->begin(), seq->end(), [](const Item& a, const Item& b) {
+    return xml::CompareDocumentOrder(a.node(), b.node()) < 0;
+  });
+  seq->erase(std::unique(seq->begin(), seq->end(),
+                         [](const Item& a, const Item& b) {
+                           return a.node() == b.node();
+                         }),
+             seq->end());
+  return Status::OK();
+}
+
+std::string SequenceToString(const Sequence& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += " ";
+    const Item& item = seq[i];
+    if (item.IsNode()) {
+      out += xml::SerializeNode(*item.node());
+    } else {
+      out += item.atomic().ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace xrpc::xdm

@@ -1,0 +1,82 @@
+#ifndef XRPC_XDM_ITEM_H_
+#define XRPC_XDM_ITEM_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "xdm/atomic.h"
+#include "xml/node.h"
+
+namespace xrpc::xdm {
+
+/// One XDM item: either an atomic value or a node.
+///
+/// Node items carry an `anchor`: an owning pointer to the node's tree root.
+/// The anchor keeps the whole tree alive while any of its nodes is
+/// referenced from a sequence, which makes parent navigation from freshly
+/// constructed trees safe. Navigation helpers propagate the anchor.
+class Item {
+ public:
+  /// Default: the atomic empty string (useful as a placeholder member).
+  Item() = default;
+
+  /// Constructs an atomic item.
+  explicit Item(AtomicValue value) : atomic_(std::move(value)) {}
+
+  /// Constructs a node item; the anchor defaults to the node's root.
+  static Item Node(xml::NodePtr node);
+  /// Constructs a node item referring to `node` inside the tree owned by
+  /// `anchor` (node must be in anchor's tree).
+  static Item NodeInTree(xml::Node* node, xml::NodePtr anchor);
+
+  bool IsNode() const { return node_ != nullptr; }
+  bool IsAtomic() const { return node_ == nullptr; }
+
+  const AtomicValue& atomic() const { return atomic_; }
+  xml::Node* node() const { return node_; }
+  const xml::NodePtr& anchor() const { return anchor_; }
+
+  /// Typed value: atomic items yield themselves; nodes atomize to
+  /// untypedAtomic of their string value (we operate on untyped documents,
+  /// matching the paper's setting).
+  AtomicValue Atomize() const;
+
+  /// String value (fn:string of a single item).
+  std::string StringValue() const;
+
+ private:
+  AtomicValue atomic_;
+  xml::Node* node_ = nullptr;
+  xml::NodePtr anchor_;
+};
+
+/// An XDM sequence: a flat, ordered list of items. The empty vector is the
+/// empty sequence (); a single item and the singleton sequence coincide.
+using Sequence = std::vector<Item>;
+
+/// Convenience constructors.
+Sequence SingletonInt(int64_t v);
+Sequence SingletonString(std::string v);
+Sequence SingletonBool(bool v);
+Sequence SingletonDouble(double v);
+
+/// Effective boolean value per XQuery: () is false, a first-item node makes
+/// it true, singleton boolean/number/string follow their rules, other
+/// sequences are a type error (FORG0006).
+StatusOr<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// Atomizes every item of the sequence.
+std::vector<AtomicValue> AtomizeSequence(const Sequence& seq);
+
+/// Sorts node items into document order and removes duplicate identities.
+/// Error if the sequence mixes nodes and atomics (path step result rule).
+Status SortByDocumentOrder(Sequence* seq);
+
+/// Human-readable rendering used in tests/examples: atomic lexical forms
+/// and serialized nodes, space-separated.
+std::string SequenceToString(const Sequence& seq);
+
+}  // namespace xrpc::xdm
+
+#endif  // XRPC_XDM_ITEM_H_

@@ -1,0 +1,204 @@
+#include "xmark/xmark.h"
+
+namespace xrpc::xmark {
+
+namespace {
+
+/// Small deterministic PRNG (xorshift-multiply LCG); no global state so
+/// generation is reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  /// Uniform value in [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kFirstNames[] = {"Kasidit",  "Jaak",   "Cong",   "Mehrdad",
+                             "Huei",     "Juliana", "Sanjay", "Marit",
+                             "Takahiro", "Adena"};
+const char* kLastNames[] = {"Treweek",  "Tempesti", "Morvan", "Sahraoui",
+                            "Chuang",   "Freire",   "Jain",   "Flood",
+                            "Nishizawa", "Huff"};
+const char* kCities[] = {"Amsterdam", "Vienna",   "Utrecht", "Rotterdam",
+                         "Delft",     "Eindhoven", "Leiden",  "Haarlem"};
+const char* kWords[] = {"elegant", "auction", "vintage", "pristine",
+                        "antique", "gadget",  "bargain", "collectible",
+                        "rare",    "quality"};
+
+std::string PersonName(Rng* rng) {
+  return std::string(kFirstNames[rng->Below(10)]) + " " +
+         kLastNames[rng->Below(10)];
+}
+
+std::string AnnotationText(Rng* rng, int bytes) {
+  std::string out;
+  while (static_cast<int>(out.size()) < bytes) {
+    if (!out.empty()) out += " ";
+    out += kWords[rng->Below(10)];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GeneratePersons(const XmarkConfig& config) {
+  Rng rng(config.seed);
+  std::string out;
+  out.reserve(static_cast<size_t>(config.num_persons) * 160 + 64);
+  out += "<site><people>";
+  for (int i = 0; i < config.num_persons; ++i) {
+    std::string id = "person" + std::to_string(i);
+    out += "<person id=\"" + id + "\">";
+    out += "<name>" + PersonName(&rng) + "</name>";
+    out += "<emailaddress>mailto:" + id + "@example.org</emailaddress>";
+    out += "<address><city>" + std::string(kCities[rng.Below(8)]) +
+           "</city></address>";
+    out += "</person>";
+  }
+  out += "</people></site>";
+  return out;
+}
+
+std::string GenerateAuctions(const XmarkConfig& config) {
+  Rng rng(config.seed + 1);
+  std::string out;
+  out.reserve(static_cast<size_t>(config.num_closed_auctions) *
+                  (160 + static_cast<size_t>(config.annotation_bytes)) +
+              1024);
+  out += "<site>";
+  out += "<regions><europe>";
+  for (int i = 0; i < config.num_items; ++i) {
+    out += "<item id=\"item" + std::to_string(i) + "\"><name>" +
+           std::string(kWords[rng.Below(10)]) + " " +
+           std::string(kWords[rng.Below(10)]) + "</name>";
+    if (config.item_description_bytes > 0) {
+      out += "<description>" +
+             AnnotationText(&rng, config.item_description_bytes) +
+             "</description>";
+    }
+    out += "</item>";
+  }
+  out += "</europe></regions>";
+  out += "<open_auctions>";
+  for (int i = 0; i < config.num_open_auctions; ++i) {
+    out += "<open_auction id=\"open_auction" + std::to_string(i) + "\">";
+    out += "<current>" + std::to_string(10 + rng.Below(490)) + "</current>";
+    out += "<itemref item=\"item" +
+           std::to_string(rng.Below(
+               static_cast<uint64_t>(config.num_items > 0 ? config.num_items
+                                                          : 1))) +
+           "\"/>";
+    if (config.item_description_bytes > 0) {
+      out += "<annotation><description>" +
+             AnnotationText(&rng, config.item_description_bytes) +
+             "</description></annotation>";
+    }
+    out += "</open_auction>";
+  }
+  out += "</open_auctions>";
+  out += "<closed_auctions>";
+  for (int i = 0; i < config.num_closed_auctions; ++i) {
+    // The first num_matches auctions reference generated persons spread
+    // over the id space; the rest reference ids outside it (no match).
+    std::string buyer;
+    if (i < config.num_matches && config.num_persons > 0) {
+      int pid = static_cast<int>(
+          (static_cast<int64_t>(i) * config.num_persons) /
+          (config.num_matches > 0 ? config.num_matches : 1));
+      buyer = "person" + std::to_string(pid % config.num_persons);
+    } else {
+      buyer = "person" + std::to_string(config.num_persons + i);
+    }
+    out += "<closed_auction>";
+    out += "<seller person=\"person" +
+           std::to_string(config.num_persons + 100000 + i) + "\"/>";
+    out += "<buyer person=\"" + buyer + "\"/>";
+    out += "<itemref item=\"item" +
+           std::to_string(rng.Below(
+               static_cast<uint64_t>(config.num_items > 0 ? config.num_items
+                                                          : 1))) +
+           "\"/>";
+    out += "<price>" + std::to_string(5 + rng.Below(995)) + "</price>";
+    out += "<annotation><description>" +
+           AnnotationText(&rng, config.annotation_bytes) +
+           "</description></annotation>";
+    out += "</closed_auction>";
+  }
+  out += "</closed_auctions></site>";
+  return out;
+}
+
+std::string GenerateFilmDb(int extra, uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "<films>";
+  out +=
+      "<film><name>The Rock</name><actor>Sean Connery</actor></film>"
+      "<film><name>Goldfinger</name><actor>Sean Connery</actor></film>"
+      "<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>";
+  for (int i = 0; i < extra; ++i) {
+    out += "<film><name>" + std::string(kWords[rng.Below(10)]) + " " +
+           std::to_string(i) + "</name><actor>" + PersonName(&rng) +
+           "</actor></film>";
+  }
+  out += "</films>";
+  return out;
+}
+
+std::string TestModuleSource() {
+  return R"(
+module namespace tst = "test";
+declare function tst:echoVoid() { () };
+declare function tst:echo($x as item()*) as item()* { $x };
+declare function tst:echoDoc($name as xs:string) as node()*
+{ doc($name)/* };
+declare function tst:makePayload($n as xs:integer) as node()
+{ <payload>{for $i in 1 to $n return <row>{$i}</row>}</payload> };
+)";
+}
+
+std::string FunctionsBModuleSource(const std::string& peer_a_uri) {
+  return R"(
+module namespace b = "functions_b";
+declare function b:Q_B1() as node()*
+{ doc("auctions.xml")//closed_auction };
+declare function b:Q_B2() as node()*
+{ for $p in doc(")" +
+         peer_a_uri + R"(/persons.xml")//person,
+      $ca in doc("auctions.xml")//closed_auction
+  where $p/@id = $ca/buyer/@person
+  return <result>{$p, $ca/annotation}</result>
+};
+declare function b:Q_B3($pid as xs:string) as node()*
+{ doc("auctions.xml")//closed_auction[./buyer/@person=$pid] };
+)";
+}
+
+std::string FilmModuleSource() {
+  return R"(
+module namespace film = "films";
+declare function film:filmsByActor($actor as xs:string) as node()*
+{ doc("filmDB.xml")//name[../actor=$actor] };
+)";
+}
+
+std::string GetPersonModuleSource() {
+  return R"(
+module namespace func = "functions";
+declare function func:getPerson($doc as xs:string, $pid as xs:string)
+  as node()?
+{ zero-or-one(doc($doc)//person[@id=$pid]) };
+)";
+}
+
+}  // namespace xrpc::xmark

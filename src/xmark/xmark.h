@@ -1,0 +1,62 @@
+#ifndef XRPC_XMARK_XMARK_H_
+#define XRPC_XMARK_XMARK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xrpc::xmark {
+
+/// Deterministic XMark-style data generator.
+///
+/// The Section 5 experiments distribute an XMark document over two peers:
+/// "persons.xml" (all person elements) at peer A and "auctions.xml" (items
+/// and open/closed auctions) at peer B, with closed auctions referencing
+/// buyers by person id. This generator reproduces that split with
+/// controllable sizes and join selectivity; given equal parameters it
+/// always produces identical documents (seeded LCG, no global state).
+struct XmarkConfig {
+  int num_persons = 250;
+  int num_closed_auctions = 4875;
+  int num_open_auctions = 120;
+  int num_items = 200;
+  /// Exactly this many closed auctions reference generated persons (the
+  /// paper's setup has 6 matches); the rest reference out-of-range ids.
+  int num_matches = 6;
+  /// Appended annotation text size per closed auction (scales document
+  /// size the way XMark's description text does).
+  int annotation_bytes = 64;
+  /// Description text per item/open auction: content only data shipping
+  /// pays for (it is not part of the closed_auction subset).
+  int item_description_bytes = 0;
+  uint64_t seed = 42;
+};
+
+/// Generates "persons.xml": <site><people><person id="personN">...</...>.
+std::string GeneratePersons(const XmarkConfig& config);
+
+/// Generates "auctions.xml": <site> with <open_auctions> and
+/// <closed_auctions>; each closed_auction has buyer/@person, price,
+/// itemref and an annotation with description text.
+std::string GenerateAuctions(const XmarkConfig& config);
+
+/// The film database of the paper's running example (Section 2), with
+/// `extra` additional generated films.
+std::string GenerateFilmDb(int extra = 0, uint64_t seed = 7);
+
+/// An echo/test module equivalent to the paper's test.xq (echoVoid) plus
+/// payload echo functions used by the throughput experiment.
+std::string TestModuleSource();
+
+/// The functions_b module of Section 5 (Q_B1, Q_B2, Q_B3) parameterized by
+/// the persons-holding peer's URI (for Q_B2's execution relocation).
+std::string FunctionsBModuleSource(const std::string& peer_a_uri);
+
+/// The film.xq module of Section 2.
+std::string FilmModuleSource();
+
+/// The getPerson functions module of Section 4.
+std::string GetPersonModuleSource();
+
+}  // namespace xrpc::xmark
+
+#endif  // XRPC_XMARK_XMARK_H_

@@ -1,0 +1,59 @@
+#ifndef XRPC_XML_QNAME_H_
+#define XRPC_XML_QNAME_H_
+
+#include <string>
+#include <tuple>
+
+namespace xrpc::xml {
+
+/// Well-known namespace URIs used by the SOAP XRPC protocol.
+inline constexpr char kSoapEnvelopeNs[] =
+    "http://www.w3.org/2003/05/soap-envelope";
+inline constexpr char kXrpcNs[] = "http://monetdb.cwi.nl/XQuery";
+inline constexpr char kXsNs[] = "http://www.w3.org/2001/XMLSchema";
+inline constexpr char kXsiNs[] = "http://www.w3.org/2001/XMLSchema-instance";
+inline constexpr char kXmlnsNs[] = "http://www.w3.org/2000/xmlns/";
+
+/// Expanded XML name: namespace URI, local part, and the (non-semantic)
+/// lexical prefix used for serialization.
+///
+/// Equality and ordering ignore the prefix, per XML Namespaces: two QNames
+/// are the same name iff their URI and local part match.
+struct QName {
+  std::string ns_uri;
+  std::string local;
+  std::string prefix;
+
+  QName() = default;
+  explicit QName(std::string local_part) : local(std::move(local_part)) {}
+  QName(std::string uri, std::string local_part)
+      : ns_uri(std::move(uri)), local(std::move(local_part)) {}
+  QName(std::string uri, std::string local_part, std::string pfx)
+      : ns_uri(std::move(uri)),
+        local(std::move(local_part)),
+        prefix(std::move(pfx)) {}
+
+  /// Lexical form "prefix:local" (or just "local").
+  std::string Lexical() const {
+    return prefix.empty() ? local : prefix + ":" + local;
+  }
+
+  /// Clark notation "{uri}local", unambiguous for diagnostics.
+  std::string Clark() const {
+    return ns_uri.empty() ? local : "{" + ns_uri + "}" + local;
+  }
+
+  bool empty() const { return local.empty(); }
+};
+
+inline bool operator==(const QName& a, const QName& b) {
+  return a.ns_uri == b.ns_uri && a.local == b.local;
+}
+inline bool operator!=(const QName& a, const QName& b) { return !(a == b); }
+inline bool operator<(const QName& a, const QName& b) {
+  return std::tie(a.ns_uri, a.local) < std::tie(b.ns_uri, b.local);
+}
+
+}  // namespace xrpc::xml
+
+#endif  // XRPC_XML_QNAME_H_

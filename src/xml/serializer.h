@@ -1,0 +1,36 @@
+#ifndef XRPC_XML_SERIALIZER_H_
+#define XRPC_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace xrpc::xml {
+
+/// Options controlling serialization.
+struct SerializeOptions {
+  /// Emit the <?xml version="1.0" encoding="utf-8"?> declaration before a
+  /// document node.
+  bool xml_declaration = false;
+  /// Pretty-print with two-space indentation. Text content is emitted
+  /// verbatim; only purely-structural element content is indented.
+  bool indent = false;
+};
+
+/// Serializes a node (and its subtree) to XML text.
+///
+/// Namespace declarations are synthesized where a QName's URI is not bound
+/// in the enclosing scope; prefixes stored on the QName are reused when
+/// possible and fresh `nsN` prefixes are generated otherwise.
+std::string SerializeNode(const Node& node, const SerializeOptions& options = {});
+
+/// Escapes text content (&, <, >).
+std::string EscapeText(std::string_view s);
+
+/// Escapes an attribute value (&, <, ", and newlines/tabs as char refs).
+std::string EscapeAttribute(std::string_view s);
+
+}  // namespace xrpc::xml
+
+#endif  // XRPC_XML_SERIALIZER_H_

@@ -1,0 +1,110 @@
+#include "xquery/ast.h"
+
+namespace xrpc::xquery {
+
+const char* AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+  }
+  return "unknown";
+}
+
+std::string SequenceType::ToString() const {
+  std::string base;
+  switch (kind) {
+    case ItemKind::kItem:
+      base = "item()";
+      break;
+    case ItemKind::kAtomic:
+      base = xdm::AtomicTypeName(atomic);
+      break;
+    case ItemKind::kNode:
+      base = "node()";
+      break;
+    case ItemKind::kElement:
+      base = "element()";
+      break;
+    case ItemKind::kAttribute:
+      base = "attribute()";
+      break;
+    case ItemKind::kDocument:
+      base = "document-node()";
+      break;
+    case ItemKind::kText:
+      base = "text()";
+      break;
+    case ItemKind::kEmpty:
+      return "empty-sequence()";
+  }
+  switch (occurrence) {
+    case Occurrence::kOne:
+      return base;
+    case Occurrence::kZeroOrOne:
+      return base + "?";
+    case Occurrence::kZeroOrMore:
+      return base + "*";
+    case Occurrence::kOneOrMore:
+      return base + "+";
+  }
+  return base;
+}
+
+bool ContainsUpdatingSyntax(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kInsert:
+    case ExprKind::kDelete:
+    case ExprKind::kReplaceNode:
+    case ExprKind::kReplaceValue:
+    case ExprKind::kRename:
+      return true;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && ContainsUpdatingSyntax(*c)) return true;
+  }
+  for (const FlworClause& c : e.clauses) {
+    if (c.expr != nullptr && ContainsUpdatingSyntax(*c.expr)) return true;
+  }
+  if (e.where != nullptr && ContainsUpdatingSyntax(*e.where)) return true;
+  for (const OrderSpec& s : e.order_by) {
+    if (s.key != nullptr && ContainsUpdatingSyntax(*s.key)) return true;
+  }
+  if (e.ret != nullptr && ContainsUpdatingSyntax(*e.ret)) return true;
+  for (const ExprPtr& p : e.predicates) {
+    if (p != nullptr && ContainsUpdatingSyntax(*p)) return true;
+  }
+  for (const ExprPtr& a : e.attributes) {
+    if (a != nullptr && ContainsUpdatingSyntax(*a)) return true;
+  }
+  if (e.name_expr != nullptr && ContainsUpdatingSyntax(*e.name_expr)) {
+    return true;
+  }
+  for (const PathStep& s : e.steps) {
+    for (const ExprPtr& p : s.predicates) {
+      if (p != nullptr && ContainsUpdatingSyntax(*p)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xrpc::xquery

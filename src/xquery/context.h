@@ -1,0 +1,67 @@
+#ifndef XRPC_XQUERY_CONTEXT_H_
+#define XRPC_XQUERY_CONTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "xdm/item.h"
+#include "xml/qname.h"
+#include "xquery/module.h"
+#include "xquery/update.h"
+
+namespace xrpc::xquery {
+
+/// Resolves fn:doc() URIs against the peer's database (the `db_p` of the
+/// formal semantics). Implementations decide which database *state* is
+/// visible — the isolation manager hands snapshot-bound providers to
+/// queries running under repeatable-read isolation.
+class DocumentProvider {
+ public:
+  virtual ~DocumentProvider() = default;
+  /// Returns the document node for `uri`.
+  virtual StatusOr<xml::NodePtr> GetDocument(const std::string& uri) = 0;
+};
+
+/// Resolves module imports (`import module namespace ... at "loc"`).
+class ModuleResolver {
+ public:
+  virtual ~ModuleResolver() = default;
+  /// Returns the module whose target namespace is `target_ns`; `location`
+  /// is the at-hint and may be used when the namespace alone is ambiguous.
+  virtual StatusOr<const LibraryModule*> Resolve(
+      const std::string& target_ns, const std::string& location) = 0;
+};
+
+/// One remote function application, as produced by `execute at`.
+struct RpcCall {
+  std::string dest_uri;         ///< xrpc://host[:port][/path]
+  std::string module_ns;        ///< module target namespace
+  std::string module_location;  ///< at-hint of the import
+  xml::QName function;
+  std::vector<xdm::Sequence> args;
+  bool updating = false;  ///< calls an updating function
+};
+
+/// Executes XRPC calls on behalf of the evaluator. The core library's
+/// dispatcher implements this on top of the SOAP codec and a transport;
+/// tests may plug in local fakes.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+  /// Performs the call and returns the (marshaled-through) result sequence.
+  /// For updating calls the result is empty; the remote side accumulates
+  /// the pending update list per the active isolation level.
+  virtual StatusOr<xdm::Sequence> Execute(const RpcCall& call) = 0;
+};
+
+/// Result of evaluating a query: the value plus, for updating queries, the
+/// pending update list awaiting applyUpdates().
+struct QueryResult {
+  xdm::Sequence sequence;
+  PendingUpdateList updates;
+};
+
+}  // namespace xrpc::xquery
+
+#endif  // XRPC_XQUERY_CONTEXT_H_

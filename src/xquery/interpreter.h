@@ -1,0 +1,57 @@
+#ifndef XRPC_XQUERY_INTERPRETER_H_
+#define XRPC_XQUERY_INTERPRETER_H_
+
+#include <vector>
+
+#include "base/statusor.h"
+#include "xquery/context.h"
+#include "xquery/module.h"
+
+namespace xrpc::xquery {
+
+/// Tree-walking XQuery evaluator.
+///
+/// This engine plays the role Saxon plays in the paper: a conventional,
+/// compile-then-walk XQuery processor with no set-oriented execution. It is
+/// the engine behind the XRPC wrapper (Section 4) and the reference
+/// implementation the loop-lifting relational compiler is tested against.
+///
+/// The interpreter itself issues one XRPC request per `execute at`
+/// evaluation (one-at-a-time RPC); Bulk RPC arises from the relational
+/// backend (Section 3.2) or from the wrapper's generated bulk query.
+class Interpreter {
+ public:
+  struct Config {
+    /// Resolves fn:doc(); required for queries touching documents.
+    DocumentProvider* documents = nullptr;
+    /// Executes `execute at`; required for distributed queries.
+    RpcHandler* rpc = nullptr;
+    /// Resolves module imports; required for queries calling module
+    /// functions.
+    ModuleResolver* modules = nullptr;
+    /// Recursion limit guarding against runaway user functions.
+    int max_recursion_depth = 512;
+    /// Ablation toggles (benchmarking the design choices; leave on).
+    bool enable_join_index = true;  ///< hash index for [path = $var]
+    bool enable_path_memo = true;   ///< per-query path-prefix memoization
+  };
+
+  explicit Interpreter(const Config& config) : config_(config) {}
+
+  /// Evaluates a main module. For updating queries the result sequence is
+  /// empty and `updates` carries the pending update list.
+  StatusOr<QueryResult> EvaluateQuery(const MainModule& query) const;
+
+  /// Applies a module function to already-evaluated arguments (the server
+  /// side of an XRPC request, after n2s() unmarshaling).
+  StatusOr<QueryResult> CallModuleFunction(
+      const LibraryModule& module, const FunctionDef& function,
+      std::vector<xdm::Sequence> args) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace xrpc::xquery
+
+#endif  // XRPC_XQUERY_INTERPRETER_H_

@@ -1,0 +1,20 @@
+#ifndef XRPC_XQUERY_PARSER_H_
+#define XRPC_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "base/statusor.h"
+#include "xquery/module.h"
+
+namespace xrpc::xquery {
+
+/// Parses a main module (prolog + query body) including the `execute at`
+/// XRPC extension and the XQUF updating expressions.
+StatusOr<MainModule> ParseMainModule(std::string_view text);
+
+/// Parses a library module (`module namespace p = "uri"; ...`).
+StatusOr<LibraryModule> ParseLibraryModule(std::string_view text);
+
+}  // namespace xrpc::xquery
+
+#endif  // XRPC_XQUERY_PARSER_H_

@@ -1,0 +1,197 @@
+#include "xquery/update.h"
+
+#include <algorithm>
+
+#include "xml/node.h"
+
+namespace xrpc::xquery {
+
+void PendingUpdateList::Merge(PendingUpdateList other) {
+  // Merged entries order strictly after every existing entry: later XRPC
+  // calls get later call indices (the deterministic-order extension).
+  int base = next_call_index_ + 1;
+  for (Entry& e : other.entries_) {
+    e.call_index += base;
+    entries_.push_back(std::move(e));
+  }
+  next_call_index_ = base + other.next_call_index_ + 1;
+}
+
+namespace {
+
+using xml::Node;
+using xml::NodeKind;
+using xml::NodePtr;
+
+// Inserts copied content nodes relative to the target.
+Status ApplyInsert(const UpdatePrimitive& p) {
+  Node* target = p.target.node();
+  switch (p.kind) {
+    case UpdatePrimitive::Kind::kInsertInto:
+    case UpdatePrimitive::Kind::kInsertLast:
+      for (const xdm::Item& item : p.content) {
+        NodePtr n = item.node()->shared_from_this();
+        if (n->kind() == NodeKind::kAttribute) {
+          target->SetAttribute(n);
+        } else {
+          target->AppendChild(n);
+        }
+      }
+      return Status::OK();
+    case UpdatePrimitive::Kind::kInsertFirst: {
+      const Node* first = target->children().empty()
+                              ? nullptr
+                              : target->children().front().get();
+      for (const xdm::Item& item : p.content) {
+        NodePtr n = item.node()->shared_from_this();
+        if (n->kind() == NodeKind::kAttribute) {
+          target->SetAttribute(n);
+        } else if (first == nullptr) {
+          target->AppendChild(n);
+        } else {
+          target->InsertBefore(n, first);
+        }
+      }
+      return Status::OK();
+    }
+    case UpdatePrimitive::Kind::kInsertBefore: {
+      Node* parent = target->parent();
+      if (parent == nullptr) {
+        return Status::EvalError("insert before: target has no parent");
+      }
+      for (const xdm::Item& item : p.content) {
+        parent->InsertBefore(item.node()->shared_from_this(), target);
+      }
+      return Status::OK();
+    }
+    case UpdatePrimitive::Kind::kInsertAfter: {
+      Node* parent = target->parent();
+      if (parent == nullptr) {
+        return Status::EvalError("insert after: target has no parent");
+      }
+      // Insert after target == before target's next sibling.
+      const Node* next = nullptr;
+      size_t idx = target->IndexInParent();
+      if (idx + 1 < parent->children().size()) {
+        next = parent->children()[idx + 1].get();
+      }
+      for (const xdm::Item& item : p.content) {
+        NodePtr n = item.node()->shared_from_this();
+        if (next == nullptr) {
+          parent->AppendChild(n);
+        } else {
+          parent->InsertBefore(n, next);
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("not an insert primitive");
+  }
+}
+
+}  // namespace
+
+Status ApplyUpdates(PendingUpdateList* pul, PutSink* put_sink) {
+  // XQUF 3.2.2 order: renames & replace-values, then replace-nodes, then
+  // inserts, then deletes, then puts. Within a phase, entry order (tagged by
+  // call index) is preserved for determinism.
+  auto phase_of = [](UpdatePrimitive::Kind k) {
+    switch (k) {
+      case UpdatePrimitive::Kind::kRename:
+      case UpdatePrimitive::Kind::kReplaceValue:
+        return 0;
+      case UpdatePrimitive::Kind::kReplaceNode:
+        return 1;
+      case UpdatePrimitive::Kind::kInsertInto:
+      case UpdatePrimitive::Kind::kInsertFirst:
+      case UpdatePrimitive::Kind::kInsertLast:
+      case UpdatePrimitive::Kind::kInsertBefore:
+      case UpdatePrimitive::Kind::kInsertAfter:
+        return 2;
+      case UpdatePrimitive::Kind::kDelete:
+        return 3;
+      case UpdatePrimitive::Kind::kPut:
+        return 4;
+    }
+    return 5;
+  };
+
+  std::stable_sort(pul->mutable_entries().begin(),
+                   pul->mutable_entries().end(),
+                   [&](const PendingUpdateList::Entry& a,
+                       const PendingUpdateList::Entry& b) {
+                     return phase_of(a.primitive.kind) <
+                            phase_of(b.primitive.kind);
+                   });
+
+  for (const PendingUpdateList::Entry& entry : pul->entries()) {
+    const UpdatePrimitive& p = entry.primitive;
+    switch (p.kind) {
+      case UpdatePrimitive::Kind::kRename:
+        p.target.node()->set_name(p.new_name);
+        break;
+      case UpdatePrimitive::Kind::kReplaceValue: {
+        Node* t = p.target.node();
+        if (t->kind() == NodeKind::kElement) {
+          // Replace all children with a single text node.
+          while (!t->children().empty()) {
+            t->RemoveChild(t->children().back().get());
+          }
+          if (!p.new_value.empty()) {
+            t->AppendChild(Node::NewText(p.new_value));
+          }
+        } else {
+          t->set_value(p.new_value);
+        }
+        break;
+      }
+      case UpdatePrimitive::Kind::kReplaceNode: {
+        Node* t = p.target.node();
+        Node* parent = t->parent();
+        if (parent == nullptr) {
+          return Status::EvalError("replace node: target has no parent");
+        }
+        for (const xdm::Item& item : p.content) {
+          NodePtr n = item.node()->shared_from_this();
+          if (n->kind() == NodeKind::kAttribute) {
+            parent->SetAttribute(n);
+          } else {
+            parent->InsertBefore(n, t);
+          }
+        }
+        parent->RemoveChild(t);
+        break;
+      }
+      case UpdatePrimitive::Kind::kInsertInto:
+      case UpdatePrimitive::Kind::kInsertFirst:
+      case UpdatePrimitive::Kind::kInsertLast:
+      case UpdatePrimitive::Kind::kInsertBefore:
+      case UpdatePrimitive::Kind::kInsertAfter:
+        XRPC_RETURN_IF_ERROR(ApplyInsert(p));
+        break;
+      case UpdatePrimitive::Kind::kDelete: {
+        Node* t = p.target.node();
+        Node* parent = t->parent();
+        if (parent != nullptr) parent->RemoveChild(t);
+        break;
+      }
+      case UpdatePrimitive::Kind::kPut: {
+        if (put_sink == nullptr) {
+          return Status::EvalError("fn:put is not available in this context");
+        }
+        NodePtr doc = p.content.empty()
+                          ? nullptr
+                          : p.content[0].node()->shared_from_this();
+        if (doc == nullptr) {
+          return Status::EvalError("fn:put: empty content");
+        }
+        XRPC_RETURN_IF_ERROR(put_sink->Put(p.put_uri, doc));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xrpc::xquery

@@ -1,0 +1,175 @@
+// Tests for the network substrate: xrpc:// URI parsing, the simulated
+// network (routing, virtual-time cost model, failure injection) and the
+// real HTTP/1.1 loopback transport.
+
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/simulated_network.h"
+#include "net/uri.h"
+
+namespace xrpc::net {
+namespace {
+
+TEST(Uri, ParsesFullForm) {
+  auto uri = ParseXrpcUri("xrpc://y.example.org:6123/some/path");
+  ASSERT_TRUE(uri.ok()) << uri.status();
+  EXPECT_EQ(uri->host, "y.example.org");
+  EXPECT_EQ(uri->port, 6123);
+  EXPECT_EQ(uri->path, "some/path");
+  EXPECT_EQ(uri->ToString(), "xrpc://y.example.org:6123/some/path");
+}
+
+TEST(Uri, DefaultsPortAndPath) {
+  auto uri = ParseXrpcUri("xrpc://y.example.org");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->port, kDefaultXrpcPort);
+  EXPECT_EQ(uri->path, "");
+}
+
+TEST(Uri, AcceptsBareHost) {
+  // The paper writes execute at {"B"} in Section 5 examples.
+  auto uri = ParseXrpcUri("B");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->host, "B");
+}
+
+TEST(Uri, RejectsJunk) {
+  EXPECT_FALSE(ParseXrpcUri("").ok());
+  EXPECT_FALSE(ParseXrpcUri("http://other.scheme/").ok());
+  EXPECT_FALSE(ParseXrpcUri("xrpc://host:notaport").ok());
+  EXPECT_FALSE(ParseXrpcUri("xrpc://host:99999").ok());
+  EXPECT_FALSE(ParseXrpcUri("xrpc://").ok());
+}
+
+class EchoEndpoint : public SoapEndpoint {
+ public:
+  StatusOr<std::string> Handle(const std::string& path,
+                               const std::string& body) override {
+    ++requests;
+    last_path = path;
+    return "echo:" + body;
+  }
+  int requests = 0;
+  std::string last_path;
+};
+
+TEST(SimulatedNetwork, RoutesToRegisteredPeer) {
+  SimulatedNetwork net;
+  EchoEndpoint peer;
+  net.RegisterPeer(ParseXrpcUri("xrpc://y.example.org").value(), &peer);
+  auto result = net.Post("xrpc://y.example.org/svc", "hello");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->body, "echo:hello");
+  EXPECT_EQ(peer.last_path, "svc");
+  EXPECT_EQ(net.messages_sent(), 1);
+  EXPECT_EQ(net.bytes_sent(), 5);
+}
+
+TEST(SimulatedNetwork, UnknownPeerIsConnectionRefused) {
+  SimulatedNetwork net;
+  auto result = net.Post("xrpc://nobody", "x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNetworkError);
+}
+
+TEST(SimulatedNetwork, CostModelChargesLatencyAndBandwidth) {
+  NetworkProfile profile;
+  profile.latency_us = 1000;
+  profile.bandwidth_bytes_per_us = 10.0;
+  SimulatedNetwork net(profile);
+  EchoEndpoint peer;
+  net.RegisterPeer(ParseXrpcUri("xrpc://p").value(), &peer);
+  std::string body(1000, 'x');  // 100 us of wire time
+  auto result = net.Post("xrpc://p", body);
+  ASSERT_TRUE(result.ok());
+  // request: 1000 + 100; response ("echo:" + 1000 bytes): 1000 + 100.5
+  EXPECT_GE(result->network_micros, 2200);
+  EXPECT_LE(result->network_micros, 2202);
+  EXPECT_EQ(net.clock().NowMicros(), result->network_micros);
+}
+
+TEST(SimulatedNetwork, LatencyDominatesSmallMessages) {
+  // The premise of Bulk RPC: n messages cost ~n*latency, one bulk message
+  // of the same total size costs ~1*latency.
+  NetworkProfile profile;
+  profile.latency_us = 500;
+  SimulatedNetwork net(profile);
+  EchoEndpoint peer;
+  net.RegisterPeer(ParseXrpcUri("xrpc://p").value(), &peer);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(net.Post("xrpc://p", "tiny").ok());
+  }
+  int64_t ten_small = net.clock().NowMicros();
+  net.ResetStats();
+  ASSERT_TRUE(net.Post("xrpc://p", std::string(40, 'x')).ok());
+  int64_t one_bulk = net.clock().NowMicros();
+  EXPECT_GT(ten_small, 5 * one_bulk);
+}
+
+TEST(SimulatedNetwork, FailureInjection) {
+  SimulatedNetwork net;
+  EchoEndpoint peer;
+  net.RegisterPeer(ParseXrpcUri("xrpc://p").value(), &peer);
+  net.FailNextPost(Status::NetworkError("cable cut"));
+  auto r1 = net.Post("xrpc://p", "x");
+  EXPECT_FALSE(r1.ok());
+  auto r2 = net.Post("xrpc://p", "x");  // one-shot: next call succeeds
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(SimulatedNetwork, DisconnectPeer) {
+  SimulatedNetwork net;
+  EchoEndpoint peer;
+  XrpcUri uri = ParseXrpcUri("xrpc://p").value();
+  net.RegisterPeer(uri, &peer);
+  net.DisconnectPeer(uri);
+  EXPECT_FALSE(net.Post("xrpc://p", "x").ok());
+}
+
+TEST(HttpServer, ServesPostOverLoopback) {
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+  auto reply = HttpPost("127.0.0.1", port.value(), "the/path", "ping");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply.value(), "echo:ping");
+  EXPECT_EQ(endpoint.last_path, "the/path");
+  server.Stop();
+}
+
+TEST(HttpServer, HandlesLargeBodies) {
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string big(1 << 20, 'z');
+  auto reply = HttpPost("127.0.0.1", port.value(), "", big);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->size(), big.size() + 5);
+  server.Stop();
+}
+
+TEST(HttpTransport, PostsViaXrpcUri) {
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  HttpTransport transport;
+  auto result = transport.Post(
+      "xrpc://127.0.0.1:" + std::to_string(port.value()) + "/x", "hello");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->body, "echo:hello");
+  server.Stop();
+}
+
+TEST(HttpTransport, ConnectionRefused) {
+  HttpTransport transport;
+  // Port 1 on loopback is almost certainly closed.
+  auto result = transport.Post("xrpc://127.0.0.1:1/", "x");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace xrpc::net

@@ -1,0 +1,89 @@
+// Section 5 property test: the four distributed execution strategies for
+// Q7 are rewrites of the same query, so they must all produce the same
+// result — across engine placements and data scales.
+
+#include <gtest/gtest.h>
+
+#include "core/peer_network.h"
+#include "xmark/xmark.h"
+
+namespace xrpc::core {
+namespace {
+
+constexpr char kImportB[] =
+    "import module namespace b=\"functions_b\" at \"b.xq\";\n";
+
+const char kDataShipping[] = R"(
+for $p in doc("persons.xml")//person,
+    $ca in doc("xrpc://B/auctions.xml")//closed_auction
+where $p/@id = $ca/buyer/@person
+return <result>{$p, $ca/annotation}</result>)";
+
+const char kPushdown[] = R"(
+for $p in doc("persons.xml")//person,
+    $ca in execute at {"xrpc://B"} {b:Q_B1()}
+where $p/@id = $ca/buyer/@person
+return <result>{$p, $ca/annotation}</result>)";
+
+const char kRelocation[] = R"(execute at {"xrpc://B"} {b:Q_B2()})";
+
+const char kSemiJoin[] = R"(
+for $p in doc("persons.xml")//person
+let $ca := execute at {"xrpc://B"} {b:Q_B3(string($p/@id))}
+return if (empty($ca)) then ()
+       else <result>{$p, $ca/annotation}</result>)";
+
+struct Placement {
+  EngineKind peer_a;
+  EngineKind peer_b;
+  int persons;
+  int auctions;
+  int matches;
+};
+
+class StrategyEquivalence : public ::testing::TestWithParam<Placement> {};
+
+TEST_P(StrategyEquivalence, AllStrategiesAgree) {
+  const Placement& p = GetParam();
+  xmark::XmarkConfig cfg;
+  cfg.num_persons = p.persons;
+  cfg.num_closed_auctions = p.auctions;
+  cfg.num_matches = p.matches;
+  cfg.annotation_bytes = 24;
+
+  PeerNetwork net;
+  Peer* a = net.AddPeer("A", p.peer_a);
+  Peer* b = net.AddPeer("B", p.peer_b);
+  ASSERT_TRUE(a->AddDocument("persons.xml", xmark::GeneratePersons(cfg)).ok());
+  ASSERT_TRUE(
+      b->AddDocument("auctions.xml", xmark::GenerateAuctions(cfg)).ok());
+  std::string module = xmark::FunctionsBModuleSource("xrpc://A");
+  ASSERT_TRUE(b->RegisterModule(module, "b.xq").ok());
+  ASSERT_TRUE(a->RegisterModule(module, "b.xq").ok());
+
+  auto run = [&](const std::string& query) -> std::string {
+    auto report = net.Execute("A", query);
+    if (!report.ok()) return "ERROR: " + report.status().ToString();
+    return xdm::SequenceToString(report->result);
+  };
+
+  std::string ship = run(kDataShipping);
+  ASSERT_EQ(ship.find("ERROR"), std::string::npos) << ship;
+  EXPECT_FALSE(ship.empty());
+  EXPECT_EQ(run(std::string(kImportB) + kPushdown), ship);
+  EXPECT_EQ(run(std::string(kImportB) + kRelocation), ship);
+  EXPECT_EQ(run(std::string(kImportB) + kSemiJoin), ship);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placements, StrategyEquivalence,
+    ::testing::Values(
+        Placement{EngineKind::kRelational, EngineKind::kWrapper, 40, 60, 5},
+        Placement{EngineKind::kRelational, EngineKind::kRelational, 40, 60, 5},
+        Placement{EngineKind::kInterpreter, EngineKind::kWrapper, 40, 60, 5},
+        Placement{EngineKind::kWrapper, EngineKind::kRelational, 25, 30, 3},
+        Placement{EngineKind::kRelational, EngineKind::kInterpreter, 10, 80, 8},
+        Placement{EngineKind::kRelational, EngineKind::kWrapper, 3, 5, 1}));
+
+}  // namespace
+}  // namespace xrpc::core

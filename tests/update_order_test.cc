@@ -1,0 +1,122 @@
+// Tests for the deterministic-update-order extension ([Zhang & Boncz,
+// INS-E0607], referenced in Section 2.3): pending update lists carry call
+// indices so that merging the PULs of a Bulk RPC — whose calls execute
+// out of query order — still applies updates in a reproducible order.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/update.h"
+
+namespace xrpc::xquery {
+namespace {
+
+UpdatePrimitive InsertText(xml::Node* target, const std::string& text) {
+  UpdatePrimitive p;
+  p.kind = UpdatePrimitive::Kind::kInsertLast;
+  p.target = xdm::Item::NodeInTree(target, target->RootPtr());
+  p.content.push_back(
+      xdm::Item::Node(xml::Node::NewText(text)));
+  return p;
+}
+
+TEST(UpdateOrder, MergePreservesCallIndexOrder) {
+  auto doc = xml::ParseXml("<r/>");
+  ASSERT_TRUE(doc.ok());
+  xml::Node* r = doc.value()->children()[0].get();
+
+  PendingUpdateList a;
+  a.Add(InsertText(r, "x"));  // call 0
+  a.BeginCall();
+  a.Add(InsertText(r, "y"));  // call 1
+
+  PendingUpdateList b;
+  b.Add(InsertText(r, "z"));
+
+  a.Merge(std::move(b));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.entries()[0].call_index, 0);
+  EXPECT_EQ(a.entries()[1].call_index, 1);
+  EXPECT_GT(a.entries()[2].call_index, a.entries()[1].call_index);
+}
+
+TEST(UpdateOrder, ApplicationIsDeterministicAcrossMergeOrders) {
+  // Two PULs inserting text into the same element: applying the merged
+  // list must give the same document regardless of how many times we
+  // repeat the experiment (stable phase sort + call tagging).
+  for (int round = 0; round < 3; ++round) {
+    auto doc = xml::ParseXml("<r/>");
+    ASSERT_TRUE(doc.ok());
+    xml::Node* r = doc.value()->children()[0].get();
+
+    PendingUpdateList first;
+    first.Add(InsertText(r, "A"));
+    PendingUpdateList second;
+    second.Add(InsertText(r, "B"));
+    second.BeginCall();
+    second.Add(InsertText(r, "C"));
+
+    PendingUpdateList merged;
+    merged.Merge(std::move(first));
+    merged.Merge(std::move(second));
+    ASSERT_TRUE(ApplyUpdates(&merged, nullptr).ok());
+    EXPECT_EQ(xml::SerializeNode(*r), "<r>ABC</r>");
+  }
+}
+
+TEST(UpdateOrder, PhasesApplyInXqufOrder) {
+  // Rename + replace-value run before inserts, inserts before deletes —
+  // regardless of the order the primitives were queued in.
+  auto doc = xml::ParseXml("<r><a>old</a><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  xml::Node* r = doc.value()->children()[0].get();
+  xml::Node* a = r->children()[0].get();
+  xml::Node* b = r->children()[1].get();
+
+  PendingUpdateList pul;
+  // Queue a delete FIRST, then an insert, then a rename: application must
+  // still rename, then insert, then delete.
+  UpdatePrimitive del;
+  del.kind = UpdatePrimitive::Kind::kDelete;
+  del.target = xdm::Item::NodeInTree(b, doc.value());
+  pul.Add(std::move(del));
+
+  pul.Add(InsertText(r, "tail"));
+
+  UpdatePrimitive ren;
+  ren.kind = UpdatePrimitive::Kind::kRename;
+  ren.target = xdm::Item::NodeInTree(a, doc.value());
+  ren.new_name = xml::QName("z");
+  pul.Add(std::move(ren));
+
+  ASSERT_TRUE(ApplyUpdates(&pul, nullptr).ok());
+  EXPECT_EQ(xml::SerializeNode(*r), "<r><z>old</z>tail</r>");
+}
+
+TEST(UpdateOrder, PutWithoutSinkFails) {
+  PendingUpdateList pul;
+  UpdatePrimitive put;
+  put.kind = UpdatePrimitive::Kind::kPut;
+  put.put_uri = "out.xml";
+  put.content.push_back(xdm::Item::Node(xml::Node::NewDocument()));
+  pul.Add(std::move(put));
+  EXPECT_FALSE(ApplyUpdates(&pul, nullptr).ok());
+}
+
+TEST(UpdateOrder, ReplaceValueOfElementReplacesAllChildren) {
+  auto doc = xml::ParseXml("<r><a>x<b/>y</a></r>");
+  ASSERT_TRUE(doc.ok());
+  xml::Node* a = doc.value()->children()[0]->children()[0].get();
+  PendingUpdateList pul;
+  UpdatePrimitive rv;
+  rv.kind = UpdatePrimitive::Kind::kReplaceValue;
+  rv.target = xdm::Item::NodeInTree(a, doc.value());
+  rv.new_value = "fresh";
+  pul.Add(std::move(rv));
+  ASSERT_TRUE(ApplyUpdates(&pul, nullptr).ok());
+  EXPECT_EQ(xml::SerializeNode(*doc.value()), "<r><a>fresh</a></r>");
+}
+
+}  // namespace
+}  // namespace xrpc::xquery

@@ -1,0 +1,120 @@
+// Tests for the XMark-style generator: determinism, structure, join
+// selectivity and scaling knobs.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xmark/xmark.h"
+#include "xml/parser.h"
+
+namespace xrpc::xmark {
+namespace {
+
+using ::xrpc::testing::EvalToString;
+using ::xrpc::testing::MapDocumentProvider;
+
+TEST(Xmark, GenerationIsDeterministic) {
+  XmarkConfig cfg;
+  EXPECT_EQ(GeneratePersons(cfg), GeneratePersons(cfg));
+  EXPECT_EQ(GenerateAuctions(cfg), GenerateAuctions(cfg));
+  XmarkConfig other = cfg;
+  other.seed = 43;
+  EXPECT_NE(GeneratePersons(cfg), GeneratePersons(other));
+}
+
+TEST(Xmark, PersonsStructure) {
+  XmarkConfig cfg;
+  cfg.num_persons = 17;
+  MapDocumentProvider docs;
+  docs.AddDocument("persons.xml", GeneratePersons(cfg));
+  EXPECT_EQ(EvalToString("count(doc(\"persons.xml\")//person)", &docs), "17");
+  EXPECT_EQ(
+      EvalToString("string(doc(\"persons.xml\")//person[1]/@id)", &docs),
+      "person0");
+  EXPECT_EQ(EvalToString("count(doc(\"persons.xml\")//person[name])", &docs),
+            "17");
+}
+
+TEST(Xmark, AuctionsStructureAndCounts) {
+  XmarkConfig cfg;
+  cfg.num_persons = 50;
+  cfg.num_closed_auctions = 40;
+  cfg.num_open_auctions = 7;
+  cfg.num_items = 9;
+  cfg.num_matches = 4;
+  MapDocumentProvider docs;
+  docs.AddDocument("auctions.xml", GenerateAuctions(cfg));
+  EXPECT_EQ(
+      EvalToString("count(doc(\"auctions.xml\")//closed_auction)", &docs),
+      "40");
+  EXPECT_EQ(EvalToString("count(doc(\"auctions.xml\")//open_auction)", &docs),
+            "7");
+  EXPECT_EQ(EvalToString("count(doc(\"auctions.xml\")//item)", &docs), "9");
+  EXPECT_EQ(
+      EvalToString(
+          "count(doc(\"auctions.xml\")//closed_auction/buyer/@person)", &docs),
+      "40");
+}
+
+TEST(Xmark, JoinSelectivityIsExact) {
+  // Exactly num_matches closed auctions reference generated persons.
+  XmarkConfig cfg;
+  cfg.num_persons = 100;
+  cfg.num_closed_auctions = 60;
+  cfg.num_matches = 6;
+  MapDocumentProvider docs;
+  docs.AddDocument("persons.xml", GeneratePersons(cfg));
+  docs.AddDocument("auctions.xml", GenerateAuctions(cfg));
+  EXPECT_EQ(EvalToString(R"(
+      count(for $p in doc("persons.xml")//person,
+                $ca in doc("auctions.xml")//closed_auction
+            where $p/@id = $ca/buyer/@person
+            return $ca))",
+                         &docs),
+            "6");
+}
+
+TEST(Xmark, AnnotationScalesDocumentSize) {
+  XmarkConfig small, big;
+  small.annotation_bytes = 32;
+  big.annotation_bytes = 2048;
+  EXPECT_GT(GenerateAuctions(big).size(), 4 * GenerateAuctions(small).size());
+}
+
+TEST(Xmark, ItemDescriptionsOnlyAffectNonClosedContent) {
+  XmarkConfig plain, padded;
+  padded.item_description_bytes = 1000;
+  MapDocumentProvider docs;
+  docs.AddDocument("plain.xml", GenerateAuctions(plain));
+  docs.AddDocument("padded.xml", GenerateAuctions(padded));
+  // Same closed auction count despite the larger document.
+  EXPECT_EQ(EvalToString("count(doc(\"plain.xml\")//closed_auction)", &docs),
+            EvalToString("count(doc(\"padded.xml\")//closed_auction)", &docs));
+}
+
+TEST(Xmark, GeneratedDocumentsParse) {
+  XmarkConfig cfg;
+  cfg.num_persons = 200;
+  cfg.num_closed_auctions = 100;
+  EXPECT_TRUE(xml::ParseXml(GeneratePersons(cfg)).ok());
+  EXPECT_TRUE(xml::ParseXml(GenerateAuctions(cfg)).ok());
+  EXPECT_TRUE(xml::ParseXml(GenerateFilmDb(25)).ok());
+}
+
+TEST(Xmark, ModulesParse) {
+  MapDocumentProvider docs;
+  docs.AddDocument("filmDB.xml", GenerateFilmDb());
+  testing::MapModuleResolver modules;
+  EXPECT_TRUE(modules.AddModule(FilmModuleSource()).ok());
+  EXPECT_TRUE(modules.AddModule(TestModuleSource()).ok());
+  EXPECT_TRUE(modules.AddModule(GetPersonModuleSource()).ok());
+  EXPECT_TRUE(modules.AddModule(FunctionsBModuleSource("xrpc://A")).ok());
+  EXPECT_EQ(EvalToString(R"(
+      import module namespace f="films" at "film.xq";
+      f:filmsByActor("Sean Connery"))",
+                         &docs, &modules),
+            "<name>The Rock</name> <name>Goldfinger</name>");
+}
+
+}  // namespace
+}  // namespace xrpc::xmark

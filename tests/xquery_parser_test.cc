@@ -1,0 +1,351 @@
+// Unit tests for the XQuery parser: expression grammar, prolog, modules,
+// the `execute at` XRPC extension and XQUF updating expressions.
+
+#include <gtest/gtest.h>
+
+#include "xquery/parser.h"
+
+namespace xrpc::xquery {
+namespace {
+
+StatusOr<MainModule> Parse(const std::string& q) { return ParseMainModule(q); }
+
+TEST(Parser, Literals) {
+  auto m = Parse("42");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kLiteral);
+  EXPECT_EQ(m->body->literal.AsInteger(), 42);
+
+  m = Parse("3.14");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->literal.type(), xdm::AtomicType::kDecimal);
+
+  m = Parse("1e3");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->literal.type(), xdm::AtomicType::kDouble);
+
+  m = Parse("\"don''t\"");
+  ASSERT_TRUE(m.ok());
+
+  m = Parse("'say \"hi\"'");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->literal.ToString(), "say \"hi\"");
+}
+
+TEST(Parser, SequenceAndRange) {
+  auto m = Parse("(1, 2, 3)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kSequence);
+  EXPECT_EQ(m->body->children.size(), 3u);
+
+  m = Parse("1 to 10");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kRange);
+
+  m = Parse("()");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kSequence);
+  EXPECT_TRUE(m->body->children.empty());
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto m = Parse("1 + 2 * 3");
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->body->kind, ExprKind::kArith);
+  EXPECT_EQ(m->body->arith_op, ArithOp::kAdd);
+  EXPECT_EQ(m->body->children[1]->kind, ExprKind::kArith);
+  EXPECT_EQ(m->body->children[1]->arith_op, ArithOp::kMul);
+
+  m = Parse("1 < 2 and 3 >= 2 or false()");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kOr);
+}
+
+TEST(Parser, Flwor) {
+  auto m = Parse(
+      "for $x in (1,2) let $y := $x + 1 where $y > 1 "
+      "order by $y descending return ($x, $y)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  const Expr& e = *m->body;
+  ASSERT_EQ(e.kind, ExprKind::kFlwor);
+  ASSERT_EQ(e.clauses.size(), 2u);
+  EXPECT_EQ(e.clauses[0].kind, FlworClause::Kind::kFor);
+  EXPECT_EQ(e.clauses[0].var.local, "x");
+  EXPECT_EQ(e.clauses[1].kind, FlworClause::Kind::kLet);
+  ASSERT_NE(e.where, nullptr);
+  ASSERT_EQ(e.order_by.size(), 1u);
+  EXPECT_TRUE(e.order_by[0].descending);
+  ASSERT_NE(e.ret, nullptr);
+}
+
+TEST(Parser, FlworPositionalVariable) {
+  auto m = Parse("for $x at $i in ('a','b') return $i");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->clauses[0].pos_var.local, "i");
+}
+
+TEST(Parser, Quantified) {
+  auto m = Parse("some $x in (1,2,3) satisfies $x > 2");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kQuantified);
+  EXPECT_FALSE(m->body->every);
+
+  m = Parse("every $x in (1,2,3) satisfies $x > 0");
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->body->every);
+}
+
+TEST(Parser, IfExpr) {
+  auto m = Parse("if (1 < 2) then \"a\" else \"b\"");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kIf);
+  EXPECT_EQ(m->body->children.size(), 3u);
+}
+
+TEST(Parser, Paths) {
+  auto m = Parse("doc(\"filmDB.xml\")//name[../actor=$actor]");
+  ASSERT_TRUE(m.ok()) << m.status();
+  const Expr& e = *m->body;
+  ASSERT_EQ(e.kind, ExprKind::kPath);
+  ASSERT_NE(e.children[0], nullptr);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kFunctionCall);
+  // steps: descendant-or-self::node(), child::name[pred]
+  ASSERT_EQ(e.steps.size(), 2u);
+  EXPECT_EQ(e.steps[0].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(e.steps[1].axis, Axis::kChild);
+  EXPECT_EQ(e.steps[1].test.name.local, "name");
+  ASSERT_EQ(e.steps[1].predicates.size(), 1u);
+}
+
+TEST(Parser, AttributeAndExplicitAxes) {
+  auto m = Parse("$p/@id");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->steps[0].axis, Axis::kAttribute);
+
+  m = Parse("$p/ancestor-or-self::a/following-sibling::b");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->steps[0].axis, Axis::kAncestorOrSelf);
+  EXPECT_EQ(m->body->steps[1].axis, Axis::kFollowingSibling);
+}
+
+TEST(Parser, KindTests) {
+  auto m = Parse("$x/text()");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->steps[0].test.kind, NodeTest::Kind::kText);
+
+  m = Parse("$x//node()");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->steps[1].test.kind, NodeTest::Kind::kAnyKind);
+}
+
+TEST(Parser, Wildcard) {
+  auto m = Parse("$x/*");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->body->steps[0].test.wildcard);
+}
+
+TEST(Parser, DirectElementConstructor) {
+  auto m = Parse("<films>{ 1 }</films>");
+  ASSERT_TRUE(m.ok()) << m.status();
+  const Expr& e = *m->body;
+  EXPECT_EQ(e.kind, ExprKind::kElementCtor);
+  EXPECT_EQ(e.name.local, "films");
+  ASSERT_EQ(e.children.size(), 1u);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kLiteral);
+}
+
+TEST(Parser, DirectConstructorWithAttributesAndNesting) {
+  auto m = Parse(R"(<film id="f1" name="{$n}"><actor>Sean</actor></film>)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  const Expr& e = *m->body;
+  ASSERT_EQ(e.attributes.size(), 2u);
+  EXPECT_EQ(e.attributes[0]->name.local, "id");
+  // name="{$n}" has one non-literal child
+  EXPECT_EQ(e.attributes[1]->children.size(), 1u);
+  ASSERT_EQ(e.children.size(), 1u);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kElementCtor);
+}
+
+TEST(Parser, BoundaryWhitespaceIsStripped) {
+  auto m = Parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->children.size(), 1u);
+}
+
+TEST(Parser, CurlyEscapes) {
+  auto m = Parse("<a>{{not-an-expr}}</a>");
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->body->children.size(), 1u);
+  EXPECT_EQ(m->body->children[0]->kind, ExprKind::kTextCtor);
+  EXPECT_EQ(m->body->children[0]->literal.ToString(), "{not-an-expr}");
+}
+
+TEST(Parser, ComputedConstructors) {
+  auto m = Parse("element {\"foo\"} { \"bar\" }");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kElementCtor);
+  ASSERT_NE(m->body->name_expr, nullptr);
+
+  m = Parse("element foo { \"bar\" }");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kElementCtor);
+  EXPECT_EQ(m->body->name.local, "foo");
+
+  m = Parse("text { \"hello\" }");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kTextCtor);
+}
+
+TEST(Parser, ExecuteAt) {
+  auto m = Parse(
+      "import module namespace f=\"films\" at \"http://x.example.org/film.xq\";"
+      "execute at {\"xrpc://y.example.org\"} {f:filmsByActor(\"Sean Connery\")}");
+  ASSERT_TRUE(m.ok()) << m.status();
+  const Expr& e = *m->body;
+  ASSERT_EQ(e.kind, ExprKind::kExecuteAt);
+  EXPECT_EQ(e.name.local, "filmsByActor");
+  EXPECT_EQ(e.name.ns_uri, "films");
+  ASSERT_EQ(e.children.size(), 2u);  // dest + 1 arg
+  ASSERT_EQ(m->prolog.imports.size(), 1u);
+  EXPECT_EQ(m->prolog.imports[0].location, "http://x.example.org/film.xq");
+}
+
+TEST(Parser, ExecuteAtInsideFlwor) {
+  // Query Q3 from the paper.
+  auto m = Parse(R"(
+    import module namespace f="films" at "http://x.example.org/film.xq";
+    <films> {
+      for $actor in ("Julie Andrews", "Sean Connery")
+      for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+      return execute at {$dst} {f:filmsByActor($actor)}
+    } </films>)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kElementCtor);
+}
+
+TEST(Parser, PrologDeclarations) {
+  auto m = Parse(R"(
+    xquery version "1.0";
+    declare namespace foo = "urn:foo";
+    declare option xrpc:isolation "repeatable";
+    declare option xrpc:timeout "30";
+    declare variable $v := 41;
+    declare function local:inc($x as xs:integer) as xs:integer { $x + 1 };
+    local:inc($v))");
+  ASSERT_TRUE(m.ok()) << m.status();
+  const std::string* iso =
+      m->prolog.FindOption("{http://monetdb.cwi.nl/XQuery}isolation");
+  ASSERT_NE(iso, nullptr);
+  EXPECT_EQ(*iso, "repeatable");
+  ASSERT_EQ(m->prolog.functions.size(), 1u);
+  EXPECT_EQ(m->prolog.functions[0].params.size(), 1u);
+  EXPECT_EQ(m->prolog.variables.size(), 1u);
+}
+
+TEST(Parser, LibraryModule) {
+  auto m = ParseLibraryModule(R"(
+    module namespace film = "films";
+    declare function film:filmsByActor($actor as xs:string) as node()*
+    { doc("filmDB.xml")//name[../actor=$actor] };)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->target_ns, "films");
+  EXPECT_EQ(m->prefix, "film");
+  ASSERT_EQ(m->prolog.functions.size(), 1u);
+  const FunctionDef& f = m->prolog.functions[0];
+  EXPECT_EQ(f.name.ns_uri, "films");
+  EXPECT_EQ(f.name.local, "filmsByActor");
+  EXPECT_FALSE(f.updating);
+  EXPECT_EQ(f.return_type.kind, SequenceType::ItemKind::kNode);
+  EXPECT_EQ(f.return_type.occurrence, Occurrence::kZeroOrMore);
+}
+
+TEST(Parser, UpdatingFunction) {
+  auto m = ParseLibraryModule(R"(
+    module namespace upd = "updates";
+    declare updating function upd:addFilm($name as xs:string)
+    { insert nodes <film><name>{$name}</name></film>
+      into doc("filmDB.xml")/films };)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->prolog.functions.size(), 1u);
+  EXPECT_TRUE(m->prolog.functions[0].updating);
+  EXPECT_TRUE(ContainsUpdatingSyntax(*m->prolog.functions[0].body));
+}
+
+TEST(Parser, UpdatingExpressions) {
+  auto m = Parse("delete nodes doc(\"d.xml\")//old");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kDelete);
+
+  m = Parse("replace value of node $n with \"new\"");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kReplaceValue);
+
+  m = Parse("replace node $n with <x/>");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kReplaceNode);
+
+  m = Parse("rename node $n as \"fresh\"");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kRename);
+
+  m = Parse("insert nodes <x/> as first into $n");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->insert_pos, InsertPos::kAsFirstInto);
+
+  m = Parse("insert nodes <x/> after $n");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->insert_pos, InsertPos::kAfter);
+}
+
+TEST(Parser, CastAndInstanceOf) {
+  auto m = Parse("\"42\" cast as xs:integer");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kCastAs);
+
+  m = Parse("3 instance of xs:integer");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kInstanceOf);
+
+  m = Parse("\"a\" castable as xs:double");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->kind, ExprKind::kCastableAs);
+}
+
+TEST(Parser, Comments) {
+  auto m = Parse("(: outer (: nested :) still comment :) 7");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->literal.AsInteger(), 7);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(Parse("for $x in").ok());
+  EXPECT_FALSE(Parse("1 +").ok());
+  EXPECT_FALSE(Parse("<a><b></a>").ok());
+  EXPECT_FALSE(Parse("execute at {\"x\"} {}").ok());
+  EXPECT_FALSE(Parse("$undeclared:var").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(Parser, NodeComparisons) {
+  auto m = Parse("$a is $b");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->comp_op, CompOp::kNodeIs);
+  m = Parse("$a << $b");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->body->comp_op, CompOp::kNodeBefore);
+}
+
+TEST(Parser, ValueComparisons) {
+  auto m = Parse("1 eq 2");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->comp_op, CompOp::kValEq);
+}
+
+TEST(Parser, UnionExpr) {
+  auto m = Parse("$a/x | $a/y");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->body->kind, ExprKind::kUnion);
+}
+
+}  // namespace
+}  // namespace xrpc::xquery
