@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_bulk_tables.cc" "bench/CMakeFiles/bench_fig1_bulk_tables.dir/bench_fig1_bulk_tables.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_bulk_tables.dir/bench_fig1_bulk_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xrpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmark/CMakeFiles/xrpc_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/xrpc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/xrpc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/shred/CMakeFiles/xrpc_shred.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/xrpc_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/xrpc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/xrpc_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/xrpc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/xrpc_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrpc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xrpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xrpc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_wrapper.dir/bench_table3_wrapper.cc.o"
+  "CMakeFiles/bench_table3_wrapper.dir/bench_table3_wrapper.cc.o.d"
+  "bench_table3_wrapper"
+  "bench_table3_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_semijoin.dir/distributed_semijoin.cpp.o"
+  "CMakeFiles/distributed_semijoin.dir/distributed_semijoin.cpp.o.d"
+  "distributed_semijoin"
+  "distributed_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/film_database.dir/film_database.cpp.o"
+  "CMakeFiles/film_database.dir/film_database.cpp.o.d"
+  "film_database"
+  "film_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/film_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

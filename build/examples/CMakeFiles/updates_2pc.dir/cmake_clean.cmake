@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_2pc.dir/updates_2pc.cpp.o"
+  "CMakeFiles/updates_2pc.dir/updates_2pc.cpp.o.d"
+  "updates_2pc"
+  "updates_2pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_2pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

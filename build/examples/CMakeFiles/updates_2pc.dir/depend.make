@@ -1,0 +1,2 @@
+# Empty dependencies file for updates_2pc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_interop.dir/wrapper_interop.cpp.o"
+  "CMakeFiles/wrapper_interop.dir/wrapper_interop.cpp.o.d"
+  "wrapper_interop"
+  "wrapper_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("xml")
+subdirs("xdm")
+subdirs("xquery")
+subdirs("algebra")
+subdirs("shred")
+subdirs("soap")
+subdirs("net")
+subdirs("compiler")
+subdirs("server")
+subdirs("wrapper")
+subdirs("core")
+subdirs("xmark")

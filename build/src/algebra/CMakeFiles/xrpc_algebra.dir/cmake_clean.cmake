@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_algebra.dir/table.cc.o"
+  "CMakeFiles/xrpc_algebra.dir/table.cc.o.d"
+  "libxrpc_algebra.a"
+  "libxrpc_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

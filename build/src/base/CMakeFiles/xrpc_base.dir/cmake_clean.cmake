@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_base.dir/status.cc.o"
+  "CMakeFiles/xrpc_base.dir/status.cc.o.d"
+  "CMakeFiles/xrpc_base.dir/string_util.cc.o"
+  "CMakeFiles/xrpc_base.dir/string_util.cc.o.d"
+  "libxrpc_base.a"
+  "libxrpc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_compiler.dir/loop_lift.cc.o"
+  "CMakeFiles/xrpc_compiler.dir/loop_lift.cc.o.d"
+  "CMakeFiles/xrpc_compiler.dir/relational_engine.cc.o"
+  "CMakeFiles/xrpc_compiler.dir/relational_engine.cc.o.d"
+  "libxrpc_compiler.a"
+  "libxrpc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

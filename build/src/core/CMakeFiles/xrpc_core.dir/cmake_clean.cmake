@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_core.dir/peer_network.cc.o"
+  "CMakeFiles/xrpc_core.dir/peer_network.cc.o.d"
+  "libxrpc_core.a"
+  "libxrpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/http.cc" "src/net/CMakeFiles/xrpc_net.dir/http.cc.o" "gcc" "src/net/CMakeFiles/xrpc_net.dir/http.cc.o.d"
+  "/root/repo/src/net/simulated_network.cc" "src/net/CMakeFiles/xrpc_net.dir/simulated_network.cc.o" "gcc" "src/net/CMakeFiles/xrpc_net.dir/simulated_network.cc.o.d"
+  "/root/repo/src/net/uri.cc" "src/net/CMakeFiles/xrpc_net.dir/uri.cc.o" "gcc" "src/net/CMakeFiles/xrpc_net.dir/uri.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xrpc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

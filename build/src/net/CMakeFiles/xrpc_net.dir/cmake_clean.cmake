@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_net.dir/http.cc.o"
+  "CMakeFiles/xrpc_net.dir/http.cc.o.d"
+  "CMakeFiles/xrpc_net.dir/simulated_network.cc.o"
+  "CMakeFiles/xrpc_net.dir/simulated_network.cc.o.d"
+  "CMakeFiles/xrpc_net.dir/uri.cc.o"
+  "CMakeFiles/xrpc_net.dir/uri.cc.o.d"
+  "libxrpc_net.a"
+  "libxrpc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/database.cc" "src/server/CMakeFiles/xrpc_server.dir/database.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/database.cc.o.d"
+  "/root/repo/src/server/engine.cc" "src/server/CMakeFiles/xrpc_server.dir/engine.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/engine.cc.o.d"
+  "/root/repo/src/server/isolation.cc" "src/server/CMakeFiles/xrpc_server.dir/isolation.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/isolation.cc.o.d"
+  "/root/repo/src/server/module_registry.cc" "src/server/CMakeFiles/xrpc_server.dir/module_registry.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/module_registry.cc.o.d"
+  "/root/repo/src/server/remote_docs.cc" "src/server/CMakeFiles/xrpc_server.dir/remote_docs.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/remote_docs.cc.o.d"
+  "/root/repo/src/server/rpc_client.cc" "src/server/CMakeFiles/xrpc_server.dir/rpc_client.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/rpc_client.cc.o.d"
+  "/root/repo/src/server/wsat.cc" "src/server/CMakeFiles/xrpc_server.dir/wsat.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/wsat.cc.o.d"
+  "/root/repo/src/server/xrpc_service.cc" "src/server/CMakeFiles/xrpc_server.dir/xrpc_service.cc.o" "gcc" "src/server/CMakeFiles/xrpc_server.dir/xrpc_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xrpc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrpc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/xrpc_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/xrpc_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/xrpc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xrpc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

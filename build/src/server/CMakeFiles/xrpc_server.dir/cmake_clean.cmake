@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_server.dir/database.cc.o"
+  "CMakeFiles/xrpc_server.dir/database.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/engine.cc.o"
+  "CMakeFiles/xrpc_server.dir/engine.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/isolation.cc.o"
+  "CMakeFiles/xrpc_server.dir/isolation.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/module_registry.cc.o"
+  "CMakeFiles/xrpc_server.dir/module_registry.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/remote_docs.cc.o"
+  "CMakeFiles/xrpc_server.dir/remote_docs.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/rpc_client.cc.o"
+  "CMakeFiles/xrpc_server.dir/rpc_client.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/wsat.cc.o"
+  "CMakeFiles/xrpc_server.dir/wsat.cc.o.d"
+  "CMakeFiles/xrpc_server.dir/xrpc_service.cc.o"
+  "CMakeFiles/xrpc_server.dir/xrpc_service.cc.o.d"
+  "libxrpc_server.a"
+  "libxrpc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxrpc_server.a"
+)

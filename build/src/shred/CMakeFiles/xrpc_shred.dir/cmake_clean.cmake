@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_shred.dir/shredded_doc.cc.o"
+  "CMakeFiles/xrpc_shred.dir/shredded_doc.cc.o.d"
+  "libxrpc_shred.a"
+  "libxrpc_shred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_shred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

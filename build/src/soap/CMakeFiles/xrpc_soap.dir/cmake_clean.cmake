@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_soap.dir/marshal.cc.o"
+  "CMakeFiles/xrpc_soap.dir/marshal.cc.o.d"
+  "CMakeFiles/xrpc_soap.dir/message.cc.o"
+  "CMakeFiles/xrpc_soap.dir/message.cc.o.d"
+  "libxrpc_soap.a"
+  "libxrpc_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_wrapper.dir/codegen.cc.o"
+  "CMakeFiles/xrpc_wrapper.dir/codegen.cc.o.d"
+  "CMakeFiles/xrpc_wrapper.dir/wrapper_engine.cc.o"
+  "CMakeFiles/xrpc_wrapper.dir/wrapper_engine.cc.o.d"
+  "libxrpc_wrapper.a"
+  "libxrpc_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_xdm.dir/atomic.cc.o"
+  "CMakeFiles/xrpc_xdm.dir/atomic.cc.o.d"
+  "CMakeFiles/xrpc_xdm.dir/item.cc.o"
+  "CMakeFiles/xrpc_xdm.dir/item.cc.o.d"
+  "libxrpc_xdm.a"
+  "libxrpc_xdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_xdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

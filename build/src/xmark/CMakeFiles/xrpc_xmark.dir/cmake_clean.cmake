@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_xmark.dir/xmark.cc.o"
+  "CMakeFiles/xrpc_xmark.dir/xmark.cc.o.d"
+  "libxrpc_xmark.a"
+  "libxrpc_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_xml.dir/node.cc.o"
+  "CMakeFiles/xrpc_xml.dir/node.cc.o.d"
+  "CMakeFiles/xrpc_xml.dir/parser.cc.o"
+  "CMakeFiles/xrpc_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xrpc_xml.dir/serializer.cc.o"
+  "CMakeFiles/xrpc_xml.dir/serializer.cc.o.d"
+  "libxrpc_xml.a"
+  "libxrpc_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

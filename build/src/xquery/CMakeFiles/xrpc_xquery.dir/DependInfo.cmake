@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/ast.cc" "src/xquery/CMakeFiles/xrpc_xquery.dir/ast.cc.o" "gcc" "src/xquery/CMakeFiles/xrpc_xquery.dir/ast.cc.o.d"
+  "/root/repo/src/xquery/interpreter.cc" "src/xquery/CMakeFiles/xrpc_xquery.dir/interpreter.cc.o" "gcc" "src/xquery/CMakeFiles/xrpc_xquery.dir/interpreter.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/xquery/CMakeFiles/xrpc_xquery.dir/parser.cc.o" "gcc" "src/xquery/CMakeFiles/xrpc_xquery.dir/parser.cc.o.d"
+  "/root/repo/src/xquery/update.cc" "src/xquery/CMakeFiles/xrpc_xquery.dir/update.cc.o" "gcc" "src/xquery/CMakeFiles/xrpc_xquery.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xrpc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrpc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/xrpc_xdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_xquery.dir/ast.cc.o"
+  "CMakeFiles/xrpc_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/xrpc_xquery.dir/interpreter.cc.o"
+  "CMakeFiles/xrpc_xquery.dir/interpreter.cc.o.d"
+  "CMakeFiles/xrpc_xquery.dir/parser.cc.o"
+  "CMakeFiles/xrpc_xquery.dir/parser.cc.o.d"
+  "CMakeFiles/xrpc_xquery.dir/update.cc.o"
+  "CMakeFiles/xrpc_xquery.dir/update.cc.o.d"
+  "libxrpc_xquery.a"
+  "libxrpc_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

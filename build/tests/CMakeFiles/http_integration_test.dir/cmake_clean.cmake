@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_integration_test.dir/http_integration_test.cc.o"
+  "CMakeFiles/http_integration_test.dir/http_integration_test.cc.o.d"
+  "http_integration_test"
+  "http_integration_test.pdb"
+  "http_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_lift_test.dir/loop_lift_test.cc.o"
+  "CMakeFiles/loop_lift_test.dir/loop_lift_test.cc.o.d"
+  "loop_lift_test"
+  "loop_lift_test.pdb"
+  "loop_lift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_lift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shred_test.dir/shred_test.cc.o"
+  "CMakeFiles/shred_test.dir/shred_test.cc.o.d"
+  "shred_test"
+  "shred_test.pdb"
+  "shred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_order_test.dir/update_order_test.cc.o"
+  "CMakeFiles/update_order_test.dir/update_order_test.cc.o.d"
+  "update_order_test"
+  "update_order_test.pdb"
+  "update_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/xdm_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/soap_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/shred_test[1]_include.cmake")
+include("/root/repo/build/tests/loop_lift_test[1]_include.cmake")
+include("/root/repo/build/tests/wrapper_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/xmark_test[1]_include.cmake")
+include("/root/repo/build/tests/http_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/update_order_test[1]_include.cmake")
+include("/root/repo/build/tests/strategies_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
