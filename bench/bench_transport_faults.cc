@@ -1,0 +1,108 @@
+// Transport-resilience benchmark: runs a Bulk RPC workload over the
+// simulated network under increasingly hostile fault-injection profiles
+// (drops, forced failures, latency spikes) with retries enabled, and dumps
+// the RpcMetrics registry — retry/fault counters and the latency
+// histogram. This is the observability loop the paper's Section 4/6
+// dependable-substrate assumption needs in practice: you can only trust
+// Bulk RPC latency amortization numbers if you can see what the wire did.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "xmark/xmark.h"
+
+namespace {
+
+using xrpc::core::EngineKind;
+using xrpc::core::Peer;
+using xrpc::core::PeerNetwork;
+using xrpc::net::FaultProfile;
+using xrpc::net::RetryPolicy;
+
+struct Scenario {
+  const char* name;
+  FaultProfile faults;
+};
+
+struct Outcome {
+  int ok = 0;
+  int failed = 0;
+  int64_t requests = 0;
+  int64_t retries = 0;
+  int64_t faults = 0;
+  int64_t backoff_us = 0;
+  std::string last_report;
+};
+
+Outcome Run(const Scenario& scenario, int queries) {
+  PeerNetwork net;
+  net.AddPeer("p0");
+  Peer* y = net.AddPeer("y.example.org");
+  (void)y->AddDocument("filmDB.xml", xrpc::xmark::GenerateFilmDb());
+  (void)y->RegisterModule(xrpc::xmark::FilmModuleSource(), "film.xq");
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_us = 500;
+  policy.request_timeout_us = 400000;  // latency spikes become timeouts
+  net.set_retry_policy(policy);
+  net.network().set_fault_profile(scenario.faults);
+
+  Outcome out;
+  for (int i = 0; i < queries; ++i) {
+    auto report = net.Execute("p0", R"(
+        import module namespace f="films" at "film.xq";
+        for $a in ("Sean Connery", "Julie Andrews", "Gerard Depardieu")
+        return execute at {"xrpc://y.example.org"} {f:filmsByActor($a)})");
+    if (report.ok()) {
+      ++out.ok;
+    } else {
+      ++out.failed;
+    }
+  }
+  out.requests = net.metrics().requests();
+  out.retries = net.metrics().retries();
+  out.faults = net.metrics().injected_faults();
+  out.backoff_us = net.metrics().backoff_micros();
+  out.last_report = net.metrics().Report();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Transport resilience — Bulk RPC workload under injected faults,\n"
+      "4 attempts with exponential backoff, 400ms modeled deadline.\n"
+      "Read-only queries retry; metrics show what the wire did.\n\n");
+
+  const int kQueries = 40;
+  Scenario scenarios[] = {
+      {"clean", {}},
+      {"drop 10%", {.drop_probability = 0.10, .seed = 11}},
+      {"drop 30%", {.drop_probability = 0.30, .seed = 11}},
+      {"fail every 5th", {.fail_every_nth = 5}},
+      {"spike every 7th (+0.5s)",
+       {.latency_spike_every_nth = 7, .latency_spike_us = 500000}},
+  };
+
+  xrpc::bench::TablePrinter table({"scenario", "queries ok", "failed",
+                                   "wire requests", "retries", "faults",
+                                   "backoff ms"});
+  std::string final_report;
+  for (const Scenario& s : scenarios) {
+    Outcome o = Run(s, kQueries);
+    table.AddRow({s.name, std::to_string(o.ok), std::to_string(o.failed),
+                  std::to_string(o.requests), std::to_string(o.retries),
+                  std::to_string(o.faults), xrpc::bench::Ms(o.backoff_us)});
+    final_report = o.last_report;
+  }
+  table.Print();
+
+  std::printf("\nMetrics registry dump (last scenario):\n%s",
+              final_report.c_str());
+  std::printf(
+      "\nShape checks: clean run has zero retries/faults; retries track\n"
+      "injected fault rates; most faulted queries still succeed.\n");
+  return 0;
+}

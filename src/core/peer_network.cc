@@ -179,11 +179,20 @@ Status Peer::RegisterModule(std::string_view source,
   return registry_.RegisterModule(source, location);
 }
 
-PeerNetwork::PeerNetwork(net::NetworkProfile profile) : network_(profile) {}
+PeerNetwork::PeerNetwork(net::NetworkProfile profile)
+    : network_(profile),
+      // Default policy: single attempt (no retries) so transport failures
+      // keep surfacing fail-fast; set_retry_policy() opts into resilience.
+      // Backoff "sleeps" advance the virtual clock — fully deterministic.
+      transport_(&network_, net::RetryPolicy{.max_attempts = 1}, &metrics_,
+                 [this](int64_t us) { network_.clock().Advance(us); }) {
+  network_.set_metrics(&metrics_);
+}
 
 Peer* PeerNetwork::AddPeer(const std::string& name, EngineKind kind) {
   auto peer = std::make_unique<Peer>(name, kind, &network_);
   Peer* raw = peer.get();
+  peer->service_->set_metrics(&metrics_);
   peers_[name] = std::move(peer);
   return raw;
 }
@@ -231,7 +240,10 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     copts.query_id = qid;
     copts.simple_query = IsSimpleXrpcQuery(query);
   }
-  server::RpcClient client(&network_, copts);
+  // Outgoing requests go through the retry/timeout decorator, which also
+  // records per-peer wire metrics (so the client itself must not record —
+  // that would double count).
+  server::RpcClient client(&transport_, copts);
   server::LiveDocumentProvider local_docs(&p0->db_);
   server::FederatedDocumentProvider docs(&local_docs, &client);
 

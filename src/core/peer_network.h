@@ -10,6 +10,8 @@
 
 #include "base/statusor.h"
 #include "compiler/relational_engine.h"
+#include "net/retrying_transport.h"
+#include "net/rpc_metrics.h"
 #include "net/simulated_network.h"
 #include "server/remote_docs.h"
 #include "server/rpc_client.h"
@@ -134,6 +136,20 @@ class PeerNetwork {
 
   net::SimulatedNetwork& network() { return network_; }
 
+  /// Shared observability registry: client-side traffic (per-peer requests,
+  /// retries, faults, bytes, latency histogram), server-side request counts
+  /// and injected faults all land here. Dumped by the bench harness.
+  net::RpcMetrics& metrics() { return metrics_; }
+
+  /// Retry/timeout policy applied to every outgoing request of Execute().
+  /// Default: one attempt (no retries), preserving fail-fast semantics.
+  /// Backoff waits advance the simulated network's virtual clock, keeping
+  /// executions deterministic.
+  void set_retry_policy(net::RetryPolicy policy) {
+    transport_.set_policy(policy);
+  }
+  const net::RetryPolicy& retry_policy() const { return transport_.policy(); }
+
   /// Runs `query_text` with peer `peer_name` in the p0 role: parses it,
   /// honors its declare option xrpc:isolation / xrpc:timeout, executes it
   /// on the peer's engine with loop-lifted Bulk RPC dispatch (relational
@@ -145,6 +161,8 @@ class PeerNetwork {
 
  private:
   net::SimulatedNetwork network_;
+  net::RpcMetrics metrics_;
+  net::RetryingTransport transport_;  ///< retry/timeout decorator over network_
   std::map<std::string, std::unique_ptr<Peer>> peers_;
   int64_t next_query_serial_ = 1;
 };

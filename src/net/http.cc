@@ -4,8 +4,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "base/string_util.h"
@@ -16,7 +18,9 @@ namespace xrpc::net {
 namespace {
 
 // Reads from fd until the full HTTP message (headers + Content-Length body)
-// has arrived. Returns headers+body as one string.
+// has arrived. Returns headers+body as one string. A connection that closes
+// before delivering Content-Length bytes is a truncated body, not a valid
+// message — accepting it would hand half a SOAP envelope to the caller.
 StatusOr<std::string> ReadHttpMessage(int fd) {
   std::string buf;
   char chunk[4096];
@@ -24,8 +28,22 @@ StatusOr<std::string> ReadHttpMessage(int fd) {
   size_t content_length = 0;
   while (true) {
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) return Status::NetworkError("recv failed");
-    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::NetworkError("recv timed out");
+      }
+      return Status::NetworkError("recv failed");
+    }
+    if (n == 0) {
+      if (header_end != std::string::npos &&
+          buf.size() < header_end + 4 + content_length) {
+        return Status::NetworkError(
+            "truncated body: got " +
+            std::to_string(buf.size() - header_end - 4) + " of " +
+            std::to_string(content_length) + " bytes");
+      }
+      break;
+    }
     buf.append(chunk, static_cast<size_t>(n));
     if (header_end == std::string::npos) {
       header_end = buf.find("\r\n\r\n");
@@ -60,7 +78,12 @@ Status SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return Status::NetworkError("send failed");
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Status::NetworkError("send timed out");
+      }
+      return Status::NetworkError("send failed");
+    }
     sent += static_cast<size_t>(n);
   }
   return Status::OK();
@@ -69,6 +92,33 @@ Status SendAll(int fd, const std::string& data) {
 std::string ExtractBody(const std::string& message) {
   size_t pos = message.find("\r\n\r\n");
   return pos == std::string::npos ? "" : message.substr(pos + 4);
+}
+
+// Parses the status code out of "HTTP/1.1 <code> <reason>". Returns -1 on a
+// malformed status line. Only the first line is considered, so a " 200 "
+// inside the response body cannot masquerade as success.
+int ParseStatusCode(const std::string& message) {
+  size_t line_end = message.find("\r\n");
+  std::string line = message.substr(
+      0, line_end == std::string::npos ? message.size() : line_end);
+  if (line.rfind("HTTP/", 0) != 0) return -1;
+  size_t sp = line.find(' ');
+  if (sp == std::string::npos) return -1;
+  size_t code_end = line.find(' ', sp + 1);
+  auto code = ParseInt64(std::string_view(line).substr(
+      sp + 1,
+      code_end == std::string::npos ? std::string::npos : code_end - sp - 1));
+  if (!code.ok() || code.value() < 100 || code.value() > 599) return -1;
+  return static_cast<int>(code.value());
+}
+
+void SetSocketTimeout(int fd, int64_t timeout_millis) {
+  if (timeout_millis <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_millis % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -108,10 +158,26 @@ void HttpServer::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
   }
   workers_.clear();
+}
+
+void HttpServer::ReapFinishedLocked() {
+  size_t kept = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].done->load(std::memory_order_acquire)) {
+      if (workers_[i].thread.joinable()) workers_[i].thread.join();
+    } else {
+      // Self-move-assigning a joinable std::thread terminates; only shift
+      // when a reaped slot opened up below.
+      if (kept != i) workers_[kept] = std::move(workers_[i]);
+      ++kept;
+    }
+  }
+  workers_.resize(kept);
 }
 
 void HttpServer::AcceptLoop() {
@@ -121,7 +187,16 @@ void HttpServer::AcceptLoop() {
       if (!running_) return;
       continue;
     }
-    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+    Worker w;
+    w.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = w.done;
+    w.thread = std::thread([this, fd, done] {
+      ServeConnection(fd);
+      done->store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    ReapFinishedLocked();
+    workers_.push_back(std::move(w));
   }
 }
 
@@ -132,23 +207,31 @@ void HttpServer::ServeConnection(int fd) {
   if (!message.ok()) {
     status_line = "HTTP/1.1 400 Bad Request";
   } else {
-    // First line: METHOD SP path SP version.
+    // First line: METHOD SP path SP version. A request line without both
+    // separators is malformed — answer 400 instead of indexing garbage.
     const std::string& m = message.value();
-    size_t sp1 = m.find(' ');
-    size_t sp2 = m.find(' ', sp1 + 1);
-    std::string method = m.substr(0, sp1);
-    std::string path =
-        sp2 == std::string::npos ? "/" : m.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (method != "POST") {
-      status_line = "HTTP/1.1 405 Method Not Allowed";
+    size_t line_end = m.find("\r\n");
+    std::string line =
+        m.substr(0, line_end == std::string::npos ? m.size() : line_end);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                          : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      status_line = "HTTP/1.1 400 Bad Request";
     } else {
-      if (!path.empty() && path[0] == '/') path = path.substr(1);
-      auto handled = endpoint_->Handle(path, ExtractBody(m));
-      if (handled.ok()) {
-        reply_body = std::move(handled).value();
+      std::string method = line.substr(0, sp1);
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      if (method != "POST") {
+        status_line = "HTTP/1.1 405 Method Not Allowed";
       } else {
-        status_line = "HTTP/1.1 500 Internal Server Error";
-        reply_body = handled.status().ToString();
+        if (!path.empty() && path[0] == '/') path = path.substr(1);
+        auto handled = endpoint_->Handle(path, ExtractBody(m));
+        if (handled.ok()) {
+          reply_body = std::move(handled).value();
+        } else {
+          status_line = "HTTP/1.1 500 Internal Server Error";
+          reply_body = handled.status().ToString();
+        }
       }
     }
   }
@@ -163,11 +246,13 @@ void HttpServer::ServeConnection(int fd) {
 
 StatusOr<std::string> HttpPost(const std::string& host, int port,
                                const std::string& path,
-                               const std::string& body) {
+                               const std::string& body,
+                               int64_t timeout_millis) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::NetworkError("socket() failed");
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetSocketTimeout(fd, timeout_millis);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -197,18 +282,39 @@ StatusOr<std::string> HttpPost(const std::string& host, int port,
   ::close(fd);
   XRPC_RETURN_IF_ERROR(message.status());
   const std::string& m = message.value();
-  if (m.find(" 200 ") == std::string::npos &&
-      m.rfind("HTTP/1.1 200", 0) != 0) {
-    return Status::NetworkError("HTTP error: " + m.substr(0, m.find("\r\n")));
+  int code = ParseStatusCode(m);
+  if (code < 0) {
+    return Status::NetworkError("malformed HTTP status line: " +
+                                m.substr(0, m.find("\r\n")));
   }
-  return ExtractBody(m);
+  if (code >= 200 && code < 300) return ExtractBody(m);
+  if (code == 500) {
+    // The embedded server reports handler errors as Status::ToString() in
+    // the 500 body; a SOAP Fault among them is an application-level
+    // outcome, not a transport failure, and must not look retryable.
+    std::string err_body = ExtractBody(m);
+    constexpr std::string_view kFaultPrefix = "SoapFault: ";
+    if (err_body.rfind(kFaultPrefix, 0) == 0) {
+      return Status::SoapFault(err_body.substr(kFaultPrefix.size()));
+    }
+    size_t fs = err_body.find("<faultstring>");
+    if (fs != std::string::npos) {
+      size_t start = fs + 13;
+      size_t end = err_body.find("</faultstring>", start);
+      if (end != std::string::npos) {
+        return Status::SoapFault(err_body.substr(start, end - start));
+      }
+    }
+  }
+  return Status::NetworkError("HTTP error: " + m.substr(0, m.find("\r\n")));
 }
 
 StatusOr<PostResult> HttpTransport::Post(const std::string& dest_uri,
                                          const std::string& body) {
   XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
-  XRPC_ASSIGN_OR_RETURN(std::string reply,
-                        HttpPost(uri.host, uri.port, uri.path, body));
+  XRPC_ASSIGN_OR_RETURN(
+      std::string reply,
+      HttpPost(uri.host, uri.port, uri.path, body, timeout_millis_));
   PostResult result;
   result.body = std::move(reply);
   return result;

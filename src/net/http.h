@@ -2,6 +2,8 @@
 #define XRPC_NET_HTTP_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,7 +18,8 @@ namespace xrpc::net {
 /// to a SoapEndpoint, and replies with the SOAP response body.
 ///
 /// One thread accepts connections; each request is served synchronously on
-/// a short-lived worker thread (connection: close semantics).
+/// a short-lived worker thread (connection: close semantics). Finished
+/// workers are reaped by the accept loop so the worker set stays bounded.
 class HttpServer {
  public:
   explicit HttpServer(SoapEndpoint* endpoint) : endpoint_(endpoint) {}
@@ -35,15 +38,25 @@ class HttpServer {
   int port() const { return port_; }
 
  private:
+  /// One connection-serving thread plus its completion flag (set by the
+  /// worker itself just before exiting, read by the reaper).
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
+  /// Joins and removes workers whose `done` flag is set. mu_ must be held.
+  void ReapFinishedLocked();
 
   SoapEndpoint* endpoint_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
+  std::mutex mu_;                 ///< guards workers_
+  std::vector<Worker> workers_;
 };
 
 /// Transport that POSTs over real loopback/host TCP sockets.
@@ -51,12 +64,22 @@ class HttpTransport : public Transport {
  public:
   StatusOr<PostResult> Post(const std::string& dest_uri,
                             const std::string& body) override;
+
+  /// Socket send/receive timeout applied to every exchange (0 = none).
+  void set_timeout_millis(int64_t millis) { timeout_millis_ = millis; }
+  int64_t timeout_millis() const { return timeout_millis_; }
+
+ private:
+  int64_t timeout_millis_ = 0;
 };
 
 /// Low-level helper: POST `body` to host:port/path, return response body.
+/// `timeout_millis` > 0 arms SO_RCVTIMEO/SO_SNDTIMEO on the socket; a
+/// stalled peer then yields a NetworkError mentioning "timed out".
 StatusOr<std::string> HttpPost(const std::string& host, int port,
                                const std::string& path,
-                               const std::string& body);
+                               const std::string& body,
+                               int64_t timeout_millis = 0);
 
 }  // namespace xrpc::net
 

@@ -1,0 +1,87 @@
+#include "net/retrying_transport.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrpc::net {
+
+bool RetryingTransport::IsUpdatingEnvelope(const std::string& body) {
+  // The SOAP codec emits the XQUF marker as an attribute of xrpc:request;
+  // both quote styles are accepted on the wire.
+  return body.find("updCall=\"true\"") != std::string::npos ||
+         body.find("updCall='true'") != std::string::npos;
+}
+
+int64_t RetryingTransport::BackoffMicros(int retry) {
+  double base = static_cast<double>(policy_.initial_backoff_us) *
+                std::pow(policy_.backoff_multiplier, retry - 1);
+  base = std::min(base, static_cast<double>(policy_.max_backoff_us));
+  if (policy_.jitter_fraction > 0) {
+    double scale =
+        1.0 + policy_.jitter_fraction * (2.0 * prng_.NextDouble() - 1.0);
+    base *= scale;
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(base));
+}
+
+StatusOr<PostResult> RetryingTransport::Post(const std::string& dest_uri,
+                                             const std::string& body) {
+  const bool updating = IsUpdatingEnvelope(body);
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  // Backoff waits are part of the exchange's wire-level elapsed time; they
+  // are accumulated into the returned network_micros so that critical-path
+  // accounting (Table 4) sees the true cost of a flaky link.
+  int64_t backoff_total = 0;
+  Status last_error = Status::NetworkError("no attempt made");
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    auto result = inner_->Post(dest_uri, body);
+
+    if (result.ok() && policy_.request_timeout_us > 0 &&
+        result->network_micros > policy_.request_timeout_us) {
+      // The reply arrived past the deadline: the caller has already given
+      // up on this attempt, so the reply is discarded (its content must not
+      // be used — that would resurrect an abandoned request).
+      if (metrics_) metrics_->RecordTimeout(dest_uri);
+      result = Status::NetworkError(
+          "request timed out after " +
+          std::to_string(result->network_micros) + "us (deadline " +
+          std::to_string(policy_.request_timeout_us) + "us)");
+    }
+
+    if (result.ok()) {
+      result->network_micros += backoff_total;
+      if (metrics_) {
+        metrics_->RecordClientRequest(dest_uri, body.size(),
+                                      result->body.size(),
+                                      result->network_micros, /*ok=*/true);
+      }
+      return result;
+    }
+
+    last_error = result.status();
+    if (metrics_) {
+      metrics_->RecordClientRequest(dest_uri, body.size(), 0, 0,
+                                    /*ok=*/false);
+    }
+
+    // Only transport-level failures are transient; and an updating envelope
+    // is never retransmitted once it may have reached the destination
+    // (at-most-once, Section 4.4).
+    if (last_error.code() != StatusCode::kNetworkError || updating ||
+        attempt == max_attempts) {
+      break;
+    }
+
+    int64_t backoff = BackoffMicros(attempt);
+    backoff_total += backoff;
+    if (metrics_) {
+      metrics_->RecordRetry(dest_uri);
+      metrics_->RecordBackoff(backoff);
+    }
+    if (sleep_) sleep_(backoff);
+  }
+  return last_error;
+}
+
+}  // namespace xrpc::net

@@ -1,0 +1,92 @@
+#ifndef XRPC_NET_RETRYING_TRANSPORT_H_
+#define XRPC_NET_RETRYING_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/prng.h"
+#include "net/rpc_metrics.h"
+#include "net/transport.h"
+
+namespace xrpc::net {
+
+/// Retry/timeout policy of a RetryingTransport.
+///
+/// Only transient transport failures (StatusCode::kNetworkError) are ever
+/// retried; application-level outcomes (SOAP Faults, isolation errors, ...)
+/// are final. Backoff before attempt k (k >= 2) is
+///   min(initial_backoff_us * multiplier^(k-2), max_backoff_us)
+/// scaled by a deterministic jitter factor in
+/// [1 - jitter_fraction, 1 + jitter_fraction] drawn from an injected-seed
+/// PRNG, so a fixed seed pins the entire schedule.
+struct RetryPolicy {
+  int max_attempts = 3;              ///< 1 = no retries
+  int64_t initial_backoff_us = 1000; ///< backoff before the first retry
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 1'000'000;
+  double jitter_fraction = 0.2;      ///< 0 disables jitter
+  /// Deadline per attempt, enforced against the transport's modeled wire
+  /// time (PostResult::network_micros). 0 disables the check. An attempt
+  /// whose reply arrives past the deadline is abandoned: the reply is
+  /// discarded and the attempt counts as a (retryable) timeout.
+  int64_t request_timeout_us = 0;
+};
+
+/// Transport decorator adding per-request timeouts and exponential-backoff
+/// retries on transient failures (the dependable-substrate assumption of
+/// the paper's Section 4/6 made explicit).
+///
+/// Delivery semantics:
+///  - Read-only envelopes: at-least-once. A transient failure is retried up
+///    to max_attempts times; the XRPC request is side-effect-free, so a
+///    duplicate delivery is harmless.
+///  - Updating envelopes (updCall="true", Section 4.4): at-most-once. The
+///    envelope is NEVER re-sent after its first transmission — a transport
+///    failure leaves the delivery status in doubt, and a blind retry could
+///    apply the update twice, breaking XQUF/2PC soundness. The failure is
+///    surfaced to the caller (who owns the transactional recovery path).
+///
+/// Time is fully injectable: `sleep` performs the backoff (default: no-op,
+/// correct for the virtual-time simulated network when the caller accounts
+/// backoff via metrics; pass a real sleeper for wall-clock transports) and
+/// the jitter PRNG is seeded explicitly, so retry schedules are
+/// deterministic and unit-testable.
+class RetryingTransport : public Transport {
+ public:
+  using SleepFn = std::function<void(int64_t micros)>;
+
+  RetryingTransport(Transport* inner, RetryPolicy policy,
+                    RpcMetrics* metrics = nullptr, SleepFn sleep = nullptr,
+                    uint64_t jitter_seed = 42)
+      : inner_(inner),
+        policy_(policy),
+        metrics_(metrics),
+        sleep_(std::move(sleep)),
+        prng_(jitter_seed) {}
+
+  StatusOr<PostResult> Post(const std::string& dest_uri,
+                            const std::string& body) override;
+
+  /// Deterministic backoff (with jitter) before retry number `retry`
+  /// (1-based). Exposed for tests and for callers modeling virtual time.
+  int64_t BackoffMicros(int retry);
+
+  const RetryPolicy& policy() const { return policy_; }
+  void set_policy(RetryPolicy policy) { policy_ = policy; }
+
+  /// True if `body` is an XRPC envelope carrying an updating call
+  /// (updCall="true"), which must not be retransmitted.
+  static bool IsUpdatingEnvelope(const std::string& body);
+
+ private:
+  Transport* inner_;
+  RetryPolicy policy_;
+  RpcMetrics* metrics_;
+  SleepFn sleep_;
+  DeterministicPrng prng_;
+};
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_RETRYING_TRANSPORT_H_

@@ -1,0 +1,232 @@
+#include "net/rpc_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xrpc::net {
+
+namespace {
+
+int BucketFor(int64_t micros) {
+  int b = 0;
+  int64_t bound = 1;
+  while (b < LatencyHistogram::kBuckets - 1 && micros >= bound) {
+    bound <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string FormatCount(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  counts_[static_cast<size_t>(BucketFor(micros))]++;
+  if (samples_ == 0 || micros < min_micros_) min_micros_ = micros;
+  if (micros > max_micros_) max_micros_ = micros;
+  total_micros_ += micros;
+  ++samples_;
+}
+
+int64_t LatencyHistogram::PercentileUpperBound(double p) const {
+  if (samples_ == 0) return 0;
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(samples_));
+  if (rank >= samples_) rank = samples_ - 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[static_cast<size_t>(b)];
+    if (seen > rank) return int64_t{1} << b;
+  }
+  return int64_t{1} << (kBuckets - 1);
+}
+
+std::string LatencyHistogram::Summary() const {
+  if (samples_ == 0) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%lldus p50<%lldus p99<%lldus max=%lldus",
+                static_cast<long long>(samples_),
+                static_cast<long long>(total_micros_ / samples_),
+                static_cast<long long>(PercentileUpperBound(0.50)),
+                static_cast<long long>(PercentileUpperBound(0.99)),
+                static_cast<long long>(max_micros_));
+  return buf;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    counts_[static_cast<size_t>(b)] += other.counts_[static_cast<size_t>(b)];
+  }
+  if (other.samples_ > 0) {
+    if (samples_ == 0 || other.min_micros_ < min_micros_) {
+      min_micros_ = other.min_micros_;
+    }
+    max_micros_ = std::max(max_micros_, other.max_micros_);
+  }
+  samples_ += other.samples_;
+  total_micros_ += other.total_micros_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+void PeerRpcStats::Merge(const PeerRpcStats& other) {
+  requests += other.requests;
+  failures += other.failures;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  latency.Merge(other.latency);
+}
+
+void RpcMetrics::RecordClientRequest(const std::string& peer,
+                                     size_t bytes_sent, size_t bytes_received,
+                                     int64_t latency_micros, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerRpcStats& s = per_peer_[peer];
+  ++s.requests;
+  if (!ok) ++s.failures;
+  s.bytes_sent += static_cast<int64_t>(bytes_sent);
+  s.bytes_received += static_cast<int64_t>(bytes_received);
+  s.latency.Record(latency_micros);
+}
+
+void RpcMetrics::RecordRetry(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++per_peer_[peer].retries;
+}
+
+void RpcMetrics::RecordTimeout(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++per_peer_[peer].timeouts;
+}
+
+void RpcMetrics::RecordBackoff(int64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backoff_micros_ += micros;
+}
+
+void RpcMetrics::RecordServerRequest(const std::string& self, int64_t calls,
+                                     bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats& s = per_server_[self];
+  ++s.requests;
+  s.calls += calls;
+  if (!ok) ++s.faults;
+}
+
+void RpcMetrics::RecordInjectedFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++injected_faults_;
+}
+
+#define XRPC_METRICS_SUM(field)                          \
+  std::lock_guard<std::mutex> lock(mu_);                 \
+  int64_t total = 0;                                     \
+  for (const auto& [peer, s] : per_peer_) total += s.field; \
+  return total
+
+int64_t RpcMetrics::requests() const { XRPC_METRICS_SUM(requests); }
+int64_t RpcMetrics::failures() const { XRPC_METRICS_SUM(failures); }
+int64_t RpcMetrics::retries() const { XRPC_METRICS_SUM(retries); }
+int64_t RpcMetrics::timeouts() const { XRPC_METRICS_SUM(timeouts); }
+int64_t RpcMetrics::bytes_sent() const { XRPC_METRICS_SUM(bytes_sent); }
+int64_t RpcMetrics::bytes_received() const { XRPC_METRICS_SUM(bytes_received); }
+
+#undef XRPC_METRICS_SUM
+
+int64_t RpcMetrics::backoff_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backoff_micros_;
+}
+
+int64_t RpcMetrics::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_faults_;
+}
+
+int64_t RpcMetrics::server_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [peer, s] : per_server_) total += s.requests;
+  return total;
+}
+
+int64_t RpcMetrics::server_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [peer, s] : per_server_) total += s.calls;
+  return total;
+}
+
+int64_t RpcMetrics::server_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [peer, s] : per_server_) total += s.faults;
+  return total;
+}
+
+LatencyHistogram RpcMetrics::latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencyHistogram merged;
+  for (const auto& [peer, s] : per_peer_) merged.Merge(s.latency);
+  return merged;
+}
+
+PeerRpcStats RpcMetrics::PeerStats(const std::string& peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_peer_.find(peer);
+  return it == per_peer_.end() ? PeerRpcStats{} : it->second;
+}
+
+std::string RpcMetrics::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerRpcStats total;
+  for (const auto& [peer, s] : per_peer_) total.Merge(s);
+
+  std::string out = "RPC metrics\n";
+  out += "  requests=" + FormatCount(total.requests) +
+         " failures=" + FormatCount(total.failures) +
+         " retries=" + FormatCount(total.retries) +
+         " timeouts=" + FormatCount(total.timeouts) +
+         " injected_faults=" + FormatCount(injected_faults_) + "\n";
+  out += "  bytes_sent=" + FormatCount(total.bytes_sent) +
+         " bytes_received=" + FormatCount(total.bytes_received) +
+         " backoff_us=" + FormatCount(backoff_micros_) + "\n";
+  out += "  latency: " + total.latency.Summary() + "\n";
+  if (total.latency.samples() > 0) {
+    out += "  latency histogram (us):";
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      int64_t c = total.latency.bucket(b);
+      if (c == 0) continue;
+      out += " [<" + FormatCount(int64_t{1} << b) + "]=" + FormatCount(c);
+    }
+    out += "\n";
+  }
+  for (const auto& [peer, s] : per_peer_) {
+    out += "  peer " + peer + ": requests=" + FormatCount(s.requests) +
+           " failures=" + FormatCount(s.failures) +
+           " retries=" + FormatCount(s.retries) +
+           " bytes_sent=" + FormatCount(s.bytes_sent) +
+           " bytes_received=" + FormatCount(s.bytes_received) + " " +
+           s.latency.Summary() + "\n";
+  }
+  for (const auto& [self, s] : per_server_) {
+    out += "  server " + self + ": requests=" + FormatCount(s.requests) +
+           " calls=" + FormatCount(s.calls) +
+           " faults=" + FormatCount(s.faults) + "\n";
+  }
+  return out;
+}
+
+void RpcMetrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_peer_.clear();
+  per_server_.clear();
+  backoff_micros_ = 0;
+  injected_faults_ = 0;
+}
+
+}  // namespace xrpc::net

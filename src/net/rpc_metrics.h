@@ -1,0 +1,129 @@
+#ifndef XRPC_NET_RPC_METRICS_H_
+#define XRPC_NET_RPC_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace xrpc::net {
+
+/// Log-scale latency histogram: bucket i counts samples in
+/// [2^(i-1), 2^i) microseconds (bucket 0: [0, 1) us). The last bucket is
+/// open-ended. Covers 1 us .. ~2 s, which spans everything from loopback
+/// round-trips to WAN latency spikes.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 22;
+
+  void Record(int64_t micros);
+
+  int64_t samples() const { return samples_; }
+  int64_t total_micros() const { return total_micros_; }
+  int64_t min_micros() const { return samples_ == 0 ? 0 : min_micros_; }
+  int64_t max_micros() const { return max_micros_; }
+  int64_t bucket(int i) const { return counts_[static_cast<size_t>(i)]; }
+
+  /// Smallest upper bound b such that >= p (in [0,1]) of samples are < b.
+  /// Returns the bucket upper bound (power of two), 0 when empty.
+  int64_t PercentileUpperBound(double p) const;
+
+  /// One-line rendering: "n=… mean=…us p50<…us p99<…us max=…us".
+  std::string Summary() const;
+
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+ private:
+  std::array<int64_t, kBuckets> counts_{};
+  int64_t samples_ = 0;
+  int64_t total_micros_ = 0;
+  int64_t min_micros_ = 0;
+  int64_t max_micros_ = 0;
+};
+
+/// Counters and latency distribution of RPC traffic toward (client side) or
+/// at (server side) one peer.
+struct PeerRpcStats {
+  int64_t requests = 0;       ///< POST exchanges attempted (client side)
+  int64_t failures = 0;       ///< requests that ended in a non-OK status
+  int64_t retries = 0;        ///< re-transmissions after a transient failure
+  int64_t timeouts = 0;       ///< requests abandoned past the deadline
+  int64_t bytes_sent = 0;     ///< request envelope bytes
+  int64_t bytes_received = 0; ///< response envelope bytes
+  LatencyHistogram latency;   ///< per-exchange wire latency (modeled or real)
+
+  void Merge(const PeerRpcStats& other);
+};
+
+/// Thread-safe registry of transport/RPC observability counters, shared by
+/// RetryingTransport (retries, backoff, timeouts), RpcClient (requests,
+/// bytes, latency, per-peer breakdown) and XrpcService (server-side request
+/// and call counts). One registry typically lives in the PeerNetwork and is
+/// dumped by the bench harness; you cannot tune (or trust) Bulk RPC latency
+/// amortization without this visibility.
+class RpcMetrics {
+ public:
+  RpcMetrics() = default;
+  RpcMetrics(const RpcMetrics&) = delete;
+  RpcMetrics& operator=(const RpcMetrics&) = delete;
+
+  /// Client side: one POST exchange toward `peer` completed (ok or not).
+  void RecordClientRequest(const std::string& peer, size_t bytes_sent,
+                           size_t bytes_received, int64_t latency_micros,
+                           bool ok);
+  /// Client side: a transient failure toward `peer` is being retried.
+  void RecordRetry(const std::string& peer);
+  /// Client side: a request toward `peer` exceeded its deadline.
+  void RecordTimeout(const std::string& peer);
+  /// Client side: backoff slept/modeled before a retry.
+  void RecordBackoff(int64_t micros);
+
+  /// Server side: `self` handled a request carrying `calls` bulk calls.
+  void RecordServerRequest(const std::string& self, int64_t calls, bool ok);
+
+  /// Simulated network: a fault (drop/truncation/forced failure) fired.
+  void RecordInjectedFault();
+
+  // -- Aggregate accessors (totals over all peers) ------------------------
+  int64_t requests() const;
+  int64_t failures() const;
+  int64_t retries() const;
+  int64_t timeouts() const;
+  int64_t bytes_sent() const;
+  int64_t bytes_received() const;
+  int64_t backoff_micros() const;
+  int64_t injected_faults() const;
+  int64_t server_requests() const;
+  int64_t server_calls() const;
+  int64_t server_faults() const;
+
+  /// Copy of the latency histogram aggregated over all peers.
+  LatencyHistogram latency() const;
+  /// Copy of one peer's client-side stats ({} if never seen).
+  PeerRpcStats PeerStats(const std::string& peer) const;
+
+  /// Multi-line human-readable dump (totals, histogram, per-peer table);
+  /// what the bench binaries print.
+  std::string Report() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PeerRpcStats> per_peer_;  // client side, by dest URI
+  int64_t backoff_micros_ = 0;
+  int64_t injected_faults_ = 0;
+
+  struct ServerStats {
+    int64_t requests = 0;
+    int64_t calls = 0;
+    int64_t faults = 0;
+  };
+  std::map<std::string, ServerStats> per_server_;  // server side, by self URI
+};
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_RPC_METRICS_H_

@@ -17,8 +17,19 @@ void SimulatedNetwork::DisconnectPeer(const XrpcUri& address) {
 
 void SimulatedNetwork::FailNextPost(Status status) {
   std::lock_guard<std::mutex> lock(mu_);
-  injected_failure_ = std::move(status);
-  has_injected_failure_ = true;
+  injected_failures_.push_back(std::move(status));
+}
+
+void SimulatedNetwork::set_fault_profile(FaultProfile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_profile_ = profile;
+  fault_prng_.Reseed(profile.seed);
+  fault_serial_ = 0;
+}
+
+int64_t SimulatedNetwork::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
 }
 
 void SimulatedNetwork::ResetStats() {
@@ -33,11 +44,36 @@ StatusOr<PostResult> SimulatedNetwork::Post(const std::string& dest_uri,
                                             const std::string& body) {
   XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
   SoapEndpoint* endpoint = nullptr;
+  bool truncate_response = false;
+  int64_t spike_us = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (has_injected_failure_) {
-      has_injected_failure_ = false;
-      return injected_failure_;
+    ++fault_serial_;
+    auto inject = [this](Status status) {
+      ++faults_injected_;
+      if (metrics_) metrics_->RecordInjectedFault();
+      return status;
+    };
+    if (!injected_failures_.empty()) {
+      Status status = std::move(injected_failures_.front());
+      injected_failures_.pop_front();
+      return inject(std::move(status));
+    }
+    const FaultProfile& f = fault_profile_;
+    if (f.fail_every_nth > 0 && fault_serial_ % f.fail_every_nth == 0) {
+      return inject(Status::NetworkError(
+          "injected failure (every " + std::to_string(f.fail_every_nth) +
+          "th request)"));
+    }
+    if (f.drop_probability > 0 &&
+        fault_prng_.NextDouble() < f.drop_probability) {
+      return inject(Status::NetworkError("injected drop: request lost"));
+    }
+    truncate_response =
+        f.truncate_every_nth > 0 && fault_serial_ % f.truncate_every_nth == 0;
+    if (f.latency_spike_every_nth > 0 &&
+        fault_serial_ % f.latency_spike_every_nth == 0) {
+      spike_us = f.latency_spike_us;
     }
     auto it = peers_.find(uri.PeerKey());
     if (it == peers_.end()) {
@@ -46,10 +82,24 @@ StatusOr<PostResult> SimulatedNetwork::Post(const std::string& dest_uri,
     endpoint = it->second;
   }
 
-  int64_t request_cost = profile_.MessageCost(body.size());
+  int64_t request_cost = profile_.MessageCost(body.size()) + spike_us;
   StopWatch handler_watch;
   XRPC_ASSIGN_OR_RETURN(std::string reply, endpoint->Handle(uri.path, body));
   int64_t server_micros = handler_watch.ElapsedMicros();
+
+  if (truncate_response) {
+    // The request was delivered and handled — any server-side effects have
+    // happened — but the response never makes it back. The wire still
+    // carried the request.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++messages_;
+    bytes_sent_ += static_cast<int64_t>(body.size());
+    clock_.Advance(request_cost);
+    ++faults_injected_;
+    if (metrics_) metrics_->RecordInjectedFault();
+    return Status::NetworkError("truncated response: reply lost");
+  }
+
   int64_t response_cost = profile_.MessageCost(reply.size());
 
   PostResult result;

@@ -2,11 +2,14 @@
 #define XRPC_NET_SIMULATED_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
 
 #include "base/clock.h"
+#include "base/prng.h"
+#include "net/rpc_metrics.h"
 #include "net/transport.h"
 #include "net/uri.h"
 
@@ -29,6 +32,34 @@ struct NetworkProfile {
   }
 };
 
+/// Deterministic fault-injection schedule of the simulated network. All
+/// "every Nth" counters share one Post() serial number (1-based, reset by
+/// set_fault_profile); the drop coin flips come from a seeded PRNG, so a
+/// profile reproduces the exact same fault sequence on every run.
+///
+/// Fault semantics mirror distinct real-world failure points:
+///  - drop / fail-every-Nth: the REQUEST is lost; the destination never
+///    sees it (safe to retry even for updates, though the client cannot
+///    know that).
+///  - truncated response: the request IS delivered and handled (server
+///    side effects happen!) but the RESPONSE is lost — the failure mode
+///    that makes blind retransmission of updating calls unsound.
+///  - latency spike: the exchange succeeds but pays `latency_spike_us`
+///    extra wire time (what a per-request timeout turns into a failure).
+struct FaultProfile {
+  double drop_probability = 0.0;     ///< P(request lost), per Post()
+  uint64_t seed = 1;                 ///< PRNG seed for the drop coin flips
+  int fail_every_nth = 0;            ///< 0 = off; n: every nth Post fails
+  int truncate_every_nth = 0;        ///< 0 = off; n: every nth response lost
+  int latency_spike_every_nth = 0;   ///< 0 = off; n: every nth Post is slow
+  int64_t latency_spike_us = 0;      ///< extra wire time on a spike
+
+  bool Active() const {
+    return drop_probability > 0 || fail_every_nth > 0 ||
+           truncate_every_nth > 0 || latency_spike_every_nth > 0;
+  }
+};
+
 /// In-process transport connecting registered peers, with a deterministic
 /// virtual-time cost model and failure injection.
 ///
@@ -39,7 +70,8 @@ struct NetworkProfile {
 /// dispatching in parallel take the max of per-destination costs instead).
 class SimulatedNetwork : public Transport {
  public:
-  explicit SimulatedNetwork(NetworkProfile profile = {}) : profile_(profile) {}
+  explicit SimulatedNetwork(NetworkProfile profile = {})
+      : profile_(profile), fault_prng_(fault_profile_.seed) {}
 
   SimulatedNetwork(const SimulatedNetwork&) = delete;
   SimulatedNetwork& operator=(const SimulatedNetwork&) = delete;
@@ -50,8 +82,21 @@ class SimulatedNetwork : public Transport {
   /// Makes a peer unreachable (connection refused) until re-registered.
   void DisconnectPeer(const XrpcUri& address);
 
-  /// Injects a one-shot failure: the next Post() fails with this status.
+  /// Queues a one-shot failure: each queued status fails one subsequent
+  /// Post() (FIFO), before the request reaches the destination.
   void FailNextPost(Status status);
+
+  /// Installs the deterministic fault-injection schedule (and resets its
+  /// serial counter + PRNG). Pass {} to disable.
+  void set_fault_profile(FaultProfile profile);
+  const FaultProfile& fault_profile() const { return fault_profile_; }
+
+  /// Injected faults (queued failures, drops, forced failures, truncated
+  /// responses) that have fired so far.
+  int64_t faults_injected() const;
+
+  /// Optional metrics registry receiving RecordInjectedFault() events.
+  void set_metrics(RpcMetrics* metrics) { metrics_ = metrics; }
 
   StatusOr<PostResult> Post(const std::string& dest_uri,
                             const std::string& body) override;
@@ -73,9 +118,13 @@ class SimulatedNetwork : public Transport {
   int64_t messages_ = 0;
   int64_t bytes_sent_ = 0;
   int64_t bytes_received_ = 0;
-  Status injected_failure_;
-  bool has_injected_failure_ = false;
-  std::mutex mu_;
+  std::deque<Status> injected_failures_;
+  FaultProfile fault_profile_;
+  DeterministicPrng fault_prng_;
+  int64_t fault_serial_ = 0;  ///< Post() count since set_fault_profile
+  int64_t faults_injected_ = 0;
+  RpcMetrics* metrics_ = nullptr;
+  mutable std::mutex mu_;
 };
 
 }  // namespace xrpc::net

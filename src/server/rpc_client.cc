@@ -28,20 +28,23 @@ StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
   // Parallel-dispatch accounting: each request still executes (the
   // simulated network is synchronous), but the modeled elapsed network
   // time of the group is the maximum over destinations, not the sum.
+  // Critical-path accounting must hold on the error path too: a failed
+  // destination would otherwise leave the partial *serial* cost in
+  // network_micros_ and skew the Table 4 strategy benchmarks.
   int64_t before = network_micros_;
-  int64_t serial = 0;
   int64_t critical_path = 0;
   for (Destination& d : destinations) {
     int64_t mark = network_micros_;
-    XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
-                          ExecuteBulk(d.dest_uri, std::move(d.request)));
+    auto response = ExecuteBulk(d.dest_uri, std::move(d.request));
     int64_t cost = network_micros_ - mark;
-    serial += cost;
     critical_path = std::max(critical_path, cost);
-    responses.push_back(std::move(response));
+    if (!response.ok()) {
+      network_micros_ = before + critical_path;
+      return response.status();
+    }
+    responses.push_back(std::move(response).value());
   }
   network_micros_ = before + critical_path;
-  (void)serial;
   return responses;
 }
 
@@ -57,11 +60,23 @@ StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
   if (request.updating) sent_updating_ = true;
   size_t call_count = request.calls.size();
   std::string body = soap::SerializeRequest(request);
-  XRPC_ASSIGN_OR_RETURN(net::PostResult posted,
-                        transport_->Post(dest_uri, body));
+  auto posted_or = transport_->Post(dest_uri, body);
+  if (!posted_or.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->RecordClientRequest(dest_uri, body.size(), 0, 0,
+                                            /*ok=*/false);
+    }
+    return posted_or.status();
+  }
+  net::PostResult posted = std::move(posted_or).value();
   network_micros_ += posted.network_micros;
   remote_micros_ += posted.server_micros;
   ++requests_sent_;
+  if (options_.metrics != nullptr) {
+    options_.metrics->RecordClientRequest(dest_uri, body.size(),
+                                          posted.body.size(),
+                                          posted.network_micros, /*ok=*/true);
+  }
   XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
                         soap::ParseResponse(posted.body));
   if (response.results.size() != call_count) {

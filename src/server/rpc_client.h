@@ -7,6 +7,7 @@
 #include <string>
 
 #include "base/statusor.h"
+#include "net/rpc_metrics.h"
 #include "net/transport.h"
 #include "server/engine.h"
 #include "soap/message.h"
@@ -40,6 +41,11 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
     /// Suppress the queryID for provably simple queries (single non-nested
     /// XRPC call), which get repeatable reads for free (Section 3.2).
     bool simple_query = false;
+    /// Optional observability registry: every exchange is recorded with its
+    /// destination, envelope sizes and modeled latency. Leave null when the
+    /// transport is a metrics-equipped RetryingTransport (which records at
+    /// the per-attempt wire level) to avoid double counting.
+    net::RpcMetrics* metrics = nullptr;
   };
 
   RpcClient(net::Transport* transport, Options options)

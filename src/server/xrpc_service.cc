@@ -44,9 +44,17 @@ StatusOr<std::string> XrpcService::Handle(const std::string& path,
 
 StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
   ++requests_handled_;
+  // Requests answered with a SOAP Fault count as server-side faults in the
+  // shared metrics registry; successful ones report their bulk-call count.
+  auto fault_reply = [this](const Status& status) {
+    if (metrics_ != nullptr) {
+      metrics_->RecordServerRequest(options_.self_uri, 0, /*ok=*/false);
+    }
+    return soap::SerializeFault(soap::FaultFromStatus(status));
+  };
   auto parsed = soap::ParseRequest(body);
   if (!parsed.ok()) {
-    return soap::SerializeFault(soap::FaultFromStatus(parsed.status()));
+    return fault_reply(parsed.status());
   }
   const soap::XrpcRequest& request = parsed.value();
   calls_handled_ += static_cast<int64_t>(request.calls.size());
@@ -57,7 +65,7 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
   if (request.query_id.has_value()) {
     auto session_or = isolation_.GetSession(*request.query_id);
     if (!session_or.ok()) {
-      return soap::SerializeFault(soap::FaultFromStatus(session_or.status()));
+      return fault_reply(session_or.status());
     }
     session = session_or.value();
     provider = std::make_unique<IsolationManager::SnapshotProvider>(database_,
@@ -91,7 +99,7 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
   xquery::PendingUpdateList pul;
   auto results = engine_->ExecuteRequest(request, context, &pul);
   if (!results.ok()) {
-    return soap::SerializeFault(soap::FaultFromStatus(results.status()));
+    return fault_reply(results.status());
   }
 
   if (!pul.empty()) {
@@ -105,7 +113,7 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
       // Rule RFu: apply each request's updates immediately.
       Status applied = ApplyImmediate(&pul, provider.get());
       if (!applied.ok()) {
-        return soap::SerializeFault(soap::FaultFromStatus(applied));
+        return fault_reply(applied);
       }
     }
   }
@@ -119,6 +127,11 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
     for (const std::string& peer : nested->participating_peers()) {
       response.participating_peers.push_back(peer);
     }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->RecordServerRequest(options_.self_uri,
+                                  static_cast<int64_t>(request.calls.size()),
+                                  /*ok=*/true);
   }
   return soap::SerializeResponse(response);
 }

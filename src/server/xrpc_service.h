@@ -1,10 +1,12 @@
 #ifndef XRPC_SERVER_XRPC_SERVICE_H_
 #define XRPC_SERVER_XRPC_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "base/statusor.h"
+#include "net/rpc_metrics.h"
 #include "net/transport.h"
 #include "server/database.h"
 #include "server/engine.h"
@@ -51,6 +53,10 @@ class XrpcService : public net::SoapEndpoint {
     calls_handled_ = 0;
   }
 
+  /// Optional shared observability registry; records the server-side
+  /// request/call/fault counts under this peer's self URI.
+  void set_metrics(net::RpcMetrics* metrics) { metrics_ = metrics; }
+
  private:
   StatusOr<std::string> HandleXrpc(const std::string& body);
   StatusOr<std::string> HandleWsat(const std::string& body);
@@ -70,8 +76,10 @@ class XrpcService : public net::SoapEndpoint {
   net::Transport* outgoing_;
   IsolationManager isolation_;
   StableLog log_;
-  int64_t requests_handled_ = 0;
-  int64_t calls_handled_ = 0;
+  net::RpcMetrics* metrics_ = nullptr;
+  // Concurrent HTTP worker threads handle requests in parallel.
+  std::atomic<int64_t> requests_handled_{0};
+  std::atomic<int64_t> calls_handled_{0};
 };
 
 }  // namespace xrpc::server

@@ -3,9 +3,16 @@
 // the full SOAP-over-HTTP wire path of the paper's implementation (its
 // SHTTPD + message sender API).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "net/http.h"
+#include "net/retrying_transport.h"
+#include "net/rpc_metrics.h"
 #include "server/rpc_client.h"
 #include "server/xrpc_service.h"
 #include "xml/serializer.h"
@@ -108,6 +115,92 @@ TEST_F(HttpIntegrationTest, WsatEndpointOverHttp) {
   auto reply = server::ParseWsatMessage(posted->body);
   ASSERT_TRUE(reply.ok()) << reply.status();
   EXPECT_FALSE(reply->ok);
+}
+
+TEST_F(HttpIntegrationTest, RetryingTransportOverRealSockets) {
+  // The full resilient stack on real sockets: RetryingTransport →
+  // HttpTransport → HttpServer → XrpcService, with metrics recorded at the
+  // wire level.
+  net::RpcMetrics metrics;
+  net::RetryingTransport retrying(&transport_,
+                                  net::RetryPolicy{.max_attempts = 3},
+                                  &metrics);
+  RpcClient client(&retrying, {});
+  xquery::RpcCall call;
+  call.dest_uri = PeerUri();
+  call.module_ns = "films";
+  call.function = xml::QName("films", "filmsByActor");
+  call.args = {xdm::Sequence{
+      xdm::Item(xdm::AtomicValue::String("Sean Connery"))}};
+  auto result = client.Execute(call);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(metrics.requests(), 1);
+  EXPECT_EQ(metrics.retries(), 0);
+  EXPECT_GT(metrics.bytes_received(), 0);
+}
+
+TEST_F(HttpIntegrationTest, RetryRecoversFromTransientServerOutage) {
+  // First attempt goes to a closed port; the retry hits the live server.
+  // Simulates a connection-refused blip without real clock dependence.
+  class FailoverTransport : public net::Transport {
+   public:
+    FailoverTransport(net::Transport* real, std::string good_uri)
+        : real_(real), good_uri_(std::move(good_uri)) {}
+    StatusOr<net::PostResult> Post(const std::string& dest_uri,
+                                   const std::string& body) override {
+      ++attempts_;
+      if (attempts_ == 1) {
+        return real_->Post("xrpc://127.0.0.1:1/", body);  // refused
+      }
+      return real_->Post(dest_uri, body);
+    }
+    int attempts_ = 0;
+
+   private:
+    net::Transport* real_;
+    std::string good_uri_;
+  };
+  FailoverTransport flaky(&transport_, PeerUri());
+  net::RpcMetrics metrics;
+  net::RetryingTransport retrying(
+      &flaky,
+      net::RetryPolicy{.max_attempts = 3, .initial_backoff_us = 100},
+      &metrics);
+  RpcClient client(&retrying, {});
+  xquery::RpcCall call;
+  call.dest_uri = PeerUri();
+  call.module_ns = "films";
+  call.function = xml::QName("films", "filmsByActor");
+  call.args = {xdm::Sequence{
+      xdm::Item(xdm::AtomicValue::String("Sean Connery"))}};
+  auto result = client.Execute(call);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(flaky.attempts_, 2);
+  EXPECT_EQ(metrics.retries(), 1);
+  EXPECT_EQ(metrics.failures(), 1);
+}
+
+TEST_F(HttpIntegrationTest, SocketTimeoutSurfacesAsNetworkError) {
+  // A transport-level receive timeout against a server that accepts but
+  // never replies. Bind a bare listening socket: connect succeeds, then
+  // the 50ms SO_RCVTIMEO fires.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ASSERT_EQ(::listen(fd, 1), 0);
+
+  auto reply = net::HttpPost("127.0.0.1", ntohs(addr.sin_port), "p", "x",
+                             /*timeout_millis=*/50);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNetworkError);
+  EXPECT_NE(reply.status().message().find("timed out"), std::string::npos);
+  ::close(fd);
 }
 
 TEST_F(HttpIntegrationTest, ConcurrentClients) {

@@ -2,7 +2,14 @@
 // network (routing, virtual-time cost model, failure injection) and the
 // real HTTP/1.1 loopback transport.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
+
+#include <thread>
 
 #include "net/http.h"
 #include "net/simulated_network.h"
@@ -10,6 +17,82 @@
 
 namespace xrpc::net {
 namespace {
+
+// Sends `raw` verbatim to 127.0.0.1:port and returns everything the peer
+// sends back until it closes — for wire-level tests the HttpPost client
+// cannot express (malformed request lines etc.).
+std::string RawExchange(int port, const std::string& raw) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+// One-shot fake HTTP server: accepts a single connection, reads (and
+// discards) whatever arrives, answers with the canned `response` bytes and
+// closes. Lets tests exercise HttpPost against arbitrary server behavior.
+class CannedServer {
+ public:
+  explicit CannedServer(std::string response)
+      : response_(std::move(response)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    thread_ = std::thread([this] {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      char buf[4096];
+      // Read until the request's blank line so the client finishes sending.
+      std::string got;
+      while (got.find("\r\n\r\n") == std::string::npos) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        got.append(buf, static_cast<size_t>(n));
+      }
+      (void)!::send(fd, response_.data(), response_.size(), 0);
+      ::close(fd);
+    });
+  }
+
+  ~CannedServer() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  int port() const { return port_; }
+
+ private:
+  std::string response_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
 
 TEST(Uri, ParsesFullForm) {
   auto uri = ParseXrpcUri("xrpc://y.example.org:6123/some/path");
@@ -169,6 +252,110 @@ TEST(HttpTransport, ConnectionRefused) {
   // Port 1 on loopback is almost certainly closed.
   auto result = transport.Post("xrpc://127.0.0.1:1/", "x");
   EXPECT_FALSE(result.ok());
+}
+
+TEST(HttpServer, MalformedRequestLineAnswers400) {
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  // No spaces at all in the request line used to index npos into substr.
+  std::string reply = RawExchange(port.value(), "GARBAGE\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 400 Bad Request", 0), 0u) << reply;
+  // One space only is equally malformed.
+  reply = RawExchange(port.value(), "POST /x\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 400 Bad Request", 0), 0u) << reply;
+  EXPECT_EQ(endpoint.requests, 0);
+  server.Stop();
+}
+
+TEST(HttpServer, SurvivesManySequentialConnections) {
+  // The accept loop reaps finished worker threads; the worker set must not
+  // grow without bound (and Stop must join whatever is left).
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  for (int i = 0; i < 50; ++i) {
+    auto reply = HttpPost("127.0.0.1", port.value(), "p", "x");
+    ASSERT_TRUE(reply.ok()) << reply.status();
+  }
+  EXPECT_EQ(endpoint.requests, 50);
+  server.Stop();
+}
+
+TEST(HttpPost, TruncatedBodyIsAnError) {
+  // Server promises 100 bytes but closes after 5: the partial buffer must
+  // not be handed to the SOAP layer as a complete message.
+  CannedServer server(
+      "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort");
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNetworkError);
+  EXPECT_NE(reply.status().message().find("truncated body"),
+            std::string::npos);
+}
+
+TEST(HttpPost, BodyContaining200DoesNotMaskHttpError) {
+  // The old substring check matched " 200 " anywhere in the message; an
+  // error body quoting a 200 must still be an error.
+  std::string body = "failed while proxying a 200 OK response";
+  CannedServer server("HTTP/1.1 502 Bad Gateway\r\nContent-Length: " +
+                      std::to_string(body.size()) + "\r\n\r\n" + body);
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNetworkError);
+  EXPECT_NE(reply.status().message().find("502"), std::string::npos);
+}
+
+TEST(HttpPost, Accepts204WithoutBody) {
+  CannedServer server("HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n");
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply.value(), "");
+}
+
+TEST(HttpPost, MalformedStatusLineIsAnError) {
+  CannedServer server("BANANA\r\nContent-Length: 0\r\n\r\n");
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().message().find("malformed HTTP status line"),
+            std::string::npos);
+}
+
+TEST(HttpPost, ServerFaultBodySurfacesAsSoapFault) {
+  // A 500 whose body is a serialized SoapFault status is an application
+  // outcome, not a transport failure.
+  std::string body = "SoapFault: could not load module films";
+  CannedServer server("HTTP/1.1 500 Internal Server Error\r\n"
+                      "Content-Length: " + std::to_string(body.size()) +
+                      "\r\n\r\n" + body);
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kSoapFault);
+  EXPECT_EQ(reply.status().message(), "could not load module films");
+}
+
+TEST(HttpPost, FaultstringElementSurfacesAsSoapFault) {
+  std::string body =
+      "<env:Fault><faultstring>peer exploded</faultstring></env:Fault>";
+  CannedServer server("HTTP/1.1 500 Internal Server Error\r\n"
+                      "Content-Length: " + std::to_string(body.size()) +
+                      "\r\n\r\n" + body);
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kSoapFault);
+  EXPECT_EQ(reply.status().message(), "peer exploded");
+}
+
+TEST(HttpPost, GenericServerErrorStaysNetworkError) {
+  std::string body = "Internal: invariant violated";
+  CannedServer server("HTTP/1.1 500 Internal Server Error\r\n"
+                      "Content-Length: " + std::to_string(body.size()) +
+                      "\r\n\r\n" + body);
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNetworkError);
 }
 
 }  // namespace

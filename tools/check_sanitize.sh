@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the transport layer: builds the network tests under
+# ThreadSanitizer (or the sanitizer given as $1) in a side build directory
+# and runs the two suites that exercise the HttpServer threading paths.
+#
+# Usage: tools/check_sanitize.sh [thread|address]
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SANITIZER-san"
+
+cmake -B "$BUILD" -S "$ROOT" -DXRPC_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j
+cd "$BUILD"
+ctest --output-on-failure -j"$(nproc)" \
+      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry'
+echo "sanitize($SANITIZER): OK"
