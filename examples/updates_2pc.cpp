@@ -72,7 +72,7 @@ int main() {
 
   // 3. Injected prepare failure at z: the whole distributed transaction
   //    aborts; neither peer applies anything.
-  z->service().stable_log().FailNextAppend(
+  z->service().txn_log().FailNextAppend(
       xrpc::Status::TransactionError("stable log write failed"));
   auto r3 = net.Execute("p0.example.org", R"(
       declare option xrpc:isolation "repeatable";

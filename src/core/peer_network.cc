@@ -297,13 +297,24 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
 
   if (repeatable && client.sent_updating()) {
     // Distributed atomic commit over WS-AtomicTransaction (Section 2.3).
+    // The originating peer doubles as the durable coordinator journal; a
+    // participant whose Commit keeps failing is retried under the network's
+    // retry policy (backoff advances the virtual clock) and finally parked
+    // in-doubt without failing the decided transaction.
     std::vector<std::string> participants(report.participants.begin(),
                                           report.participants.end());
-    XRPC_ASSIGN_OR_RETURN(
-        server::CommitOutcome outcome,
-        server::RunTwoPhaseCommit(&network_, participants, qid.id));
+    server::TwoPhaseCommitOptions txn_options;
+    txn_options.journal = &p0->service();
+    txn_options.commit_retry = transport_.policy();
+    txn_options.sleep = [this](int64_t us) { network_.clock().Advance(us); };
+    txn_options.metrics = &metrics_;
+    XRPC_ASSIGN_OR_RETURN(server::CommitOutcome outcome,
+                          server::RunTwoPhaseCommit(&network_, participants,
+                                                    qid.id, txn_options));
     report.committed = outcome.committed;
     report.abort_reason = outcome.abort_reason;
+    report.commit_retries = outcome.commit_retries;
+    report.in_doubt = outcome.in_doubt;
     if (outcome.committed && !local_pul.empty()) {
       XRPC_RETURN_IF_ERROR(ApplyLocalUpdates(&p0->db_, &local_pul));
     }

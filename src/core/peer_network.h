@@ -61,6 +61,20 @@ class Peer {
   server::ModuleRegistry& registry() { return registry_; }
   server::XrpcService& service() { return *service_; }
 
+  /// Switches this peer's transaction log to a durable WAL file.
+  Status EnableWal(const std::string& path) {
+    return service_->EnableWal(path);
+  }
+
+  /// Crash-harness shorthands (see XrpcService).
+  void InjectCrash(server::CrashPoint point) { service_->InjectCrash(point); }
+  bool crashed() const { return service_->crashed(); }
+
+  /// Restarts the peer after a (simulated) crash: replays the WAL and —
+  /// because the owning network's transport is passed along — resolves
+  /// in-doubt transactions by coordinator inquiry / commit retry.
+  Status Restart() { return service_->Restart(network_); }
+
   /// Engine-specific handles (null when the peer runs another engine).
   compiler::RelationalEngine* relational_engine() { return relational_.get(); }
   wrapper::WrapperEngine* wrapper_engine() { return wrapper_.get(); }
@@ -101,6 +115,11 @@ struct ExecutionReport {
   /// Updating queries under repeatable isolation: distributed 2PC outcome.
   bool committed = true;
   std::string abort_reason;
+  int commit_retries = 0;  ///< phase-2 Commit retransmissions
+  /// Participants whose Commit ack never arrived; the decision is durable
+  /// on the coordinator and they are drained later (Peer::Restart /
+  /// XrpcService::RetryInDoubt).
+  std::vector<std::string> in_doubt;
 
   int64_t requests_sent = 0;
   int64_t network_micros = 0;  ///< modeled wire time (critical path)

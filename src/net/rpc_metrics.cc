@@ -122,6 +122,37 @@ void RpcMetrics::RecordInjectedFault() {
   ++injected_faults_;
 }
 
+void RpcMetrics::RecordTxnCommitRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++txn_.commit_retries;
+}
+
+void RpcMetrics::RecordTxnInDoubt(int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_.in_doubt += delta;
+  if (txn_.in_doubt < 0) txn_.in_doubt = 0;
+}
+
+void RpcMetrics::RecordTxnRecovery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++txn_.recoveries;
+}
+
+void RpcMetrics::RecordTxnReplayedRecords(int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_.replayed_records += count;
+}
+
+void RpcMetrics::RecordTxnRecoveredSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++txn_.recovered_sessions;
+}
+
+void RpcMetrics::RecordTxnIdempotentReply() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++txn_.idempotent_replies;
+}
+
 #define XRPC_METRICS_SUM(field)                          \
   std::lock_guard<std::mutex> lock(mu_);                 \
   int64_t total = 0;                                     \
@@ -166,6 +197,36 @@ int64_t RpcMetrics::server_faults() const {
   int64_t total = 0;
   for (const auto& [peer, s] : per_server_) total += s.faults;
   return total;
+}
+
+int64_t RpcMetrics::txn_commit_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_.commit_retries;
+}
+
+int64_t RpcMetrics::txn_in_doubt() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_.in_doubt;
+}
+
+int64_t RpcMetrics::txn_recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_.recoveries;
+}
+
+int64_t RpcMetrics::txn_replayed_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_.replayed_records;
+}
+
+int64_t RpcMetrics::txn_recovered_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_.recovered_sessions;
+}
+
+int64_t RpcMetrics::txn_idempotent_replies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_.idempotent_replies;
 }
 
 LatencyHistogram RpcMetrics::latency() const {
@@ -218,6 +279,12 @@ std::string RpcMetrics::Report() const {
            " calls=" + FormatCount(s.calls) +
            " faults=" + FormatCount(s.faults) + "\n";
   }
+  out += "  txn: commit_retries=" + FormatCount(txn_.commit_retries) +
+         " in_doubt=" + FormatCount(txn_.in_doubt) +
+         " recoveries=" + FormatCount(txn_.recoveries) +
+         " replayed_records=" + FormatCount(txn_.replayed_records) +
+         " recovered_sessions=" + FormatCount(txn_.recovered_sessions) +
+         " idempotent_replies=" + FormatCount(txn_.idempotent_replies) + "\n";
   return out;
 }
 
@@ -227,6 +294,7 @@ void RpcMetrics::Reset() {
   per_server_.clear();
   backoff_micros_ = 0;
   injected_faults_ = 0;
+  txn_ = TxnStats{};
 }
 
 }  // namespace xrpc::net

@@ -86,6 +86,22 @@ class RpcMetrics {
   /// Simulated network: a fault (drop/truncation/forced failure) fired.
   void RecordInjectedFault();
 
+  // -- Transaction (2PC / WAL) counters -----------------------------------
+
+  /// Coordinator: a phase-2 Commit was re-sent after a delivery failure.
+  void RecordTxnCommitRetry();
+  /// In-doubt gauge moved by `delta` (+1 parked / restored, -1 resolved).
+  void RecordTxnInDoubt(int64_t delta);
+  /// A peer replayed its WAL (crash recovery / restart).
+  void RecordTxnRecovery();
+  /// `count` WAL records were read back during a replay.
+  void RecordTxnReplayedRecords(int64_t count);
+  /// A prepared in-doubt session was reconstructed from the WAL.
+  void RecordTxnRecoveredSession();
+  /// A participant answered a re-delivered Commit/Rollback/Prepare from its
+  /// decided-outcome record instead of re-executing it.
+  void RecordTxnIdempotentReply();
+
   // -- Aggregate accessors (totals over all peers) ------------------------
   int64_t requests() const;
   int64_t failures() const;
@@ -98,6 +114,12 @@ class RpcMetrics {
   int64_t server_requests() const;
   int64_t server_calls() const;
   int64_t server_faults() const;
+  int64_t txn_commit_retries() const;
+  int64_t txn_in_doubt() const;
+  int64_t txn_recoveries() const;
+  int64_t txn_replayed_records() const;
+  int64_t txn_recovered_sessions() const;
+  int64_t txn_idempotent_replies() const;
 
   /// Copy of the latency histogram aggregated over all peers.
   LatencyHistogram latency() const;
@@ -115,6 +137,16 @@ class RpcMetrics {
   std::map<std::string, PeerRpcStats> per_peer_;  // client side, by dest URI
   int64_t backoff_micros_ = 0;
   int64_t injected_faults_ = 0;
+
+  struct TxnStats {
+    int64_t commit_retries = 0;
+    int64_t in_doubt = 0;  ///< gauge, not a counter
+    int64_t recoveries = 0;
+    int64_t replayed_records = 0;
+    int64_t recovered_sessions = 0;
+    int64_t idempotent_replies = 0;
+  };
+  TxnStats txn_;
 
   struct ServerStats {
     int64_t requests = 0;

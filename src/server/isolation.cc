@@ -24,7 +24,9 @@ StatusOr<QuerySession*> IsolationManager::GetSession(const soap::QueryId& id) {
   auto it = sessions_.find(id.id);
   if (it != sessions_.end()) {
     QuerySession* s = it->second.get();
-    if (now > s->deadline_us) {
+    // A prepared session holds a logged PUL the coordinator may still
+    // commit; it must not fall to snapshot expiry (see ExpireSessions).
+    if (now > s->deadline_us && !s->prepared) {
       expired_ids_.insert(id.id);
       auto& latest = latest_expired_timestamp_by_host_[s->id.host];
       latest = std::max(latest, s->id.timestamp);
@@ -66,7 +68,7 @@ void IsolationManager::ExpireSessions() {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = now_us_();
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now > it->second->deadline_us) {
+    if (now > it->second->deadline_us && !it->second->prepared) {
       expired_ids_.insert(it->first);
       auto& latest = latest_expired_timestamp_by_host_[it->second->id.host];
       latest = std::max(latest, it->second->id.timestamp);
@@ -75,6 +77,22 @@ void IsolationManager::ExpireSessions() {
       ++it;
     }
   }
+}
+
+QuerySession* IsolationManager::RestoreSession(
+    std::unique_ptr<QuerySession> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuerySession* raw = session.get();
+  expired_ids_.erase(session->id.id);
+  sessions_[session->id.id] = std::move(session);
+  return raw;
+}
+
+void IsolationManager::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+  expired_ids_.clear();
+  latest_expired_timestamp_by_host_.clear();
 }
 
 size_t IsolationManager::active_sessions() const {

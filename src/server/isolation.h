@@ -64,7 +64,19 @@ class IsolationManager {
   void EndSession(const std::string& id);
 
   /// Discards sessions whose timeout has passed, remembering their ids.
+  /// Sessions that voted yes at Prepare (`prepared == true`) are exempt:
+  /// their PUL is on the stable log and must survive until the
+  /// coordinator's decision arrives — expiring them would silently break
+  /// the 2PC promise to commit.
   void ExpireSessions();
+
+  /// Reinstalls a session reconstructed from the WAL during crash recovery
+  /// (prepared, in-doubt). Replaces any session with the same id.
+  QuerySession* RestoreSession(std::unique_ptr<QuerySession> session);
+
+  /// Drops ALL volatile session state (the in-process crash simulation:
+  /// what a process restart loses).
+  void Reset();
 
   size_t active_sessions() const;
 

@@ -1,0 +1,276 @@
+#include "server/txn_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace xrpc::server {
+
+namespace {
+
+/// Frame layout: [magic u32][payload_len u32][crc32(payload) u32][payload].
+/// All integers little-endian. The magic marks frame starts so a reader
+/// that stops at a corrupt frame can report how many bytes it ignored.
+constexpr uint32_t kFrameMagic = 0x4c415758;  // "XWAL" little-endian
+constexpr size_t kFrameHeader = 12;
+
+uint32_t Crc32(const char* data, size_t len) {
+  // CRC-32 (reflected polynomial 0xEDB88320), table built on first use.
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+/// Payload layout: [type u8][qid_len u32][qid bytes][body bytes].
+std::string EncodePayload(const TxnLog::Record& r) {
+  std::string payload;
+  payload.push_back(static_cast<char>(r.type));
+  PutU32(&payload, static_cast<uint32_t>(r.query_id.size()));
+  payload += r.query_id;
+  payload += r.payload;
+  return payload;
+}
+
+StatusOr<TxnLog::Record> DecodePayload(const char* p, size_t len) {
+  if (len < 5) return Status::Internal("WAL payload too short");
+  TxnLog::Record r;
+  uint8_t type = static_cast<uint8_t>(p[0]);
+  if (type < 1 || type > 6) {
+    return Status::Internal("WAL payload has unknown record type " +
+                            std::to_string(type));
+  }
+  r.type = static_cast<TxnLog::RecordType>(type);
+  uint32_t qid_len = GetU32(p + 1);
+  if (5 + static_cast<size_t>(qid_len) > len) {
+    return Status::Internal("WAL payload queryID overruns frame");
+  }
+  r.query_id.assign(p + 5, qid_len);
+  r.payload.assign(p + 5 + qid_len, len - 5 - qid_len);
+  return r;
+}
+
+}  // namespace
+
+const char* TxnLog::RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kPrepared:
+      return "PREPARED";
+    case RecordType::kCommitted:
+      return "COMMITTED";
+    case RecordType::kApplied:
+      return "APPLIED";
+    case RecordType::kAborted:
+      return "ABORTED";
+    case RecordType::kCoordCommit:
+      return "COORD-COMMIT";
+    case RecordType::kCoordEnd:
+      return "COORD-END";
+  }
+  return "?";
+}
+
+TxnLog::~TxnLog() { Close(); }
+
+Status TxnLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (path == path_) return Status::OK();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::TransactionError("cannot open WAL " + path + ": " +
+                                    std::strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  return Status::OK();
+}
+
+void TxnLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TxnLog::set_sync(bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_ = sync;
+}
+
+Status TxnLog::Append(const Record& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(record);
+}
+
+Status TxnLog::AppendLocked(const Record& record) {
+  if (has_injected_) {
+    has_injected_ = false;
+    return injected_;
+  }
+  if (fd_ >= 0) {
+    std::string payload = EncodePayload(record);
+    std::string frame;
+    frame.reserve(kFrameHeader + payload.size());
+    PutU32(&frame, kFrameMagic);
+    PutU32(&frame, static_cast<uint32_t>(payload.size()));
+    PutU32(&frame, Crc32(payload.data(), payload.size()));
+    frame += payload;
+    // One write(2) per record: a crash tears at most the frame being
+    // written, which Replay() detects and drops.
+    size_t off = 0;
+    while (off < frame.size()) {
+      ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::TransactionError("WAL write failed: " +
+                                        std::string(std::strerror(errno)));
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (sync_) {
+      if (::fsync(fd_) != 0) {
+        return Status::TransactionError("WAL fsync failed: " +
+                                        std::string(std::strerror(errno)));
+      }
+      ++fsyncs_;
+    }
+  }
+  records_.push_back(record);
+  ++appends_;
+  return Status::OK();
+}
+
+void TxnLog::FailNextAppend(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_ = std::move(status);
+  has_injected_ = true;
+}
+
+StatusOr<std::vector<TxnLog::Record>> TxnLog::Replay(
+    ReplayStats* stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    // Memory mode: the record vector stands in for the durable file.
+    if (stats != nullptr) {
+      *stats = ReplayStats{};
+      stats->records = records_.size();
+    }
+    return records_;
+  }
+  return ReplayFile(path_, stats);
+}
+
+StatusOr<std::vector<TxnLog::Record>> TxnLog::ReplayFile(
+    const std::string& path, ReplayStats* stats) {
+  ReplayStats local;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::TransactionError("cannot read WAL " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<Record> out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeader) {
+      local.torn_tail = true;  // crash mid-header
+      local.dropped_bytes = data.size() - pos;
+      break;
+    }
+    uint32_t magic = GetU32(data.data() + pos);
+    uint32_t len = GetU32(data.data() + pos + 4);
+    uint32_t crc = GetU32(data.data() + pos + 8);
+    if (magic != kFrameMagic) {
+      local.checksum_error = true;  // frame start corrupted
+      local.dropped_bytes = data.size() - pos;
+      break;
+    }
+    if (data.size() - pos - kFrameHeader < len) {
+      local.torn_tail = true;  // crash mid-payload
+      local.dropped_bytes = data.size() - pos;
+      break;
+    }
+    const char* payload = data.data() + pos + kFrameHeader;
+    if (Crc32(payload, len) != crc) {
+      local.checksum_error = true;
+      local.dropped_bytes = data.size() - pos;
+      break;
+    }
+    auto record = DecodePayload(payload, len);
+    if (!record.ok()) {
+      local.checksum_error = true;
+      local.dropped_bytes = data.size() - pos;
+      break;
+    }
+    out.push_back(std::move(record).value());
+    pos += kFrameHeader + len;
+  }
+  local.records = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<TxnLog::Record> TxnLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t TxnLog::CountAppended(RecordType type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Record& r : records_) {
+    if (r.type == type) ++n;
+  }
+  return n;
+}
+
+bool TxnLog::file_backed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+int64_t TxnLog::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+int64_t TxnLog::fsyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsyncs_;
+}
+
+}  // namespace xrpc::server

@@ -1,0 +1,128 @@
+#ifndef XRPC_SERVER_TXN_LOG_H_
+#define XRPC_SERVER_TXN_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace xrpc::server {
+
+/// The durable transaction log of one peer ("it logs the union of the
+/// pending update lists to stable storage, ensuring q can commit later",
+/// Section 6). Append-only, checksummed, fsync'd: the write-ahead log both
+/// roles of the WS-AT protocol recover from after a crash.
+///
+/// Record stream semantics (presumed abort):
+///  - participant: kPrepared carries the serialized PUL + base versions;
+///    kCommitted is the durable decision logged *before* the PUL is applied;
+///    kApplied seals a completed application; kAborted ends a rolled-back
+///    transaction. A kPrepared with no later decision record is in-doubt
+///    and must be resolved by inquiry — or presumed aborted.
+///  - coordinator: kCoordCommit (participant list as payload) is logged
+///    *before* phase 2 starts; kCoordEnd seals the transaction once every
+///    participant acknowledged Commit. A decision that never reached
+///    kCoordEnd is re-driven on recovery (Commit is idempotent). No abort
+///    decision is ever logged: absence of kCoordCommit *is* the abort
+///    record (presumed abort), which is what inquiry answers are based on.
+///
+/// Two modes:
+///  - file-backed (Open()): every Append() writes one framed record
+///    ([magic][length][crc32][payload]) with a single write(2) followed by
+///    fsync(2) (configurable), and Replay() re-reads the file tolerating a
+///    torn tail (a crash mid-append truncates cleanly instead of erroring).
+///  - in-memory (default): records are kept in RAM. Replay() returns them,
+///    which lets the in-process crash harness exercise recovery paths
+///    without touching disk (the vector stands in for the durable file).
+class TxnLog {
+ public:
+  enum class RecordType : uint8_t {
+    kPrepared = 1,     ///< participant voted yes; payload = prepared state
+    kCommitted = 2,    ///< participant decision, durable before application
+    kApplied = 3,      ///< participant applied the PUL (transaction sealed)
+    kAborted = 4,      ///< participant rolled back
+    kCoordCommit = 5,  ///< coordinator decision; payload = participant list
+    kCoordEnd = 6,     ///< coordinator: all participants acknowledged
+  };
+
+  struct Record {
+    RecordType type = RecordType::kPrepared;
+    std::string query_id;
+    std::string payload;
+  };
+
+  /// What Replay() observed beyond the decoded records.
+  struct ReplayStats {
+    size_t records = 0;         ///< well-formed records decoded
+    bool torn_tail = false;     ///< file ended inside a record frame
+    bool checksum_error = false;///< a frame failed its CRC (replay stops)
+    size_t dropped_bytes = 0;   ///< bytes ignored after the valid prefix
+  };
+
+  TxnLog() = default;
+  TxnLog(const TxnLog&) = delete;
+  TxnLog& operator=(const TxnLog&) = delete;
+  ~TxnLog();
+
+  /// Switches to file-backed mode: opens (creating if needed) `path` for
+  /// appending. Existing contents are preserved — call Replay() to read
+  /// them back. Idempotent for the same path.
+  Status Open(const std::string& path);
+
+  /// Closes the backing file (no-op in memory mode).
+  void Close();
+
+  /// Appends one record durably (write + fsync in file mode).
+  Status Append(const Record& record);
+
+  /// Injects a one-shot failure into the next Append (disk-full testing).
+  void FailNextAppend(Status status);
+
+  /// Reads every decodable record back. File mode re-reads the file from
+  /// the start; a torn final frame or a checksum mismatch ends the replay
+  /// at the last valid record (reported in `stats`) instead of failing —
+  /// the WAL contract is that a crash mid-append loses at most the record
+  /// being written. Memory mode returns the in-RAM records.
+  StatusOr<std::vector<Record>> Replay(ReplayStats* stats = nullptr) const;
+
+  /// Decodes an arbitrary WAL file (static; used by tests and tooling).
+  static StatusOr<std::vector<Record>> ReplayFile(const std::string& path,
+                                                  ReplayStats* stats);
+
+  /// Records appended through this instance since construction/Open.
+  /// (In-memory mode: the full durable state.)
+  std::vector<Record> records() const;
+
+  /// Number of records of `type` appended through this instance.
+  size_t CountAppended(RecordType type) const;
+
+  /// Disables the per-append fsync (bench mode; durability is then only as
+  /// strong as the page cache).
+  void set_sync(bool sync);
+
+  bool file_backed() const;
+  const std::string& path() const { return path_; }
+  int64_t appends() const;
+  int64_t fsyncs() const;
+
+  static const char* RecordTypeName(RecordType type);
+
+ private:
+  Status AppendLocked(const Record& record);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  int fd_ = -1;
+  bool sync_ = true;
+  std::vector<Record> records_;  ///< appended this incarnation (all modes)
+  int64_t appends_ = 0;
+  int64_t fsyncs_ = 0;
+  Status injected_;
+  bool has_injected_ = false;
+};
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_TXN_LOG_H_

@@ -1,5 +1,8 @@
 #include "server/wsat.h"
 
+#include <algorithm>
+
+#include "base/string_util.h"
 #include "net/uri.h"
 #include "xml/node.h"
 #include "xml/parser.h"
@@ -22,6 +25,8 @@ const char* OpName(WsatOp op) {
       return "commit";
     case WsatOp::kRollback:
       return "rollback";
+    case WsatOp::kInquire:
+      return "inquire";
   }
   return "prepare";
 }
@@ -36,6 +41,9 @@ std::string Serialize(const WsatMessage& m, bool response) {
         Node::NewAttribute(QName("vote"), m.ok ? "ok" : "abort"));
     if (!m.reason.empty()) {
       elem->SetAttribute(Node::NewAttribute(QName("reason"), m.reason));
+    }
+    if (!m.outcome.empty()) {
+      elem->SetAttribute(Node::NewAttribute(QName("outcome"), m.outcome));
     }
   }
   xml::SerializeOptions opts;
@@ -70,6 +78,8 @@ StatusOr<WsatMessage> ParseWsatMessage(std::string_view text) {
       out.op = WsatOp::kCommit;
     } else if (a->value() == "rollback") {
       out.op = WsatOp::kRollback;
+    } else if (a->value() == "inquire") {
+      out.op = WsatOp::kInquire;
     } else {
       return Status::InvalidArgument("unknown WS-AT op: " + a->value());
     }
@@ -83,28 +93,65 @@ StatusOr<WsatMessage> ParseWsatMessage(std::string_view text) {
   if (const Node* a = elem->FindAttribute(QName("reason"))) {
     out.reason = a->value();
   }
+  if (const Node* a = elem->FindAttribute(QName("outcome"))) {
+    out.outcome = a->value();
+  }
   return out;
 }
 
-Status StableLog::Append(Record record) {
-  if (has_injected_) {
-    has_injected_ = false;
-    return injected_;
+std::string SerializePreparedPayload(const PreparedPayload& payload) {
+  NodePtr elem = Node::NewElement(QName(kWsatNs, "prepared", "wsat"));
+  elem->SetAttribute(
+      Node::NewAttribute(QName("coordinator"), payload.coordinator));
+  for (const auto& [name, version] : payload.docs) {
+    NodePtr d = Node::NewElement(QName(kWsatNs, "doc", "wsat"));
+    d->SetAttribute(Node::NewAttribute(QName("name"), name));
+    d->SetAttribute(
+        Node::NewAttribute(QName("version"), std::to_string(version)));
+    elem->AppendChild(std::move(d));
   }
-  records_.push_back(std::move(record));
-  return Status::OK();
+  NodePtr pul = Node::NewElement(QName(kWsatNs, "pul", "wsat"));
+  pul->AppendChild(Node::NewText(payload.pul));
+  elem->AppendChild(std::move(pul));
+  return xml::SerializeNode(*elem);
 }
 
-void StableLog::FailNextAppend(Status status) {
-  injected_ = std::move(status);
-  has_injected_ = true;
+StatusOr<PreparedPayload> ParsePreparedPayload(std::string_view text) {
+  XRPC_ASSIGN_OR_RETURN(NodePtr doc, xml::ParseXml(text));
+  const Node* elem = nullptr;
+  for (const NodePtr& c : doc->children()) {
+    if (c->kind() == NodeKind::kElement) elem = c.get();
+  }
+  if (elem == nullptr || elem->name().ns_uri != kWsatNs ||
+      elem->name().local != "prepared") {
+    return Status::ParseError("not a PREPARED payload");
+  }
+  PreparedPayload out;
+  if (const Node* a = elem->FindAttribute(QName("coordinator"))) {
+    out.coordinator = a->value();
+  }
+  for (const NodePtr& child : elem->children()) {
+    if (child->kind() != NodeKind::kElement) continue;
+    if (child->name().local == "doc") {
+      std::string name, version;
+      if (const Node* a = child->FindAttribute(QName("name"))) {
+        name = a->value();
+      }
+      if (const Node* a = child->FindAttribute(QName("version"))) {
+        version = a->value();
+      }
+      XRPC_ASSIGN_OR_RETURN(int64_t v, ParseInt64(version));
+      out.docs.emplace_back(name, static_cast<uint64_t>(v));
+    } else if (child->name().local == "pul") {
+      out.pul = child->StringValue();
+    }
+  }
+  return out;
 }
 
-namespace {
-
-StatusOr<WsatMessage> SendWsat(net::Transport* transport,
-                               const std::string& participant, WsatOp op,
-                               const std::string& query_id) {
+StatusOr<WsatMessage> SendWsatMessage(net::Transport* transport,
+                                      const std::string& participant,
+                                      WsatOp op, const std::string& query_id) {
   WsatMessage req;
   req.op = op;
   req.query_id = query_id;
@@ -117,45 +164,120 @@ StatusOr<WsatMessage> SendWsat(net::Transport* transport,
   return ParseWsatMessage(result.body);
 }
 
+namespace {
+
+/// Deterministic (jitter-free) backoff before retry number `retry`
+/// (1-based), mirroring the RetryingTransport schedule shape.
+int64_t BackoffMicros(const net::RetryPolicy& policy, int retry) {
+  double backoff = static_cast<double>(policy.initial_backoff_us);
+  for (int i = 1; i < retry; ++i) backoff *= policy.backoff_multiplier;
+  return std::min(static_cast<int64_t>(backoff), policy.max_backoff_us);
+}
+
 }  // namespace
 
 StatusOr<CommitOutcome> RunTwoPhaseCommit(
     net::Transport* transport, const std::vector<std::string>& participants,
-    const std::string& query_id) {
+    const std::string& query_id, const TwoPhaseCommitOptions& options) {
   CommitOutcome outcome;
 
+  auto abort_all = [&](const std::string& reason) {
+    outcome.abort_reason = reason;
+    // Phase 2 (abort): roll back everyone. Rollback is idempotent at the
+    // participants, so over-delivery (including to the peer that voted
+    // abort and already discarded its state) is harmless. Nothing is
+    // logged: under presumed abort the absence of a commit decision IS the
+    // durable abort record.
+    for (const std::string& q : participants) {
+      ++outcome.rollbacks_sent;
+      (void)SendWsatMessage(transport, q, WsatOp::kRollback, query_id);
+    }
+    outcome.committed = false;
+    return outcome;
+  };
+
   // Phase 1: Prepare on every participant.
-  std::vector<std::string> prepared;
   for (const std::string& p : participants) {
     ++outcome.prepares_sent;
-    auto vote = SendWsat(transport, p, WsatOp::kPrepare, query_id);
+    auto vote = SendWsatMessage(transport, p, WsatOp::kPrepare, query_id);
     if (!vote.ok() || !vote.value().ok) {
-      outcome.abort_reason = vote.ok()
-                                 ? vote.value().reason
-                                 : vote.status().ToString();
-      // Phase 2 (abort): roll back everyone reached so far (and the voter
-      // that answered abort, which discards its own state anyway).
-      for (const std::string& q : prepared) {
-        ++outcome.rollbacks_sent;
-        (void)SendWsat(transport, q, WsatOp::kRollback, query_id);
-      }
-      outcome.committed = false;
-      return outcome;
+      return abort_all(vote.ok() ? vote.value().reason
+                                 : vote.status().ToString());
     }
-    prepared.push_back(p);
   }
 
-  // Phase 2: Commit.
-  for (const std::string& p : participants) {
-    ++outcome.commits_sent;
-    auto done = SendWsat(transport, p, WsatOp::kCommit, query_id);
-    if (!done.ok() || !done.value().ok) {
-      // A commit failure after unanimous prepare is a serious condition;
-      // surface it (real WS-AT would retry until success).
-      return Status::TransactionError(
-          "commit failed at " + p + ": " +
-          (done.ok() ? done.value().reason : done.status().ToString()));
+  if (options.crash_point == TwoPhaseCommitOptions::CrashPoint::kAfterVotes) {
+    // Simulated coordinator crash with the decision still volatile: on
+    // recovery nothing is on record, so participants presume abort.
+    return Status::NetworkError(
+        "coordinator crashed (simulated) after collecting votes");
+  }
+
+  // The commit decision becomes durable BEFORE any participant is told to
+  // commit; from here on the transaction MUST commit eventually.
+  if (options.journal != nullptr) {
+    Status logged = options.journal->LogCommitDecision(query_id, participants);
+    if (!logged.ok()) {
+      return abort_all("coordinator decision log failed: " +
+                       logged.ToString());
     }
+  }
+
+  if (options.crash_point ==
+      TwoPhaseCommitOptions::CrashPoint::kAfterDecisionLog) {
+    return Status::NetworkError(
+        "coordinator crashed (simulated) after logging the commit decision");
+  }
+
+  // Phase 2: Commit, with bounded per-participant retry. A participant
+  // that stays unreachable is parked in-doubt; the decision stands.
+  bool all_acked = true;
+  int max_attempts = std::max(1, options.commit_retry.max_attempts);
+  for (const std::string& p : participants) {
+    bool acked = false;
+    std::string last_error;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1) {
+        ++outcome.commit_retries;
+        if (options.metrics != nullptr) {
+          options.metrics->RecordTxnCommitRetry();
+        }
+        if (options.sleep) {
+          options.sleep(BackoffMicros(options.commit_retry, attempt - 1));
+        }
+      }
+      ++outcome.commits_sent;
+      auto done = SendWsatMessage(transport, p, WsatOp::kCommit, query_id);
+      if (done.ok() && done.value().ok) {
+        acked = true;
+        break;
+      }
+      if (done.ok()) {
+        // Application-level refusal (not a lost message): retrying cannot
+        // change the answer. Park it — recovery/inquiry owns the repair.
+        last_error = done.value().reason;
+        break;
+      }
+      last_error = done.status().ToString();
+    }
+    if (acked) {
+      if (options.journal != nullptr) {
+        options.journal->RecordCommitAck(query_id, p);
+      }
+    } else {
+      all_acked = false;
+      outcome.in_doubt.push_back(p);
+      if (options.journal != nullptr) {
+        options.journal->ParkInDoubt(query_id, p);
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->RecordTxnInDoubt(+1);
+      }
+      (void)last_error;
+    }
+  }
+  if (all_acked && options.journal != nullptr) {
+    (void)options.journal->LogCommitEnd(query_id);
   }
   outcome.committed = true;
   return outcome;

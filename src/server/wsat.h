@@ -1,10 +1,15 @@
 #ifndef XRPC_SERVER_WSAT_H_
 #define XRPC_SERVER_WSAT_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/statusor.h"
+#include "net/retrying_transport.h"
+#include "net/rpc_metrics.h"
 #include "net/transport.h"
 
 namespace xrpc::server {
@@ -16,44 +21,71 @@ inline constexpr char kWsatNs[] = "http://schemas.xmlsoap.org/ws/2004/10/wsat";
 inline constexpr char kWsatPath[] = "wsat";
 
 /// WS-AT verbs exchanged between the coordinator and participants.
-enum class WsatOp { kPrepare, kCommit, kRollback };
+/// kInquire is the recovery verb: a participant holding a PREPARED log
+/// record with no decision asks the coordinator for the outcome; under
+/// presumed abort, "no commit decision on record" answers "aborted".
+enum class WsatOp { kPrepare, kCommit, kRollback, kInquire };
 
 /// One WS-AT request/response message. Responses reuse the struct with
-/// `op` echoing the verb and `ok`/`reason` carrying the vote.
+/// `op` echoing the verb, `ok`/`reason` carrying the vote, and — for
+/// kInquire responses — `outcome` naming the decision.
 struct WsatMessage {
   WsatOp op = WsatOp::kPrepare;
   std::string query_id;
   bool ok = true;
   std::string reason;
+  std::string outcome;  ///< inquiry replies: "committed" | "aborted"
 };
 
 std::string SerializeWsatRequest(const WsatMessage& message);
 std::string SerializeWsatResponse(const WsatMessage& message);
 StatusOr<WsatMessage> ParseWsatMessage(std::string_view text);
 
-/// The "stable storage" a participant logs pending update lists to at
-/// Prepare ("it logs the union of the pending update lists to stable
-/// storage, ensuring q can commit later"). In-memory here, with failure
-/// injection so tests and benches can exercise abort paths.
-class StableLog {
+/// The stable state a participant logs at Prepare, serialized into the
+/// PREPARED record of the WAL: who to ask for the outcome, which documents
+/// the PUL writes (with their snapshot base versions, for first-committer-
+/// wins revalidation at apply time), and the serialized PUL itself.
+struct PreparedPayload {
+  std::string coordinator;  ///< URI whose wsat endpoint answers kInquire
+  std::vector<std::pair<std::string, uint64_t>> docs;  ///< name, base version
+  std::string pul;          ///< PendingUpdateList::Serialize output
+};
+
+std::string SerializePreparedPayload(const PreparedPayload& payload);
+StatusOr<PreparedPayload> ParsePreparedPayload(std::string_view text);
+
+/// Sends one WS-AT verb to `participant`'s wsat endpoint and parses the
+/// reply. Used by the coordinator driver, in-doubt drains, and recovery
+/// inquiry.
+StatusOr<WsatMessage> SendWsatMessage(net::Transport* transport,
+                                      const std::string& participant,
+                                      WsatOp op, const std::string& query_id);
+
+/// Durable coordinator-side state the 2PC driver records into. Implemented
+/// by XrpcService on top of its transaction WAL; null in legacy callers
+/// (then the commit decision is volatile, as before this layer existed).
+class CoordinatorJournal {
  public:
-  struct Record {
-    std::string query_id;
-    size_t update_count = 0;
-  };
+  virtual ~CoordinatorJournal() = default;
 
-  /// Appends a prepare record; fails if a fault was injected.
-  Status Append(Record record);
+  /// Durably records the commit decision and the participant set BEFORE
+  /// phase 2 begins; a failure here aborts the transaction (the only safe
+  /// direction while no participant has been told to commit).
+  virtual Status LogCommitDecision(
+      const std::string& query_id,
+      const std::vector<std::string>& participants) = 0;
 
-  /// Injects a one-shot failure into the next Append.
-  void FailNextAppend(Status status);
+  /// `participant` acknowledged Commit (volatile bookkeeping).
+  virtual void RecordCommitAck(const std::string& query_id,
+                               const std::string& participant) = 0;
 
-  const std::vector<Record>& records() const { return records_; }
+  /// `participant` could not be reached after bounded retry; it stays
+  /// in-doubt and is drained later (retry or participant inquiry).
+  virtual void ParkInDoubt(const std::string& query_id,
+                           const std::string& participant) = 0;
 
- private:
-  std::vector<Record> records_;
-  Status injected_;
-  bool has_injected_ = false;
+  /// Every participant acknowledged; the transaction record is complete.
+  virtual Status LogCommitEnd(const std::string& query_id) = 0;
 };
 
 /// Outcome of a distributed commit.
@@ -63,14 +95,44 @@ struct CommitOutcome {
   int prepares_sent = 0;
   int commits_sent = 0;
   int rollbacks_sent = 0;
+  int commit_retries = 0;  ///< phase-2 retransmissions after failures
+  /// Participants whose Commit could not be delivered within the retry
+  /// budget. The decision stands (committed == true); these are parked and
+  /// drained by coordinator retry or participant-initiated inquiry.
+  std::vector<std::string> in_doubt;
+};
+
+/// Knobs of RunTwoPhaseCommit beyond the classic all-or-nothing drive.
+struct TwoPhaseCommitOptions {
+  /// Coordinator decision log (usually the originating peer's XrpcService).
+  CoordinatorJournal* journal = nullptr;
+  /// Bounded-backoff policy for re-sending Commit to an unresponsive
+  /// participant (same shape as the transport retry policy; Commit IS safe
+  /// to retransmit because participants handle it idempotently).
+  net::RetryPolicy commit_retry{};
+  /// Backoff hook (tests/simulation advance a virtual clock; default none).
+  std::function<void(int64_t micros)> sleep;
+  /// Transaction observability (commit retries, in-doubt gauge).
+  net::RpcMetrics* metrics = nullptr;
+
+  /// Simulated coordinator crash points for the recovery matrix: the
+  /// driver stops dead (returns kNetworkError) at the given point.
+  enum class CrashPoint {
+    kNone,
+    kAfterVotes,       ///< all voted yes, decision NOT yet logged
+    kAfterDecisionLog, ///< decision durable, no Commit sent yet
+  };
+  CrashPoint crash_point = CrashPoint::kNone;
 };
 
 /// The WS-Coordinator role (run by the peer that started the query):
 /// registers the participating peers and drives Prepare/Commit (or
-/// Rollback on any prepare failure) over the transport.
+/// Rollback on any prepare failure) over the transport. With a journal the
+/// decision is durable before phase 2 and unreachable participants are
+/// parked in-doubt instead of failing the transaction.
 StatusOr<CommitOutcome> RunTwoPhaseCommit(
     net::Transport* transport, const std::vector<std::string>& participants,
-    const std::string& query_id);
+    const std::string& query_id, const TwoPhaseCommitOptions& options = {});
 
 }  // namespace xrpc::server
 

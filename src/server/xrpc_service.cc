@@ -2,8 +2,11 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "base/string_util.h"
 #include "server/remote_docs.h"
 #include "server/rpc_client.h"
 
@@ -38,8 +41,37 @@ XrpcService::XrpcService(Options options, Database* database,
 
 StatusOr<std::string> XrpcService::Handle(const std::string& path,
                                           const std::string& body) {
+  if (crashed_.load()) {
+    // The simulated-dead peer answers nothing; the transport sees the same
+    // kNetworkError a connection refusal would produce.
+    return Status::NetworkError("peer crashed (simulated): " +
+                                options_.self_uri);
+  }
   if (path == kWsatPath) return HandleWsat(body);
   return HandleXrpc(body);
+}
+
+Status XrpcService::EnableWal(const std::string& path) {
+  return log_.Open(path);
+}
+
+bool XrpcService::TriggerCrash(CrashPoint point) {
+  CrashPoint expected = point;
+  if (point == CrashPoint::kNone ||
+      !crash_point_.compare_exchange_strong(expected, CrashPoint::kNone)) {
+    return false;
+  }
+  crashed_ = true;
+  return true;
+}
+
+void XrpcService::RememberOutcome(const std::string& query_id,
+                                  TxnOutcome outcome) {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  outcomes_[query_id] = outcome;
+  if (participant_in_doubt_.erase(query_id) > 0 && metrics_ != nullptr) {
+    metrics_->RecordTxnInDoubt(-1);
+  }
 }
 
 StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
@@ -182,6 +214,70 @@ Status XrpcService::ResolveWrittenDocs(QuerySession* session) {
   return Status::OK();
 }
 
+StatusOr<PreparedPayload> XrpcService::BuildPreparedPayload(
+    QuerySession* session) {
+  PreparedPayload payload;
+  // The query host drove this transaction; it is who recovery inquires.
+  payload.coordinator = session->id.host;
+  for (const std::string& name : session->written_docs) {
+    auto it = session->docs.find(name);
+    if (it == session->docs.end()) continue;  // fn:put of a new document
+    payload.docs.emplace_back(name, it->second.second);
+  }
+  auto namer = [session](const xml::Node* root) -> StatusOr<std::string> {
+    for (const auto& [name, versioned] : session->docs) {
+      if (versioned.first.get() == root) return name;
+    }
+    return Status::IsolationError(
+        "update target outside the pinned snapshot");
+  };
+  XRPC_ASSIGN_OR_RETURN(payload.pul, session->pul.Serialize(namer));
+  return payload;
+}
+
+Status XrpcService::ApplyPreparedSession(QuerySession* session) {
+  DatabasePutSink sink(database_);
+  XRPC_RETURN_IF_ERROR(xquery::ApplyUpdates(&session->pul, &sink));
+  for (const std::string& name : session->written_docs) {
+    auto it = session->docs.find(name);
+    if (it == session->docs.end()) continue;  // fn:put handled by sink
+    XRPC_RETURN_IF_ERROR(
+        database_->ReplaceIfVersion(name, it->second.second, it->second.first));
+  }
+  return Status::OK();
+}
+
+StatusOr<QuerySession*> XrpcService::RestoreInDoubtSession(
+    const std::string& query_id, const PreparedPayload& p) {
+  auto session = std::make_unique<QuerySession>();
+  session->id.id = query_id;
+  session->id.host = p.coordinator;
+  // Deadline is moot: prepared sessions are exempt from expiry.
+  session->deadline_us = isolation_.NowMicros();
+  session->prepared = true;
+  for (const auto& [name, version] : p.docs) {
+    // Pin a fresh clone at the RECORDED base version: while this peer was
+    // down it accepted no commits, so the live tree still carries the state
+    // the PUL paths were serialized against; ReplaceIfVersion re-validates
+    // that assumption at apply time (first-committer-wins survives crashes).
+    XRPC_ASSIGN_OR_RETURN(xml::NodePtr live, database_->GetDocument(name));
+    session->docs[name] = {live->Clone(), version};
+  }
+  QuerySession* raw = session.get();
+  auto resolver = [raw](const std::string& name) -> StatusOr<xml::NodePtr> {
+    auto it = raw->docs.find(name);
+    if (it == raw->docs.end()) {
+      return Status::TransactionError(
+          "PREPARED payload references unknown document: " + name);
+    }
+    return it->second.first;
+  };
+  XRPC_ASSIGN_OR_RETURN(
+      session->pul, xquery::PendingUpdateList::Deserialize(p.pul, resolver));
+  XRPC_RETURN_IF_ERROR(ResolveWrittenDocs(raw));
+  return isolation_.RestoreSession(std::move(session));
+}
+
 StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
   auto parsed = ParseWsatMessage(body);
   if (!parsed.ok()) {
@@ -191,24 +287,54 @@ StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
     return SerializeWsatResponse(err);
   }
   const WsatMessage& msg = parsed.value();
+  // One WS-AT verb at a time: a redelivered Commit racing the original must
+  // observe either "not yet decided" or the decided outcome, never a
+  // half-applied session.
+  std::lock_guard<std::mutex> wsat_lock(wsat_mu_);
   WsatMessage reply;
   reply.op = msg.op;
   reply.query_id = msg.query_id;
 
+  auto respond = [&]() { return SerializeWsatResponse(reply); };
   auto respond_abort = [&](const std::string& reason) {
     reply.ok = false;
     reply.reason = reason;
     isolation_.EndSession(msg.query_id);
     return SerializeWsatResponse(reply);
   };
+  auto idempotent_reply = [&](bool ok, const std::string& reason) {
+    if (metrics_ != nullptr) metrics_->RecordTxnIdempotentReply();
+    reply.ok = ok;
+    reply.reason = reason;
+    return SerializeWsatResponse(reply);
+  };
+  // The decided outcome for this queryID, if any (rebuilt from the WAL at
+  // recovery): the source of idempotent replies and inquiry answers.
+  auto decided = [&]() -> std::optional<TxnOutcome> {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    auto it = outcomes_.find(msg.query_id);
+    if (it == outcomes_.end()) return std::nullopt;
+    return it->second;
+  };
 
   switch (msg.op) {
     case WsatOp::kPrepare: {
+      if (auto o = decided()) {
+        // A re-delivered Prepare after the decision: re-vote consistently.
+        return *o == TxnOutcome::kCommitted
+                   ? idempotent_reply(true, "")
+                   : idempotent_reply(false, "queryID already rolled back: " +
+                                                 msg.query_id);
+      }
       auto session_or = isolation_.FindSession(msg.query_id);
       if (!session_or.ok()) {
         return respond_abort(session_or.status().ToString());
       }
       QuerySession* session = session_or.value();
+      if (session->prepared) {
+        // Duplicate Prepare (retried envelope): the PUL is already logged.
+        return idempotent_reply(true, "");
+      }
       XRPC_RETURN_IF_ERROR(ResolveWrittenDocs(session));
       // First-committer-wins: another transaction must not have committed
       // to any written document since our snapshot was pinned.
@@ -219,43 +345,411 @@ StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
           return respond_abort("conflicting transaction on document " + name);
         }
       }
-      Status logged = log_.Append(
-          {msg.query_id, session->pul.size()});
+      auto payload_or = BuildPreparedPayload(session);
+      if (!payload_or.ok()) {
+        return respond_abort(payload_or.status().ToString());
+      }
+      Status logged =
+          log_.Append({TxnLog::RecordType::kPrepared, msg.query_id,
+                       SerializePreparedPayload(payload_or.value())});
       if (!logged.ok()) return respond_abort(logged.ToString());
+      if (TriggerCrash(CrashPoint::kAfterPrepareLog)) {
+        // PREPARED is durable but the vote is lost: the coordinator times
+        // out and aborts; recovery resolves us via inquiry (presumed abort).
+        return Status::NetworkError(
+            "peer crashed (simulated) before sending its vote");
+      }
       session->prepared = true;
       reply.ok = true;
-      return SerializeWsatResponse(reply);
+      // kAfterVote: the yes-vote still reaches the coordinator, then the
+      // peer dies holding an in-doubt transaction.
+      (void)TriggerCrash(CrashPoint::kAfterVote);
+      return respond();
     }
+
     case WsatOp::kCommit: {
+      if (auto o = decided()) {
+        return *o == TxnOutcome::kCommitted
+                   ? idempotent_reply(true, "")
+                   : idempotent_reply(false, "queryID already rolled back: " +
+                                                 msg.query_id);
+      }
       auto session_or = isolation_.FindSession(msg.query_id);
       if (!session_or.ok()) {
-        return respond_abort(session_or.status().ToString());
+        // Presumed abort: no session, no PREPARED record, no decision —
+        // this participant never promised anything.
+        reply.ok = false;
+        reply.reason = "unknown queryID (presumed abort): " + msg.query_id;
+        return respond();
       }
       QuerySession* session = session_or.value();
       if (!session->prepared) {
         return respond_abort("commit without successful prepare");
       }
-      DatabasePutSink sink(database_);
-      Status applied = xquery::ApplyUpdates(&session->pul, &sink);
-      if (!applied.ok()) return respond_abort(applied.ToString());
-      for (const std::string& name : session->written_docs) {
-        auto it = session->docs.find(name);
-        if (it == session->docs.end()) continue;  // fn:put handled by sink
-        Status installed = database_->ReplaceIfVersion(
-            name, it->second.second, it->second.first);
-        if (!installed.ok()) return respond_abort(installed.ToString());
+      if (TriggerCrash(CrashPoint::kBeforeCommitApply)) {
+        // Nothing logged, nothing applied: after recovery the session is
+        // in-doubt again and the retried Commit (or inquiry) decides.
+        return Status::NetworkError(
+            "peer crashed (simulated) before logging the commit");
       }
+      Status logged =
+          log_.Append({TxnLog::RecordType::kCommitted, msg.query_id, ""});
+      if (!logged.ok()) return respond_abort(logged.ToString());
+      if (TriggerCrash(CrashPoint::kAfterCommitLog)) {
+        // COMMITTED is durable, effects are not: replay must re-apply.
+        return Status::NetworkError(
+            "peer crashed (simulated) after logging the commit");
+      }
+      Status applied = ApplyPreparedSession(session);
+      if (!applied.ok()) {
+        // The durable decision stands; a later replay retries the apply.
+        reply.ok = false;
+        reply.reason = applied.ToString();
+        return respond();
+      }
+      (void)log_.Append({TxnLog::RecordType::kApplied, msg.query_id, ""});
+      RememberOutcome(msg.query_id, TxnOutcome::kCommitted);
       isolation_.EndSession(msg.query_id);
       reply.ok = true;
-      return SerializeWsatResponse(reply);
+      return respond();
     }
+
     case WsatOp::kRollback: {
-      isolation_.EndSession(msg.query_id);
+      if (auto o = decided()) {
+        return *o == TxnOutcome::kAborted
+                   ? idempotent_reply(true, "")
+                   : idempotent_reply(false, "queryID already committed: " +
+                                                 msg.query_id);
+      }
+      auto session_or = isolation_.FindSession(msg.query_id);
+      if (session_or.ok()) {
+        if (session_or.value()->prepared) {
+          // The ABORTED record is an optimization (it spares the inquiry on
+          // replay), not a correctness requirement: under presumed abort
+          // losing it just means re-deriving the same answer.
+          (void)log_.Append(
+              {TxnLog::RecordType::kAborted, msg.query_id, ""});
+          RememberOutcome(msg.query_id, TxnOutcome::kAborted);
+        }
+        isolation_.EndSession(msg.query_id);
+      }
+      // Rolling back an unknown queryID is trivially successful.
       reply.ok = true;
-      return SerializeWsatResponse(reply);
+      return respond();
+    }
+
+    case WsatOp::kInquire: {
+      // Presumed abort: only a commit decision on record answers
+      // "committed"; everything else — including "never heard of it" —
+      // answers "aborted".
+      reply.ok = true;
+      auto o = decided();
+      reply.outcome = (o.has_value() && *o == TxnOutcome::kCommitted)
+                          ? "committed"
+                          : "aborted";
+      return respond();
     }
   }
   return Status::Internal("unhandled WS-AT op");
+}
+
+// -- CoordinatorJournal -----------------------------------------------------
+
+Status XrpcService::LogCommitDecision(
+    const std::string& query_id,
+    const std::vector<std::string>& participants) {
+  XRPC_RETURN_IF_ERROR(log_.Append({TxnLog::RecordType::kCoordCommit, query_id,
+                                    JoinStrings(participants, "\n")}));
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  CoordTxn& txn = coord_[query_id];
+  txn.pending.clear();
+  txn.pending.insert(participants.begin(), participants.end());
+  txn.ended = false;
+  outcomes_[query_id] = TxnOutcome::kCommitted;
+  return Status::OK();
+}
+
+void XrpcService::RecordCommitAck(const std::string& query_id,
+                                  const std::string& participant) {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto it = coord_.find(query_id);
+  if (it != coord_.end()) it->second.pending.erase(participant);
+}
+
+void XrpcService::ParkInDoubt(const std::string& query_id,
+                              const std::string& participant) {
+  // The participant already sits in coord_[query_id].pending; parking just
+  // means leaving it there for RetryInDoubt to drain.
+  (void)query_id;
+  (void)participant;
+}
+
+Status XrpcService::LogCommitEnd(const std::string& query_id) {
+  XRPC_RETURN_IF_ERROR(
+      log_.Append({TxnLog::RecordType::kCoordEnd, query_id, ""}));
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  coord_.erase(query_id);
+  return Status::OK();
+}
+
+size_t XrpcService::in_doubt_count() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  size_t n = participant_in_doubt_.size();
+  for (const auto& [qid, txn] : coord_) n += txn.pending.size();
+  return n;
+}
+
+Status XrpcService::RetryInDoubt(net::Transport* transport) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("RetryInDoubt requires a transport");
+  }
+  std::map<std::string, std::set<std::string>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    for (const auto& [qid, txn] : coord_) {
+      if (!txn.pending.empty()) snapshot[qid] = txn.pending;
+    }
+  }
+  for (const auto& [qid, peers] : snapshot) {
+    for (const std::string& p : peers) {
+      // Commit is idempotent at the participant, so re-sending after an
+      // ack lost on the wire is harmless.
+      auto done = SendWsatMessage(transport, p, WsatOp::kCommit, qid);
+      if (done.ok() && done.value().ok) {
+        RecordCommitAck(qid, p);
+        if (metrics_ != nullptr) metrics_->RecordTxnInDoubt(-1);
+      }
+    }
+  }
+  std::vector<std::string> finished;
+  size_t still_pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    for (const auto& [qid, txn] : coord_) {
+      if (txn.pending.empty()) {
+        finished.push_back(qid);
+      } else {
+        still_pending += txn.pending.size();
+      }
+    }
+  }
+  for (const std::string& qid : finished) {
+    XRPC_RETURN_IF_ERROR(LogCommitEnd(qid));
+  }
+  if (still_pending > 0) {
+    return Status::TransactionError(
+        std::to_string(still_pending) +
+        " participant(s) still in doubt after commit retry");
+  }
+  return Status::OK();
+}
+
+Status XrpcService::ResolveParticipantInDoubt(net::Transport* transport) {
+  std::map<std::string, std::string> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    snapshot = participant_in_doubt_;
+  }
+  Status first_error = Status::OK();
+  auto note = [&first_error](const Status& s) {
+    if (first_error.ok() && !s.ok()) first_error = s;
+  };
+  for (const auto& [qid, coordinator] : snapshot) {
+    // The inquiry goes out without wsat_mu_ held (the coordinator may be
+    // this very peer, whose wsat endpoint must stay reachable).
+    auto answer =
+        SendWsatMessage(transport, coordinator, WsatOp::kInquire, qid);
+    if (!answer.ok()) {
+      // Coordinator unreachable: stay in doubt, inquire again later.
+      note(answer.status());
+      continue;
+    }
+    std::lock_guard<std::mutex> wsat_lock(wsat_mu_);
+    {
+      // A Commit/Rollback redelivered while the inquiry was in flight may
+      // have decided this transaction already.
+      std::lock_guard<std::mutex> lock(txn_mu_);
+      if (outcomes_.count(qid) > 0) continue;
+    }
+    auto session_or = isolation_.FindSession(qid);
+    if (!session_or.ok()) continue;  // resolved concurrently
+    if (answer.value().outcome == "committed") {
+      Status logged = log_.Append({TxnLog::RecordType::kCommitted, qid, ""});
+      if (!logged.ok()) {
+        note(logged);
+        continue;
+      }
+      Status applied = ApplyPreparedSession(session_or.value());
+      if (!applied.ok()) {
+        // Decision is durable; the next replay retries the apply.
+        note(applied);
+        continue;
+      }
+      (void)log_.Append({TxnLog::RecordType::kApplied, qid, ""});
+      RememberOutcome(qid, TxnOutcome::kCommitted);
+    } else {
+      // Explicit abort answer, or "unknown" — both mean abort under the
+      // presumed-abort rule.
+      (void)log_.Append({TxnLog::RecordType::kAborted, qid, ""});
+      RememberOutcome(qid, TxnOutcome::kAborted);
+    }
+    isolation_.EndSession(qid);
+  }
+  return first_error;
+}
+
+Status XrpcService::Restart(net::Transport* transport) {
+  std::unique_lock<std::mutex> wsat_lock(wsat_mu_);
+  // 1. Lose everything a process restart loses.
+  isolation_.Reset();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    if (metrics_ != nullptr && !participant_in_doubt_.empty()) {
+      metrics_->RecordTxnInDoubt(
+          -static_cast<int64_t>(participant_in_doubt_.size()));
+    }
+    outcomes_.clear();
+    coord_.clear();
+    participant_in_doubt_.clear();
+  }
+  crashed_ = false;
+  crash_point_ = CrashPoint::kNone;
+  if (metrics_ != nullptr) metrics_->RecordTxnRecovery();
+
+  // 2. Replay the WAL and fold it into per-transaction state.
+  TxnLog::ReplayStats stats;
+  XRPC_ASSIGN_OR_RETURN(std::vector<TxnLog::Record> records,
+                        log_.Replay(&stats));
+  if (metrics_ != nullptr) {
+    metrics_->RecordTxnReplayedRecords(static_cast<int64_t>(records.size()));
+  }
+
+  struct ParticipantState {
+    bool prepared = false;
+    bool committed = false;
+    bool applied = false;
+    bool aborted = false;
+    std::string payload;
+  };
+  struct CoordState {
+    std::vector<std::string> participants;
+    bool ended = false;
+  };
+  std::map<std::string, ParticipantState> part;
+  std::map<std::string, CoordState> coord;
+  for (const TxnLog::Record& r : records) {
+    switch (r.type) {
+      case TxnLog::RecordType::kPrepared: {
+        ParticipantState& s = part[r.query_id];
+        s.prepared = true;
+        s.payload = r.payload;
+        break;
+      }
+      case TxnLog::RecordType::kCommitted:
+        part[r.query_id].committed = true;
+        break;
+      case TxnLog::RecordType::kApplied:
+        part[r.query_id].applied = true;
+        break;
+      case TxnLog::RecordType::kAborted:
+        part[r.query_id].aborted = true;
+        break;
+      case TxnLog::RecordType::kCoordCommit:
+        coord[r.query_id].participants = SplitString(r.payload, '\n');
+        break;
+      case TxnLog::RecordType::kCoordEnd:
+        coord[r.query_id].ended = true;
+        break;
+    }
+  }
+
+  Status first_error = Status::OK();
+  auto note = [&first_error](const Status& s) {
+    if (first_error.ok() && !s.ok()) first_error = s;
+  };
+
+  // 3. Participant role.
+  for (const auto& [qid, st] : part) {
+    if (st.aborted && !st.committed) {
+      RememberOutcome(qid, TxnOutcome::kAborted);
+      continue;
+    }
+    if (st.committed) {
+      RememberOutcome(qid, TxnOutcome::kCommitted);
+      if (!st.applied) {
+        // The decision survived the crash but the effects did not:
+        // reconstruct the session from the PREPARED payload and re-apply.
+        auto payload_or = ParsePreparedPayload(st.payload);
+        if (!payload_or.ok()) {
+          note(payload_or.status());
+          continue;
+        }
+        auto session_or = RestoreInDoubtSession(qid, payload_or.value());
+        if (!session_or.ok()) {
+          note(session_or.status());
+          continue;
+        }
+        if (metrics_ != nullptr) metrics_->RecordTxnRecoveredSession();
+        Status applied = ApplyPreparedSession(session_or.value());
+        if (!applied.ok()) {
+          note(applied);
+        } else {
+          (void)log_.Append({TxnLog::RecordType::kApplied, qid, ""});
+        }
+        isolation_.EndSession(qid);
+      }
+      continue;
+    }
+    if (st.prepared) {
+      // PREPARED with no decision: in-doubt. Rebuild the session (so a
+      // re-delivered Commit can still apply) and remember who to ask.
+      auto payload_or = ParsePreparedPayload(st.payload);
+      if (!payload_or.ok()) {
+        note(payload_or.status());
+        continue;
+      }
+      auto session_or = RestoreInDoubtSession(qid, payload_or.value());
+      if (!session_or.ok()) {
+        note(session_or.status());
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(txn_mu_);
+        participant_in_doubt_[qid] = payload_or.value().coordinator;
+      }
+      if (metrics_ != nullptr) {
+        metrics_->RecordTxnInDoubt(+1);
+        metrics_->RecordTxnRecoveredSession();
+      }
+    }
+  }
+
+  // 4. Coordinator role: a decision without COORD-END must be re-driven.
+  // Acks are not logged, so ALL participants are re-sent Commit; their
+  // idempotent handlers make over-delivery harmless.
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    for (const auto& [qid, cs] : coord) {
+      if (cs.ended) continue;
+      outcomes_[qid] = TxnOutcome::kCommitted;
+      CoordTxn& txn = coord_[qid];
+      txn.pending.insert(cs.participants.begin(), cs.participants.end());
+    }
+  }
+
+  // 5. With a transport, resolve in-doubt state actively right away
+  // (released lock: resolution sends messages, possibly to ourselves).
+  wsat_lock.unlock();
+  if (transport != nullptr) {
+    note(ResolveParticipantInDoubt(transport));
+    bool have_coord_work;
+    {
+      std::lock_guard<std::mutex> lock(txn_mu_);
+      have_coord_work = !coord_.empty();
+    }
+    if (have_coord_work) note(RetryInDoubt(transport));
+  }
+  return first_error;
 }
 
 }  // namespace xrpc::server

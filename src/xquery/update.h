@@ -1,10 +1,12 @@
 #ifndef XRPC_XQUERY_UPDATE_H_
 #define XRPC_XQUERY_UPDATE_H_
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "base/status.h"
+#include "base/statusor.h"
 #include "xdm/item.h"
 #include "xml/qname.h"
 
@@ -65,6 +67,28 @@ class PendingUpdateList {
   };
   const std::vector<Entry>& entries() const { return entries_; }
   std::vector<Entry>& mutable_entries() { return entries_; }
+
+  /// Maps the root node of a target's tree to the name of the document it
+  /// was pinned from (so a serialized target can be re-resolved later).
+  using DocNamer = std::function<StatusOr<std::string>(const xml::Node* root)>;
+
+  /// Returns the pinned tree for a document name during deserialization.
+  using DocResolver =
+      std::function<StatusOr<xml::NodePtr>(const std::string& name)>;
+
+  /// Serializes the list to a self-contained XML fragment suitable for
+  /// writing to stable storage (the Section-6 prepare log). Node targets
+  /// are encoded as (document name, child-index path from the tree root);
+  /// content trees are serialized inline. A target whose tree `doc_of_root`
+  /// cannot name is an error — it could never be re-resolved after a crash.
+  StatusOr<std::string> Serialize(const DocNamer& doc_of_root) const;
+
+  /// Rebuilds a list from Serialize() output, re-resolving target paths
+  /// against the trees returned by `doc_of_name`. Content trees get fresh
+  /// node identities (they are parsed back), which is sound: XQUF content
+  /// is already-copied and owned by the primitive.
+  static StatusOr<PendingUpdateList> Deserialize(
+      std::string_view text, const DocResolver& doc_of_name);
 
  private:
   std::vector<Entry> entries_;

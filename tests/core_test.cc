@@ -258,12 +258,21 @@ TEST_F(CoreTest, UpdatingQueryWithIsolationCommitsVia2PC) {
     (count(execute at {"xrpc://y.example.org"} {f:filmsByActor("X")}),
      count(execute at {"xrpc://z.example.org"} {f:filmsByActor("Y")})))"),
             "1 1");
-  EXPECT_EQ(y_->service().stable_log().records().size(), 1u);
-  EXPECT_EQ(z_->service().stable_log().records().size(), 1u);
+  using server::TxnLog;
+  EXPECT_EQ(y_->service().txn_log().CountAppended(TxnLog::RecordType::kPrepared),
+            1u);
+  EXPECT_EQ(z_->service().txn_log().CountAppended(TxnLog::RecordType::kPrepared),
+            1u);
+  // The coordinator journaled its decision and its completion.
+  EXPECT_EQ(p0_->service().txn_log().CountAppended(
+                TxnLog::RecordType::kCoordCommit),
+            1u);
+  EXPECT_EQ(p0_->service().txn_log().CountAppended(TxnLog::RecordType::kCoordEnd),
+            1u);
 }
 
 TEST_F(CoreTest, UpdatingQueryAbortsWhenPrepareFails) {
-  z_->service().stable_log().FailNextAppend(
+  z_->service().txn_log().FailNextAppend(
       Status::TransactionError("injected disk failure"));
   EXPECT_EQ(Run(R"(
     declare option xrpc:isolation "repeatable";

@@ -270,7 +270,12 @@ TEST_F(ServerTest, IsolatedUpdateDeferredUntilCommit) {
   EXPECT_TRUE(outcome->committed);
   EXPECT_EQ(outcome->prepares_sent, 1);
   EXPECT_EQ(outcome->commits_sent, 1);
-  EXPECT_EQ(peer_.service().stable_log().records().size(), 1u);
+  EXPECT_EQ(peer_.service().txn_log().CountAppended(
+                TxnLog::RecordType::kPrepared),
+            1u);
+  EXPECT_EQ(peer_.service().txn_log().CountAppended(
+                TxnLog::RecordType::kCommitted),
+            1u);
 
   auto after = reader.Execute(count_call);
   ASSERT_TRUE(after.ok());
@@ -291,7 +296,7 @@ TEST_F(ServerTest, PrepareFailureAbortsDistributedTransaction) {
       client.ExecuteBulk(peer_.uri(), AddFilmRequest("Dr. No", "Sean Connery"))
           .ok());
 
-  peer_.service().stable_log().FailNextAppend(
+  peer_.service().txn_log().FailNextAppend(
       Status::TransactionError("disk full"));
   auto outcome = RunTwoPhaseCommit(&net_, {peer_.uri()}, "upd-2");
   ASSERT_TRUE(outcome.ok()) << outcome.status();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the transport layer: builds the network tests under
-# ThreadSanitizer (or the sanitizer given as $1) in a side build directory
-# and runs the two suites that exercise the HttpServer threading paths.
+# Sanitizer gate for the transport and transaction layers: builds the
+# tests under ThreadSanitizer (or the sanitizer given as $1) in a side
+# build directory and runs the suites that exercise the HttpServer
+# threading paths plus the concurrent WAL / 2PC crash-recovery paths.
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -15,5 +16,5 @@ cmake -B "$BUILD" -S "$ROOT" -DXRPC_SANITIZE="$SANITIZER" \
 cmake --build "$BUILD" -j
 cd "$BUILD"
 ctest --output-on-failure -j"$(nproc)" \
-      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry'
+      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry|TxnLog|PulSerialization|TxnRecovery'
 echo "sanitize($SANITIZER): OK"
