@@ -1,6 +1,7 @@
 #ifndef XRPC_BASE_CLOCK_H_
 #define XRPC_BASE_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -12,20 +13,23 @@ namespace xrpc {
 /// The paper's experiments ran on a real 1 Gb/s LAN; we account the network
 /// component of elapsed time virtually (deterministic, hardware-independent)
 /// and combine it with measured CPU time in the benchmark harness.
+///
+/// Atomic: parallel multi-destination dispatch advances the clock from
+/// several worker threads at once (retry backoff "sleeps" in particular).
 class VirtualClock {
  public:
   VirtualClock() = default;
 
   /// Advances simulated time by `us` microseconds.
-  void Advance(int64_t us) { now_us_ += us; }
+  void Advance(int64_t us) { now_us_.fetch_add(us, std::memory_order_relaxed); }
 
   /// Current simulated time in microseconds since Reset().
-  int64_t NowMicros() const { return now_us_; }
+  int64_t NowMicros() const { return now_us_.load(std::memory_order_relaxed); }
 
-  void Reset() { now_us_ = 0; }
+  void Reset() { now_us_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t now_us_ = 0;
+  std::atomic<int64_t> now_us_{0};
 };
 
 /// Measures wall-clock time of a code region (steady clock).

@@ -189,6 +189,11 @@ PeerNetwork::PeerNetwork(net::NetworkProfile profile)
   network_.set_metrics(&metrics_);
 }
 
+void PeerNetwork::EnableParallelDispatch(int threads) {
+  if (threads < 1) threads = 1;
+  dispatch_pool_ = std::make_unique<net::ThreadPool>(threads);
+}
+
 Peer* PeerNetwork::AddPeer(const std::string& name, EngineKind kind) {
   auto peer = std::make_unique<Peer>(name, kind, &network_);
   Peer* raw = peer.get();
@@ -242,7 +247,10 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
   }
   // Outgoing requests go through the retry/timeout decorator, which also
   // records per-peer wire metrics (so the client itself must not record —
-  // that would double count).
+  // that would double count). Fan-out shape/latency is a separate metrics
+  // dimension and is recorded by the client.
+  copts.dispatch_pool = dispatch_pool_.get();
+  copts.dispatch_metrics = &metrics_;
   server::RpcClient client(&transport_, copts);
   server::LiveDocumentProvider local_docs(&p0->db_);
   server::FederatedDocumentProvider docs(&local_docs, &client);

@@ -13,6 +13,7 @@
 #include "net/retrying_transport.h"
 #include "net/rpc_metrics.h"
 #include "net/simulated_network.h"
+#include "net/thread_pool.h"
 #include "server/remote_docs.h"
 #include "server/rpc_client.h"
 #include "server/xrpc_service.h"
@@ -169,6 +170,15 @@ class PeerNetwork {
   }
   const net::RetryPolicy& retry_policy() const { return transport_.policy(); }
 
+  /// Switches multi-destination Bulk RPC dispatch from the (deterministic)
+  /// serial default to genuinely parallel dispatch on a pool of `threads`
+  /// workers. Modeled network time is max-over-destinations either way;
+  /// what changes is wall-clock concurrency — and, under an active fault
+  /// profile, the order in which concurrent requests consume the injected
+  /// fault schedule (no longer deterministic). Call before Execute().
+  void EnableParallelDispatch(int threads = 4);
+  bool parallel_dispatch_enabled() const { return dispatch_pool_ != nullptr; }
+
   /// Runs `query_text` with peer `peer_name` in the p0 role: parses it,
   /// honors its declare option xrpc:isolation / xrpc:timeout, executes it
   /// on the peer's engine with loop-lifted Bulk RPC dispatch (relational
@@ -182,6 +192,7 @@ class PeerNetwork {
   net::SimulatedNetwork network_;
   net::RpcMetrics metrics_;
   net::RetryingTransport transport_;  ///< retry/timeout decorator over network_
+  std::unique_ptr<net::ThreadPool> dispatch_pool_;  ///< null = serial dispatch
   std::map<std::string, std::unique_ptr<Peer>> peers_;
   int64_t next_query_serial_ = 1;
 };

@@ -1,0 +1,83 @@
+#ifndef XRPC_NET_CONNECTION_POOL_H_
+#define XRPC_NET_CONNECTION_POOL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "net/rpc_metrics.h"
+
+namespace xrpc::net {
+
+/// Client-side pool of idle HTTP/1.1 keep-alive connections, keyed by peer
+/// ("host:port"). HttpTransport acquires a pooled socket before dialing a
+/// fresh one and releases it back after a reusable exchange, so a burst of
+/// requests toward one peer pays the TCP handshake once instead of per
+/// request (the persistent peer-to-peer query channels DXQ assumes).
+///
+/// Entries expire after `idle_timeout_millis` of sitting idle: the peer's
+/// server closes idle connections on its own schedule, and an expired-here
+/// socket is closed rather than handed out, keeping the stale-connection
+/// race window small. LIFO reuse (most recently released first) keeps the
+/// hot connection hot and lets the cold tail expire.
+class HttpConnectionPool {
+ public:
+  struct Options {
+    size_t max_idle_per_peer = 8;      ///< overflow connections are closed
+    int64_t idle_timeout_millis = 2000;
+  };
+
+  HttpConnectionPool() : options_(Options()) {}
+  explicit HttpConnectionPool(Options options) : options_(options) {}
+  ~HttpConnectionPool() { CloseAll(); }
+
+  HttpConnectionPool(const HttpConnectionPool&) = delete;
+  HttpConnectionPool& operator=(const HttpConnectionPool&) = delete;
+
+  /// Pops an idle, non-expired connection toward `peer_key`; -1 when none
+  /// (the caller dials). Expired entries found on the way are closed and
+  /// counted.
+  int Acquire(const std::string& peer_key);
+
+  /// Returns a connection for reuse. Closes it instead when the per-peer
+  /// cap is reached.
+  void Release(const std::string& peer_key, int fd);
+
+  /// Closes every pooled connection.
+  void CloseAll();
+
+  /// Observability: counters since construction, and the current idle size.
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t expired() const;
+  size_t idle_count() const;
+
+  /// Optional registry receiving reuse hit/miss, expiry and pool-size
+  /// gauge events.
+  void set_metrics(RpcMetrics* metrics) { metrics_ = metrics; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct IdleConn {
+    int fd;
+    std::chrono::steady_clock::time_point released_at;
+  };
+
+  size_t IdleCountLocked() const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<IdleConn>> idle_;  // LIFO per peer
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t expired_ = 0;
+  RpcMetrics* metrics_ = nullptr;
+};
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_CONNECTION_POOL_H_

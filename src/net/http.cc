@@ -7,77 +7,79 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
+#include "base/clock.h"
 #include "base/string_util.h"
+#include "net/retrying_transport.h"
 #include "net/uri.h"
 
 namespace xrpc::net {
 
 namespace {
 
-// Reads from fd until the full HTTP message (headers + Content-Length body)
-// has arrived. Returns headers+body as one string. A connection that closes
-// before delivering Content-Length bytes is a truncated body, not a valid
-// message — accepting it would hand half a SOAP envelope to the caller.
-StatusOr<std::string> ReadHttpMessage(int fd) {
-  std::string buf;
-  char chunk[4096];
-  size_t header_end = std::string::npos;
-  size_t content_length = 0;
-  while (true) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::NetworkError("recv timed out");
-      }
-      return Status::NetworkError("recv failed");
-    }
-    if (n == 0) {
-      if (header_end != std::string::npos &&
-          buf.size() < header_end + 4 + content_length) {
-        return Status::NetworkError(
-            "truncated body: got " +
-            std::to_string(buf.size() - header_end - 4) + " of " +
-            std::to_string(content_length) + " bytes");
-      }
-      break;
-    }
-    buf.append(chunk, static_cast<size_t>(n));
-    if (header_end == std::string::npos) {
-      header_end = buf.find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        // Parse Content-Length.
-        std::string headers = buf.substr(0, header_end);
-        for (char& c : headers) c = static_cast<char>(std::tolower(c));
-        size_t cl = headers.find("content-length:");
-        if (cl != std::string::npos) {
-          size_t start = cl + 15;
-          size_t end = headers.find("\r\n", start);
-          auto len = ParseInt64(std::string_view(headers).substr(
-              start, end == std::string::npos ? std::string::npos
-                                              : end - start));
-          if (!len.ok()) return Status::NetworkError("bad Content-Length");
-          content_length = static_cast<size_t>(len.value());
-        }
-      }
-    }
-    if (header_end != std::string::npos &&
-        buf.size() >= header_end + 4 + content_length) {
-      break;
-    }
+constexpr char kClosedBeforeMessage[] = "connection closed before message";
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
-  if (header_end == std::string::npos) {
-    return Status::NetworkError("truncated HTTP message");
+  return out;
+}
+
+// Parses start line + header lines out of buf[0, header_end). Strict:
+// every header line needs a nonempty name before the colon, and
+// Content-Length must be unique and a valid nonnegative integer.
+Status ParseHeaderBlock(std::string_view block, HttpMessage* msg,
+                        size_t* content_length) {
+  bool first = true;
+  bool saw_content_length = false;
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    size_t end = eol == std::string_view::npos ? block.size() : eol;
+    std::string_view line = block.substr(pos, end - pos);
+    pos = eol == std::string_view::npos ? block.size() : eol + 2;
+    if (first) {
+      msg->start_line = std::string(line);
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line: " +
+                                     std::string(line));
+    }
+    // No trimming of the name: "Content-Length " (trailing space) or a
+    // folded name is not the Content-Length header.
+    std::string name = ToLower(line.substr(0, colon));
+    std::string value(TrimWhitespace(line.substr(colon + 1)));
+    if (name == "content-length") {
+      if (saw_content_length) {
+        return Status::InvalidArgument(
+            "duplicate Content-Length header: body boundary is ambiguous");
+      }
+      saw_content_length = true;
+      auto len = ParseInt64(value);
+      if (!len.ok() || len.value() < 0) {
+        return Status::InvalidArgument("bad Content-Length");
+      }
+      *content_length = static_cast<size_t>(len.value());
+    }
+    msg->headers.emplace_back(std::move(name), std::move(value));
   }
-  return buf;
+  return Status::OK();
 }
 
 Status SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         return Status::NetworkError("send timed out");
@@ -89,18 +91,10 @@ Status SendAll(int fd, const std::string& data) {
   return Status::OK();
 }
 
-std::string ExtractBody(const std::string& message) {
-  size_t pos = message.find("\r\n\r\n");
-  return pos == std::string::npos ? "" : message.substr(pos + 4);
-}
-
 // Parses the status code out of "HTTP/1.1 <code> <reason>". Returns -1 on a
-// malformed status line. Only the first line is considered, so a " 200 "
+// malformed status line. Only the start line is considered, so a " 200 "
 // inside the response body cannot masquerade as success.
-int ParseStatusCode(const std::string& message) {
-  size_t line_end = message.find("\r\n");
-  std::string line = message.substr(
-      0, line_end == std::string::npos ? message.size() : line_end);
+int ParseStatusCode(const std::string& line) {
   if (line.rfind("HTTP/", 0) != 0) return -1;
   size_t sp = line.find(' ');
   if (sp == std::string::npos) return -1;
@@ -121,7 +115,159 @@ void SetSocketTimeout(int fd, int64_t timeout_millis) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+void SetRecvTimeout(int fd, int64_t timeout_millis) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_millis % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+// Graceful sender-side teardown: signal EOF, then wait (bounded) for the
+// peer's own EOF before closing. Closing with unread bytes in the receive
+// buffer makes the kernel send RST, which can destroy the response we just
+// wrote before the peer reads it — the classic lost-last-reply bug.
+void GracefulClose(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  SetRecvTimeout(fd, 200);
+  char buf[1024];
+  while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+  }
+  ::close(fd);
+}
+
+StatusOr<int> DialHost(const std::string& host, int port,
+                       int64_t timeout_millis) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetSocketTimeout(fd, timeout_millis);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  std::string ip = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::NetworkError("unresolvable host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::NetworkError("connect failed: " + host + ":" +
+                                std::to_string(port));
+  }
+  return fd;
+}
+
+std::string BuildRequest(const std::string& host, const std::string& path,
+                         const std::string& body, bool keep_alive) {
+  return "POST /" + path + " HTTP/1.1\r\nHost: " + host +
+         "\r\nContent-Type: application/soap+xml"
+         "\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: " +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n" + body;
+}
+
+std::string BuildResponse(const std::string& status_line,
+                          const std::string& body, bool keep_alive) {
+  return status_line +
+         "\r\nContent-Type: application/soap+xml"
+         "\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: " +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n" + body;
+}
+
+// Maps a parsed HTTP response to the caller-visible outcome: 2xx body,
+// SOAP Fault recognition in 500 bodies, NetworkError otherwise.
+StatusOr<std::string> InterpretResponse(const HttpMessage& message) {
+  int code = ParseStatusCode(message.start_line);
+  if (code < 0) {
+    return Status::NetworkError("malformed HTTP status line: " +
+                                message.start_line);
+  }
+  if (code >= 200 && code < 300) return message.body;
+  if (code == 500) {
+    // The embedded server reports handler errors as Status::ToString() in
+    // the 500 body; a SOAP Fault among them is an application-level
+    // outcome, not a transport failure, and must not look retryable.
+    const std::string& err_body = message.body;
+    constexpr std::string_view kFaultPrefix = "SoapFault: ";
+    if (err_body.rfind(kFaultPrefix, 0) == 0) {
+      return Status::SoapFault(err_body.substr(kFaultPrefix.size()));
+    }
+    size_t fs = err_body.find("<faultstring>");
+    if (fs != std::string::npos) {
+      size_t start = fs + 13;
+      size_t end = err_body.find("</faultstring>", start);
+      if (end != std::string::npos) {
+        return Status::SoapFault(err_body.substr(start, end - start));
+      }
+    }
+  }
+  return Status::NetworkError("HTTP error: " + message.start_line);
+}
+
+bool IsClosedBeforeMessage(const Status& status) {
+  return status.code() == StatusCode::kNetworkError &&
+         status.message() == kClosedBeforeMessage;
+}
+
 }  // namespace
+
+std::string HttpMessage::Header(const std::string& name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return v;
+  }
+  return "";
+}
+
+bool HttpMessage::WantsClose() const {
+  return ToLower(Header("connection")).find("close") != std::string::npos;
+}
+
+StatusOr<HttpMessage> ReadHttpMessage(int fd, std::string* carry) {
+  std::string buf = std::move(*carry);
+  carry->clear();
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  HttpMessage msg;
+  char chunk[4096];
+  while (true) {
+    if (header_end == std::string::npos) {
+      header_end = buf.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        XRPC_RETURN_IF_ERROR(ParseHeaderBlock(
+            std::string_view(buf).substr(0, header_end), &msg,
+            &content_length));
+      }
+    }
+    if (header_end != std::string::npos &&
+        buf.size() >= header_end + 4 + content_length) {
+      break;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::NetworkError("recv timed out");
+      }
+      return Status::NetworkError("recv failed");
+    }
+    if (n == 0) {
+      if (buf.empty()) return Status::NetworkError(kClosedBeforeMessage);
+      if (header_end != std::string::npos) {
+        return Status::NetworkError(
+            "truncated body: got " +
+            std::to_string(buf.size() - header_end - 4) + " of " +
+            std::to_string(content_length) + " bytes");
+      }
+      return Status::NetworkError("truncated HTTP message");
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  msg.body = buf.substr(header_end + 4, content_length);
+  *carry = buf.substr(header_end + 4 + content_length);
+  return msg;
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -148,7 +294,16 @@ StatusOr<int> HttpServer::Start(int port) {
     ::close(listen_fd_);
     return Status::NetworkError("listen() failed");
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
   running_ = true;
+  int workers = options_.workers > 0 ? options_.workers : 1;
+  worker_threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return port_;
 }
@@ -158,26 +313,31 @@ void HttpServer::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Worker& w : workers_) {
-    if (w.thread.joinable()) w.thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Queued connections never reached a worker: just close them. Active
+    // ones are shut down (not closed — the owning worker closes, avoiding
+    // an fd-reuse race) which wakes any recv() block immediately.
+    for (int fd : queue_) ::close(fd);
+    queue_.clear();
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  workers_.clear();
+  queue_cv_.notify_all();
+  for (std::thread& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
 }
 
-void HttpServer::ReapFinishedLocked() {
-  size_t kept = 0;
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    if (workers_[i].done->load(std::memory_order_acquire)) {
-      if (workers_[i].thread.joinable()) workers_[i].thread.join();
-    } else {
-      // Self-move-assigning a joinable std::thread terminates; only shift
-      // when a reaped slot opened up below.
-      if (kept != i) workers_[kept] = std::move(workers_[i]);
-      ++kept;
-    }
-  }
-  workers_.resize(kept);
+void HttpServer::RejectOverload(int fd) {
+  overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_) metrics_->RecordServerOverload();
+  const std::string body = "server overloaded: accept queue full";
+  (void)SendAll(fd,
+                BuildResponse("HTTP/1.1 503 Service Unavailable", body,
+                              /*keep_alive=*/false));
+  GracefulClose(fd);
 }
 
 void HttpServer::AcceptLoop() {
@@ -187,37 +347,98 @@ void HttpServer::AcceptLoop() {
       if (!running_) return;
       continue;
     }
-    Worker w;
-    w.done = std::make_shared<std::atomic<bool>>(false);
-    auto done = w.done;
-    w.thread = std::thread([this, fd, done] {
-      ServeConnection(fd);
-      done->store(true, std::memory_order_release);
-    });
-    std::lock_guard<std::mutex> lock(mu_);
-    ReapFinishedLocked();
-    workers_.push_back(std::move(w));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool rejected = false;
+    size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (static_cast<int>(queue_.size()) >= options_.accept_queue_capacity) {
+        rejected = true;
+      } else {
+        queue_.push_back(fd);
+        depth = queue_.size();
+      }
+    }
+    if (rejected) {
+      RejectOverload(fd);
+      continue;
+    }
+    if (metrics_) metrics_->RecordAcceptQueueDepth(static_cast<int64_t>(depth));
+    queue_cv_.notify_one();
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
-  auto message = ReadHttpMessage(fd);
-  std::string reply_body;
-  std::string status_line = "HTTP/1.1 200 OK";
-  if (!message.ok()) {
-    status_line = "HTTP/1.1 400 Bad Request";
-  } else {
-    // First line: METHOD SP path SP version. A request line without both
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained by Stop()
+      fd = queue_.front();
+      queue_.pop_front();
+      active_fds_.insert(fd);
+    }
+    bool graceful = ServeConnection(fd);
+    if (graceful) {
+      ::shutdown(fd, SHUT_WR);
+      SetRecvTimeout(fd, 200);
+      char buf[1024];
+      while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+      }
+    }
+    {
+      // close under mu_, after deregistering: Stop() only shuts down fds it
+      // still finds in active_fds_, so it can never touch a number the
+      // kernel has already reassigned.
+      std::lock_guard<std::mutex> lock(mu_);
+      active_fds_.erase(fd);
+      ::close(fd);
+    }
+  }
+}
+
+bool HttpServer::ServeConnection(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::string carry;
+  bool responded = false;
+  int served = 0;
+  while (running_) {
+    SetRecvTimeout(fd, options_.keep_alive_idle_millis);
+    auto message = ReadHttpMessage(fd, &carry);
+    if (!message.ok()) {
+      const Status& st = message.status();
+      // A client that went away between requests (clean close or idle
+      // expiry) is normal keep-alive lifecycle: disconnect silently. A
+      // half-delivered or malformed request is answered 400.
+      if (IsClosedBeforeMessage(st) ||
+          st.message().find("timed out") != std::string::npos ||
+          st.message() == "recv failed") {
+        break;
+      }
+      (void)SendAll(fd, BuildResponse("HTTP/1.1 400 Bad Request",
+                                      st.ToString(), /*keep_alive=*/false));
+      responded = true;
+      break;
+    }
+    ++served;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+    std::string reply_body;
+    std::string status_line = "HTTP/1.1 200 OK";
+    bool keep = running_ && !message->WantsClose() &&
+                !(options_.max_requests_per_connection > 0 &&
+                  served >= options_.max_requests_per_connection);
+    // Request line: METHOD SP path SP version. A request line without both
     // separators is malformed — answer 400 instead of indexing garbage.
-    const std::string& m = message.value();
-    size_t line_end = m.find("\r\n");
-    std::string line =
-        m.substr(0, line_end == std::string::npos ? m.size() : line_end);
+    const std::string& line = message->start_line;
     size_t sp1 = line.find(' ');
-    size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                          : line.find(' ', sp1 + 1);
+    size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos) {
       status_line = "HTTP/1.1 400 Bad Request";
+      keep = false;
     } else {
       std::string method = line.substr(0, sp1);
       std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
@@ -225,7 +446,7 @@ void HttpServer::ServeConnection(int fd) {
         status_line = "HTTP/1.1 405 Method Not Allowed";
       } else {
         if (!path.empty() && path[0] == '/') path = path.substr(1);
-        auto handled = endpoint_->Handle(path, ExtractBody(m));
+        auto handled = endpoint_->Handle(path, message->body);
         if (handled.ok()) {
           reply_body = std::move(handled).value();
         } else {
@@ -234,90 +455,100 @@ void HttpServer::ServeConnection(int fd) {
         }
       }
     }
+    if (!SendAll(fd, BuildResponse(status_line, reply_body, keep)).ok()) {
+      break;
+    }
+    responded = true;
+    if (!keep) break;
   }
-  std::string response = status_line +
-                         "\r\nContent-Type: application/soap+xml"
-                         "\r\nContent-Length: " +
-                         std::to_string(reply_body.size()) +
-                         "\r\nConnection: close\r\n\r\n" + reply_body;
-  (void)SendAll(fd, response);
-  ::close(fd);
+  return responded;
+}
+
+StatusOr<std::string> HttpTransport::Exchange(const XrpcUri& uri,
+                                              const std::string& body) {
+  const std::string peer_key = uri.PeerKey();
+  const bool keep_alive = keep_alive_.load(std::memory_order_relaxed);
+  // At most one extra attempt, and only for failures that prove the pooled
+  // connection was stale (see class comment) — never after a fresh dial.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    int fd = keep_alive ? pool_.Acquire(peer_key) : -1;
+    const bool reused = fd >= 0;
+    if (!reused) {
+      XRPC_ASSIGN_OR_RETURN(fd, DialHost(uri.host, uri.port, timeout_millis_));
+    } else {
+      SetSocketTimeout(fd, timeout_millis_);
+    }
+
+    Status sent = SendAll(fd, BuildRequest(uri.host, uri.path, body,
+                                           keep_alive));
+    if (!sent.ok()) {
+      ::close(fd);
+      if (reused) {
+        // The request did not fully reach the peer, so it cannot have been
+        // executed — re-dialing is safe even for an updating call.
+        if (metrics_) metrics_->RecordStaleConnectionRetry();
+        continue;
+      }
+      return sent;
+    }
+
+    std::string carry;
+    auto message = ReadHttpMessage(fd, &carry);
+    if (!message.ok()) {
+      ::close(fd);
+      if (reused && IsClosedBeforeMessage(message.status()) &&
+          !RetryingTransport::IsUpdatingEnvelope(body)) {
+        // Zero response bytes: the peer closed the pooled connection while
+        // it sat idle. Replaying a read-only request is harmless; an
+        // updating one might have been consumed right before the close, so
+        // it falls through to the caller (at-most-once).
+        if (metrics_) metrics_->RecordStaleConnectionRetry();
+        continue;
+      }
+      return message.status();
+    }
+
+    // Pool the socket again only when the exchange left it in a known-clean
+    // state: keep-alive granted by the peer and no stray bytes beyond the
+    // response (anything in `carry` means framing is off — don't reuse).
+    if (keep_alive && carry.empty() && !message->WantsClose()) {
+      pool_.Release(peer_key, fd);
+    } else {
+      ::close(fd);
+    }
+    return InterpretResponse(*message);
+  }
+  return Status::NetworkError("stale pooled connection to " + peer_key +
+                              ": re-dial failed");
+}
+
+StatusOr<PostResult> HttpTransport::Post(const std::string& dest_uri,
+                                         const std::string& body) {
+  XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
+  StopWatch watch;
+  XRPC_ASSIGN_OR_RETURN(std::string reply, Exchange(uri, body));
+  PostResult result;
+  result.network_micros = watch.ElapsedMicros();
+  result.body = std::move(reply);
+  return result;
 }
 
 StatusOr<std::string> HttpPost(const std::string& host, int port,
                                const std::string& path,
                                const std::string& body,
                                int64_t timeout_millis) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::NetworkError("socket() failed");
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  SetSocketTimeout(fd, timeout_millis);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  std::string ip = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::NetworkError("unresolvable host: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return Status::NetworkError("connect failed: " + host + ":" +
-                                std::to_string(port));
-  }
-  std::string request = "POST /" + path +
-                        " HTTP/1.1\r\nHost: " + host +
-                        "\r\nContent-Type: application/soap+xml"
-                        "\r\nContent-Length: " +
-                        std::to_string(body.size()) +
-                        "\r\nConnection: close\r\n\r\n" + body;
-  Status st = SendAll(fd, request);
+  XRPC_ASSIGN_OR_RETURN(int fd, DialHost(host, port, timeout_millis));
+  Status st = SendAll(fd, BuildRequest(host, path, body,
+                                       /*keep_alive=*/false));
   if (!st.ok()) {
     ::close(fd);
     return st;
   }
-  auto message = ReadHttpMessage(fd);
+  std::string carry;
+  auto message = ReadHttpMessage(fd, &carry);
   ::close(fd);
   XRPC_RETURN_IF_ERROR(message.status());
-  const std::string& m = message.value();
-  int code = ParseStatusCode(m);
-  if (code < 0) {
-    return Status::NetworkError("malformed HTTP status line: " +
-                                m.substr(0, m.find("\r\n")));
-  }
-  if (code >= 200 && code < 300) return ExtractBody(m);
-  if (code == 500) {
-    // The embedded server reports handler errors as Status::ToString() in
-    // the 500 body; a SOAP Fault among them is an application-level
-    // outcome, not a transport failure, and must not look retryable.
-    std::string err_body = ExtractBody(m);
-    constexpr std::string_view kFaultPrefix = "SoapFault: ";
-    if (err_body.rfind(kFaultPrefix, 0) == 0) {
-      return Status::SoapFault(err_body.substr(kFaultPrefix.size()));
-    }
-    size_t fs = err_body.find("<faultstring>");
-    if (fs != std::string::npos) {
-      size_t start = fs + 13;
-      size_t end = err_body.find("</faultstring>", start);
-      if (end != std::string::npos) {
-        return Status::SoapFault(err_body.substr(start, end - start));
-      }
-    }
-  }
-  return Status::NetworkError("HTTP error: " + m.substr(0, m.find("\r\n")));
-}
-
-StatusOr<PostResult> HttpTransport::Post(const std::string& dest_uri,
-                                         const std::string& body) {
-  XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
-  XRPC_ASSIGN_OR_RETURN(
-      std::string reply,
-      HttpPost(uri.host, uri.port, uri.path, body, timeout_millis_));
-  PostResult result;
-  result.body = std::move(reply);
-  return result;
+  return InterpretResponse(*message);
 }
 
 }  // namespace xrpc::net

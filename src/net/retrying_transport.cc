@@ -17,9 +17,12 @@ int64_t RetryingTransport::BackoffMicros(int retry) {
                 std::pow(policy_.backoff_multiplier, retry - 1);
   base = std::min(base, static_cast<double>(policy_.max_backoff_us));
   if (policy_.jitter_fraction > 0) {
-    double scale =
-        1.0 + policy_.jitter_fraction * (2.0 * prng_.NextDouble() - 1.0);
-    base *= scale;
+    double draw;
+    {
+      std::lock_guard<std::mutex> lock(prng_mu_);
+      draw = prng_.NextDouble();
+    }
+    base *= 1.0 + policy_.jitter_fraction * (2.0 * draw - 1.0);
   }
   return std::max<int64_t>(0, static_cast<int64_t>(base));
 }

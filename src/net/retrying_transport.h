@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "base/prng.h"
@@ -68,8 +69,18 @@ class RetryingTransport : public Transport {
   StatusOr<PostResult> Post(const std::string& dest_uri,
                             const std::string& body) override;
 
+  /// Forwarded to the wrapped transport (parallel fan-out bracketing).
+  void BeginParallelGroup() override { inner_->BeginParallelGroup(); }
+  void EndParallelGroup() override { inner_->EndParallelGroup(); }
+
   /// Deterministic backoff (with jitter) before retry number `retry`
   /// (1-based). Exposed for tests and for callers modeling virtual time.
+  ///
+  /// Thread-safe: parallel multi-destination dispatch retries several
+  /// destinations concurrently through ONE RetryingTransport, so the jitter
+  /// PRNG state is mutex-guarded. Under a fixed seed the drawn jitter
+  /// sequence is still exactly the seed's sequence; concurrent callers
+  /// consume from it in arrival order.
   int64_t BackoffMicros(int retry);
 
   const RetryPolicy& policy() const { return policy_; }
@@ -84,6 +95,7 @@ class RetryingTransport : public Transport {
   RetryPolicy policy_;
   RpcMetrics* metrics_;
   SleepFn sleep_;
+  std::mutex prng_mu_;  ///< guards prng_ under concurrent per-dest retries
   DeterministicPrng prng_;
 };
 

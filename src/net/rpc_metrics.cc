@@ -122,6 +122,53 @@ void RpcMetrics::RecordInjectedFault() {
   ++injected_faults_;
 }
 
+void RpcMetrics::RecordConnectionReuse(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    ++conn_.reuse_hits;
+  } else {
+    ++conn_.dials;
+  }
+}
+
+void RpcMetrics::RecordConnectionExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++conn_.expired;
+}
+
+void RpcMetrics::RecordStaleConnectionRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++conn_.stale_retries;
+}
+
+void RpcMetrics::RecordPooledConnections(int64_t idle_now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_.pool_max_idle = std::max(conn_.pool_max_idle, idle_now);
+}
+
+void RpcMetrics::RecordDispatchFanout(int64_t destinations,
+                                      int64_t max_in_flight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++dispatch_.fanout_groups;
+  dispatch_.fanout_destinations += destinations;
+  dispatch_.max_in_flight = std::max(dispatch_.max_in_flight, max_in_flight);
+}
+
+void RpcMetrics::RecordFanoutDestinationLatency(int64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_.fanout_latency.Record(micros);
+}
+
+void RpcMetrics::RecordAcceptQueueDepth(int64_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accept_queue_max_depth_ = std::max(accept_queue_max_depth_, depth);
+}
+
+void RpcMetrics::RecordServerOverload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++server_overloads_;
+}
+
 void RpcMetrics::RecordTxnCommitRetry() {
   std::lock_guard<std::mutex> lock(mu_);
   ++txn_.commit_retries;
@@ -197,6 +244,61 @@ int64_t RpcMetrics::server_faults() const {
   int64_t total = 0;
   for (const auto& [peer, s] : per_server_) total += s.faults;
   return total;
+}
+
+int64_t RpcMetrics::conn_reuse_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_.reuse_hits;
+}
+
+int64_t RpcMetrics::conn_dials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_.dials;
+}
+
+int64_t RpcMetrics::conn_expired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_.expired;
+}
+
+int64_t RpcMetrics::conn_stale_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_.stale_retries;
+}
+
+int64_t RpcMetrics::pool_max_idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_.pool_max_idle;
+}
+
+int64_t RpcMetrics::fanout_groups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_.fanout_groups;
+}
+
+int64_t RpcMetrics::fanout_destinations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_.fanout_destinations;
+}
+
+int64_t RpcMetrics::dispatch_max_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_.max_in_flight;
+}
+
+int64_t RpcMetrics::accept_queue_max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accept_queue_max_depth_;
+}
+
+int64_t RpcMetrics::server_overloads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_overloads_;
+}
+
+LatencyHistogram RpcMetrics::fanout_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_.fanout_latency;
 }
 
 int64_t RpcMetrics::txn_commit_retries() const {
@@ -279,6 +381,18 @@ std::string RpcMetrics::Report() const {
            " calls=" + FormatCount(s.calls) +
            " faults=" + FormatCount(s.faults) + "\n";
   }
+  out += "  connections: reuse_hits=" + FormatCount(conn_.reuse_hits) +
+         " dials=" + FormatCount(conn_.dials) +
+         " expired=" + FormatCount(conn_.expired) +
+         " stale_retries=" + FormatCount(conn_.stale_retries) +
+         " pool_max_idle=" + FormatCount(conn_.pool_max_idle) + "\n";
+  out += "  fanout: groups=" + FormatCount(dispatch_.fanout_groups) +
+         " destinations=" + FormatCount(dispatch_.fanout_destinations) +
+         " max_in_flight=" + FormatCount(dispatch_.max_in_flight) +
+         " per-dest latency: " + dispatch_.fanout_latency.Summary() + "\n";
+  out += "  server accept queue: max_depth=" +
+         FormatCount(accept_queue_max_depth_) +
+         " overload_503=" + FormatCount(server_overloads_) + "\n";
   out += "  txn: commit_retries=" + FormatCount(txn_.commit_retries) +
          " in_doubt=" + FormatCount(txn_.in_doubt) +
          " recoveries=" + FormatCount(txn_.recoveries) +
@@ -295,6 +409,10 @@ void RpcMetrics::Reset() {
   backoff_micros_ = 0;
   injected_faults_ = 0;
   txn_ = TxnStats{};
+  conn_ = ConnStats{};
+  dispatch_ = DispatchStats{};
+  accept_queue_max_depth_ = 0;
+  server_overloads_ = 0;
 }
 
 }  // namespace xrpc::net

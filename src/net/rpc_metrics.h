@@ -86,6 +86,29 @@ class RpcMetrics {
   /// Simulated network: a fault (drop/truncation/forced failure) fired.
   void RecordInjectedFault();
 
+  // -- Connection pooling / parallel dispatch counters ---------------------
+
+  /// Client side: a connection toward a peer was acquired — from the pool
+  /// (`hit`) or by dialing a fresh socket.
+  void RecordConnectionReuse(bool hit);
+  /// Client side: an idle pooled connection expired and was closed.
+  void RecordConnectionExpired();
+  /// Client side: a pooled connection turned out broken mid-exchange and
+  /// the request was safely re-dialed on a fresh socket.
+  void RecordStaleConnectionRetry();
+  /// Client side: pool-size gauge after a release; the maximum is reported.
+  void RecordPooledConnections(int64_t idle_now);
+  /// Client side: one parallel fan-out group of `destinations` Bulk RPCs
+  /// dispatched; `max_in_flight` is the dispatch pool's occupancy peak.
+  void RecordDispatchFanout(int64_t destinations, int64_t max_in_flight);
+  /// Client side: modeled/measured wire latency of ONE destination within a
+  /// fan-out group (the distribution whose max is the critical path).
+  void RecordFanoutDestinationLatency(int64_t micros);
+  /// Server side: accept-queue depth gauge after an enqueue; max reported.
+  void RecordAcceptQueueDepth(int64_t depth);
+  /// Server side: a connection was rejected with 503 (accept queue full).
+  void RecordServerOverload();
+
   // -- Transaction (2PC / WAL) counters -----------------------------------
 
   /// Coordinator: a phase-2 Commit was re-sent after a delivery failure.
@@ -114,6 +137,18 @@ class RpcMetrics {
   int64_t server_requests() const;
   int64_t server_calls() const;
   int64_t server_faults() const;
+  int64_t conn_reuse_hits() const;
+  int64_t conn_dials() const;
+  int64_t conn_expired() const;
+  int64_t conn_stale_retries() const;
+  int64_t pool_max_idle() const;
+  int64_t fanout_groups() const;
+  int64_t fanout_destinations() const;
+  int64_t dispatch_max_in_flight() const;
+  int64_t accept_queue_max_depth() const;
+  int64_t server_overloads() const;
+  /// Copy of the per-destination fan-out latency histogram.
+  LatencyHistogram fanout_latency() const;
   int64_t txn_commit_retries() const;
   int64_t txn_in_doubt() const;
   int64_t txn_recoveries() const;
@@ -147,6 +182,26 @@ class RpcMetrics {
     int64_t idempotent_replies = 0;
   };
   TxnStats txn_;
+
+  struct ConnStats {
+    int64_t reuse_hits = 0;
+    int64_t dials = 0;
+    int64_t expired = 0;
+    int64_t stale_retries = 0;
+    int64_t pool_max_idle = 0;  ///< gauge maximum, not a counter
+  };
+  ConnStats conn_;
+
+  struct DispatchStats {
+    int64_t fanout_groups = 0;
+    int64_t fanout_destinations = 0;
+    int64_t max_in_flight = 0;  ///< gauge maximum
+    LatencyHistogram fanout_latency;
+  };
+  DispatchStats dispatch_;
+
+  int64_t accept_queue_max_depth_ = 0;  ///< gauge maximum
+  int64_t server_overloads_ = 0;
 
   struct ServerStats {
     int64_t requests = 0;

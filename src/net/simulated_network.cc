@@ -1,5 +1,7 @@
 #include "net/simulated_network.h"
 
+#include <algorithm>
+
 #include "base/clock.h"
 
 namespace xrpc::net {
@@ -25,6 +27,33 @@ void SimulatedNetwork::set_fault_profile(FaultProfile profile) {
   fault_profile_ = profile;
   fault_prng_.Reseed(profile.seed);
   fault_serial_ = 0;
+}
+
+void SimulatedNetwork::AdvanceForPostLocked(int64_t cost_us) {
+  if (parallel_depth_ > 0) {
+    group_max_end_us_ =
+        std::max(group_max_end_us_, group_start_us_ + cost_us);
+  } else {
+    clock_.Advance(cost_us);
+  }
+}
+
+void SimulatedNetwork::BeginParallelGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parallel_depth_++ == 0) {
+    group_start_us_ = clock_.NowMicros();
+    group_max_end_us_ = group_start_us_;
+  }
+}
+
+void SimulatedNetwork::EndParallelGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parallel_depth_ > 0 && --parallel_depth_ == 0) {
+    // Backoff sleeps may have advanced the clock past the group's critical
+    // path already; never move it backwards.
+    int64_t now = clock_.NowMicros();
+    if (group_max_end_us_ > now) clock_.Advance(group_max_end_us_ - now);
+  }
 }
 
 int64_t SimulatedNetwork::faults_injected() const {
@@ -94,7 +123,7 @@ StatusOr<PostResult> SimulatedNetwork::Post(const std::string& dest_uri,
     std::lock_guard<std::mutex> lock(mu_);
     ++messages_;
     bytes_sent_ += static_cast<int64_t>(body.size());
-    clock_.Advance(request_cost);
+    AdvanceForPostLocked(request_cost);
     ++faults_injected_;
     if (metrics_) metrics_->RecordInjectedFault();
     return Status::NetworkError("truncated response: reply lost");
@@ -110,7 +139,7 @@ StatusOr<PostResult> SimulatedNetwork::Post(const std::string& dest_uri,
     ++messages_;
     bytes_sent_ += static_cast<int64_t>(body.size());
     bytes_received_ += static_cast<int64_t>(reply.size());
-    clock_.Advance(result.network_micros);
+    AdvanceForPostLocked(result.network_micros);
   }
   result.body = std::move(reply);
   return result;

@@ -101,6 +101,16 @@ class SimulatedNetwork : public Transport {
   StatusOr<PostResult> Post(const std::string& dest_uri,
                             const std::string& body) override;
 
+  /// Parallel fan-out group (Transport protocol): while a group is open the
+  /// per-Post wire costs do NOT each advance the virtual clock; instead
+  /// every Post is modeled as starting at the group's opening instant, and
+  /// EndParallelGroup moves the clock to the latest per-Post completion —
+  /// i.e. the group costs max-over-destinations, matching real parallel
+  /// dispatch. Groups nest (a handler's own fan-out during an outer group
+  /// folds into the outer one); only the outermost End advances the clock.
+  void BeginParallelGroup() override;
+  void EndParallelGroup() override;
+
   /// Simulated network statistics.
   int64_t messages_sent() const { return messages_; }
   int64_t bytes_sent() const { return bytes_sent_; }
@@ -112,6 +122,11 @@ class SimulatedNetwork : public Transport {
   void ResetStats();
 
  private:
+  /// Advances the virtual clock for one Post of modeled cost `cost_us`:
+  /// directly when no parallel group is open, else by folding the Post's
+  /// completion instant into the group maximum. mu_ must be held.
+  void AdvanceForPostLocked(int64_t cost_us);
+
   NetworkProfile profile_;
   std::map<std::string, SoapEndpoint*> peers_;  // keyed by host:port
   VirtualClock clock_;
@@ -123,6 +138,9 @@ class SimulatedNetwork : public Transport {
   DeterministicPrng fault_prng_;
   int64_t fault_serial_ = 0;  ///< Post() count since set_fault_profile
   int64_t faults_injected_ = 0;
+  int parallel_depth_ = 0;        ///< open BeginParallelGroup nesting level
+  int64_t group_start_us_ = 0;    ///< clock reading at the outermost Begin
+  int64_t group_max_end_us_ = 0;  ///< latest modeled completion in the group
   RpcMetrics* metrics_ = nullptr;
   mutable std::mutex mu_;
 };

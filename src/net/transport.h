@@ -28,6 +28,31 @@ class Transport {
   /// 200 responses and are decoded by the SOAP layer.
   virtual StatusOr<PostResult> Post(const std::string& dest_uri,
                                     const std::string& body) = 0;
+
+  /// Brackets a group of Posts that are LOGICALLY CONCURRENT (one
+  /// multi-destination fan-out). Real transports ignore this — genuine
+  /// parallelism makes wall-clock time the max over destinations by itself.
+  /// Virtual-time transports (SimulatedNetwork) use it to advance their
+  /// clock by the maximum per-destination cost instead of the sum, so the
+  /// simulated clock agrees with what the real loopback path measures.
+  /// Decorators must forward both calls to the wrapped transport.
+  virtual void BeginParallelGroup() {}
+  virtual void EndParallelGroup() {}
+};
+
+/// RAII bracket for Transport::Begin/EndParallelGroup.
+class ParallelGroupScope {
+ public:
+  explicit ParallelGroupScope(Transport* transport) : transport_(transport) {
+    transport_->BeginParallelGroup();
+  }
+  ~ParallelGroupScope() { transport_->EndParallelGroup(); }
+
+  ParallelGroupScope(const ParallelGroupScope&) = delete;
+  ParallelGroupScope& operator=(const ParallelGroupScope&) = delete;
+
+ private:
+  Transport* transport_;
 };
 
 /// Server-side request handler: receives the POSTed SOAP envelope (and the

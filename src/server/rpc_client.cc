@@ -1,6 +1,7 @@
-#include <algorithm>
-
 #include "server/rpc_client.h"
+
+#include <algorithm>
+#include <condition_variable>
 
 namespace xrpc::server {
 
@@ -21,35 +22,110 @@ StatusOr<xdm::Sequence> RpcClient::Execute(const xquery::RpcCall& call) {
   return std::move(response.results[0]);
 }
 
+StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
+    const std::string& dest_uri, soap::XrpcRequest request) {
+  ExchangeStats stats;
+  auto response = ExchangeOnce(dest_uri, std::move(request), &stats);
+  MergeStats(stats, stats.network_micros);
+  return response;
+}
+
 StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
     std::vector<Destination> destinations) {
-  std::vector<soap::XrpcResponse> responses;
-  responses.reserve(destinations.size());
-  // Parallel-dispatch accounting: each request still executes (the
-  // simulated network is synchronous), but the modeled elapsed network
-  // time of the group is the maximum over destinations, not the sum.
-  // Critical-path accounting must hold on the error path too: a failed
-  // destination would otherwise leave the partial *serial* cost in
-  // network_micros_ and skew the Table 4 strategy benchmarks.
-  int64_t before = network_micros_;
-  int64_t critical_path = 0;
-  for (Destination& d : destinations) {
-    int64_t mark = network_micros_;
-    auto response = ExecuteBulk(d.dest_uri, std::move(d.request));
-    int64_t cost = network_micros_ - mark;
-    critical_path = std::max(critical_path, cost);
-    if (!response.ok()) {
-      network_micros_ = before + critical_path;
-      return response.status();
-    }
-    responses.push_back(std::move(response).value());
+  const size_t n = destinations.size();
+  if (n == 0) return std::vector<soap::XrpcResponse>{};
+  if (n == 1) {
+    // A one-destination "group" has no fan-out to bracket; keep the plain
+    // single-exchange path (and its clock semantics) byte-identical.
+    XRPC_ASSIGN_OR_RETURN(
+        soap::XrpcResponse response,
+        ExecuteBulk(destinations[0].dest_uri,
+                    std::move(destinations[0].request)));
+    std::vector<soap::XrpcResponse> responses;
+    responses.push_back(std::move(response));
+    return responses;
   }
-  network_micros_ = before + critical_path;
+
+  std::vector<ExchangeStats> stats(n);
+  std::vector<std::optional<StatusOr<soap::XrpcResponse>>> results(n);
+  net::ThreadPool* pool = options_.dispatch_pool;
+  {
+    // Bracket the fan-out so virtual-time transports charge the group its
+    // critical path (max over destinations), agreeing with the wall-clock
+    // shape of the physically parallel path below.
+    net::ParallelGroupScope group(transport_);
+    if (pool != nullptr) {
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+      size_t done = 0;
+      for (size_t i = 0; i < n; ++i) {
+        pool->Submit([this, i, &destinations, &results, &stats, &done_mu,
+                      &done_cv, &done] {
+          results[i] = ExchangeOnce(destinations[i].dest_uri,
+                                    std::move(destinations[i].request),
+                                    &stats[i]);
+          std::lock_guard<std::mutex> lock(done_mu);
+          ++done;
+          done_cv.notify_one();
+        });
+      }
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return done == n; });
+    } else {
+      // Serial dispatch (default): deterministic — the simulated network's
+      // fault schedule sees destinations in a fixed order. Every
+      // destination is still attempted even after a failure.
+      for (size_t i = 0; i < n; ++i) {
+        results[i] = ExchangeOnce(destinations[i].dest_uri,
+                                  std::move(destinations[i].request),
+                                  &stats[i]);
+      }
+    }
+  }
+
+  // The group's modeled elapsed time is its critical path: the slowest
+  // destination, successful or not (a failed exchange still occupied the
+  // wire for whatever it accumulated before failing).
+  int64_t critical_path = 0;
+  ExchangeStats merged;
+  for (size_t i = 0; i < n; ++i) {
+    critical_path = std::max(critical_path, stats[i].network_micros);
+    merged.remote_micros += stats[i].remote_micros;
+    merged.requests_sent += stats[i].requests_sent;
+    merged.sent_updating = merged.sent_updating || stats[i].sent_updating;
+    merged.peers.insert(merged.peers.end(), stats[i].peers.begin(),
+                        stats[i].peers.end());
+  }
+  MergeStats(merged, critical_path);
+
+  if (options_.dispatch_metrics != nullptr) {
+    net::RpcMetrics* m = options_.dispatch_metrics;
+    int64_t max_in_flight =
+        pool != nullptr
+            ? static_cast<int64_t>(std::min(n, static_cast<size_t>(
+                                                   std::max(1, pool->size()))))
+            : 1;
+    m->RecordDispatchFanout(static_cast<int64_t>(n), max_in_flight);
+    for (size_t i = 0; i < n; ++i) {
+      m->RecordFanoutDestinationLatency(stats[i].network_micros);
+    }
+  }
+
+  // results[i] corresponds to destinations[i] regardless of completion
+  // order; the lowest-indexed failure (not the first to *finish* failing)
+  // is the one reported.
+  std::vector<soap::XrpcResponse> responses;
+  responses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!results[i]->ok()) return results[i]->status();
+    responses.push_back(std::move(*results[i]).value());
+  }
   return responses;
 }
 
-StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
-    const std::string& dest_uri, soap::XrpcRequest request) {
+StatusOr<soap::XrpcResponse> RpcClient::ExchangeOnce(
+    const std::string& dest_uri, soap::XrpcRequest request,
+    ExchangeStats* stats) const {
   if (options_.isolation == IsolationLevel::kRepeatable &&
       !options_.simple_query) {
     if (!options_.query_id.has_value()) {
@@ -57,7 +133,7 @@ StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
     }
     request.query_id = options_.query_id;
   }
-  if (request.updating) sent_updating_ = true;
+  if (request.updating) stats->sent_updating = true;
   size_t call_count = request.calls.size();
   std::string body = soap::SerializeRequest(request);
   auto posted_or = transport_->Post(dest_uri, body);
@@ -69,9 +145,9 @@ StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
     return posted_or.status();
   }
   net::PostResult posted = std::move(posted_or).value();
-  network_micros_ += posted.network_micros;
-  remote_micros_ += posted.server_micros;
-  ++requests_sent_;
+  stats->network_micros += posted.network_micros;
+  stats->remote_micros += posted.server_micros;
+  ++stats->requests_sent;
   if (options_.metrics != nullptr) {
     options_.metrics->RecordClientRequest(dest_uri, body.size(),
                                           posted.body.size(),
@@ -84,11 +160,41 @@ StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
         "bulk response has " + std::to_string(response.results.size()) +
         " result sequences for " + std::to_string(call_count) + " calls");
   }
-  participating_peers_.insert(dest_uri);
+  stats->peers.push_back(dest_uri);
   for (const std::string& peer : response.participating_peers) {
-    participating_peers_.insert(peer);
+    stats->peers.push_back(peer);
   }
   return response;
+}
+
+void RpcClient::MergeStats(const ExchangeStats& stats,
+                           int64_t network_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  network_micros_ += network_micros;
+  remote_micros_ += stats.remote_micros;
+  requests_sent_ += stats.requests_sent;
+  sent_updating_ = sent_updating_ || stats.sent_updating;
+  participating_peers_.insert(stats.peers.begin(), stats.peers.end());
+}
+
+int64_t RpcClient::network_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return network_micros_;
+}
+
+int64_t RpcClient::requests_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_sent_;
+}
+
+bool RpcClient::sent_updating() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sent_updating_;
+}
+
+int64_t RpcClient::remote_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remote_micros_;
 }
 
 }  // namespace xrpc::server

@@ -2,12 +2,15 @@
 #define XRPC_SERVER_RPC_CLIENT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "base/statusor.h"
 #include "net/rpc_metrics.h"
+#include "net/thread_pool.h"
 #include "net/transport.h"
 #include "server/engine.h"
 #include "soap/message.h"
@@ -46,6 +49,18 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
     /// transport is a metrics-equipped RetryingTransport (which records at
     /// the per-attempt wire level) to avoid double counting.
     net::RpcMetrics* metrics = nullptr;
+    /// When set, ExecuteBulkAll launches its per-destination Bulk RPCs on
+    /// this pool and waits for all of them — genuinely parallel fan-out
+    /// (concurrency bounded by the pool size). When null, destinations are
+    /// dispatched serially; the transport's parallel-group bracket still
+    /// accounts the group's modeled time as max-over-destinations. Serial
+    /// is the default because it keeps the simulated network's injected
+    /// fault schedule deterministic.
+    net::ThreadPool* dispatch_pool = nullptr;
+    /// Registry receiving fan-out shape and per-destination latency (a
+    /// different dimension than per-request wire metrics, so it may alias
+    /// the RetryingTransport's registry without double counting).
+    net::RpcMetrics* dispatch_metrics = nullptr;
   };
 
   RpcClient(net::Transport* transport, Options options)
@@ -61,30 +76,65 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
   /// BulkRpcChannel: dispatches one Bulk RPC per destination. The requests
   /// of one invocation are logically parallel (MonetDB dispatches them
   /// concurrently), so network time is accounted as the maximum over
-  /// destinations rather than their sum.
+  /// destinations rather than their sum; with Options::dispatch_pool the
+  /// dispatch is physically parallel as well and wall-clock time follows
+  /// the same max-over-destinations shape.
+  ///
+  /// Error isolation: every destination is attempted regardless of other
+  /// destinations' failures; on any failure the status of the
+  /// lowest-indexed failing destination is returned (response order always
+  /// matches destination order, so out-of-order completion cannot leak
+  /// into the result).
   StatusOr<std::vector<soap::XrpcResponse>> ExecuteBulkAll(
       std::vector<Destination> destinations) override;
 
   /// Peers that participated in calls made through this client
   /// (transitively, via response piggybacking). Includes direct callees.
+  /// Only stable once no ExecuteBulkAll is in flight.
   const std::set<std::string>& participating_peers() const {
     return participating_peers_;
   }
 
-  /// Accumulated modeled network time of all exchanges.
-  int64_t network_micros() const { return network_micros_; }
+  /// Accumulated modeled network time of all exchanges (parallel groups
+  /// contribute their critical path, not their sum).
+  int64_t network_micros() const;
   /// Number of request messages sent.
-  int64_t requests_sent() const { return requests_sent_; }
+  int64_t requests_sent() const;
   /// True if any request carried updCall (drives the 2PC decision).
-  bool sent_updating() const { return sent_updating_; }
+  bool sent_updating() const;
   /// Accumulated measured processing time at destination peers.
-  int64_t remote_micros() const { return remote_micros_; }
+  int64_t remote_micros() const;
 
   const Options& options() const { return options_; }
 
  private:
+  /// Accounting of one wire exchange, kept local to the exchange so that
+  /// concurrent per-destination calls never contend on — or interleave
+  /// into — the client-wide tallies.
+  struct ExchangeStats {
+    int64_t network_micros = 0;
+    int64_t remote_micros = 0;
+    int64_t requests_sent = 0;
+    bool sent_updating = false;
+    std::vector<std::string> peers;  ///< dest + piggybacked participants
+  };
+
+  /// Performs one Bulk RPC exchange, writing its accounting into `stats`
+  /// instead of the client tallies. Thread-safe: reads only immutable
+  /// state (options_, transport_).
+  StatusOr<soap::XrpcResponse> ExchangeOnce(const std::string& dest_uri,
+                                            soap::XrpcRequest request,
+                                            ExchangeStats* stats) const;
+
+  /// Folds exchange accounting into the client tallies (mu_).
+  /// `network_micros` is passed separately: serial callers add the
+  /// exchange's own cost, ExecuteBulkAll adds the group's critical path.
+  void MergeStats(const ExchangeStats& stats, int64_t network_micros);
+
   net::Transport* transport_;
   Options options_;
+
+  mutable std::mutex mu_;  ///< guards the tallies below
   std::set<std::string> participating_peers_;
   int64_t network_micros_ = 0;
   int64_t remote_micros_ = 0;

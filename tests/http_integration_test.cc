@@ -8,6 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "net/http.h"
@@ -201,6 +205,218 @@ TEST_F(HttpIntegrationTest, SocketTimeoutSurfacesAsNetworkError) {
   EXPECT_EQ(reply.status().code(), StatusCode::kNetworkError);
   EXPECT_NE(reply.status().message().find("timed out"), std::string::npos);
   ::close(fd);
+}
+
+TEST_F(HttpIntegrationTest, KeepAliveReusesOneConnection) {
+  // Five sequential calls through one transport ride one TCP connection:
+  // the first exchange dials, the rest hit the pool.
+  RpcClient client(&transport_, {});
+  for (int i = 0; i < 5; ++i) {
+    xquery::RpcCall call;
+    call.dest_uri = PeerUri();
+    call.module_ns = "films";
+    call.function = xml::QName("films", "filmsByActor");
+    call.args = {xdm::Sequence{
+        xdm::Item(xdm::AtomicValue::String("Sean Connery"))}};
+    auto result = client.Execute(call);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  EXPECT_EQ(transport_.pool().misses(), 1);
+  EXPECT_EQ(transport_.pool().hits(), 4);
+  EXPECT_EQ(http_server_->connections_accepted(), 1);
+  EXPECT_EQ(http_server_->requests_served(), 5);
+}
+
+TEST_F(HttpIntegrationTest, KeepAliveDisabledDialsPerRequest) {
+  net::HttpTransport transport;
+  transport.set_keep_alive(false);
+  RpcClient client(&transport, {});
+  for (int i = 0; i < 3; ++i) {
+    xquery::RpcCall call;
+    call.dest_uri = PeerUri();
+    call.module_ns = "films";
+    call.function = xml::QName("films", "filmsByActor");
+    call.args = {xdm::Sequence{
+        xdm::Item(xdm::AtomicValue::String("Sean Connery"))}};
+    ASSERT_TRUE(client.Execute(call).ok());
+  }
+  EXPECT_EQ(transport.pool().hits(), 0);
+  EXPECT_EQ(http_server_->connections_accepted(), 3);
+}
+
+TEST_F(HttpIntegrationTest, IdlePooledConnectionExpiresAndRedials) {
+  net::HttpConnectionPool::Options pool_options;
+  pool_options.idle_timeout_millis = 50;
+  net::HttpTransport transport(pool_options);
+  net::RpcMetrics metrics;
+  transport.set_metrics(&metrics);
+
+  server::WsatMessage msg;
+  msg.op = server::WsatOp::kPrepare;
+  msg.query_id = "q";
+  auto post = [&] {
+    return transport.Post(PeerUri() + "/" + server::kWsatPath,
+                          server::SerializeWsatRequest(msg));
+  };
+  ASSERT_TRUE(post().ok());
+  EXPECT_EQ(transport.pool().idle_count(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_TRUE(post().ok());
+  EXPECT_EQ(transport.pool().expired(), 1);
+  EXPECT_EQ(metrics.conn_expired(), 1);
+  EXPECT_EQ(metrics.conn_dials(), 2);
+  EXPECT_EQ(http_server_->connections_accepted(), 2);
+}
+
+TEST_F(HttpIntegrationTest, StaleConnectionIsRedialedForReadOnlyCalls) {
+  // A server that tears down idle connections after 50ms: the client's
+  // pooled socket goes stale underneath it. The next read-only POST must
+  // transparently re-dial instead of failing.
+  net::HttpServer::Options server_options;
+  server_options.keep_alive_idle_millis = 50;
+  net::HttpServer short_idle_server(service_.get(), server_options);
+  auto port = short_idle_server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+  std::string uri = "xrpc://127.0.0.1:" + std::to_string(port.value());
+
+  net::HttpTransport transport;
+  net::RpcMetrics metrics;
+  transport.set_metrics(&metrics);
+  server::WsatMessage msg;
+  msg.op = server::WsatOp::kPrepare;
+  msg.query_id = "q";
+  auto body = server::SerializeWsatRequest(msg);
+  ASSERT_TRUE(
+      transport.Post(uri + "/" + server::kWsatPath, body).ok());
+  // Let the server expire the connection (its side closes; ours is pooled).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto second = transport.Post(uri + "/" + server::kWsatPath, body);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(metrics.conn_stale_retries(), 1);
+  short_idle_server.Stop();
+}
+
+TEST_F(HttpIntegrationTest, StaleConnectionIsNotReplayedForUpdatingCalls) {
+  // Same stale-socket situation, but the envelope carries updCall="true":
+  // a zero-byte EOF leaves "did the peer consume it?" unknowable, so the
+  // transport must surface the failure instead of re-sending (at-most-once
+  // composes across the keep-alive layer).
+  net::HttpServer::Options server_options;
+  server_options.keep_alive_idle_millis = 50;
+  net::HttpServer short_idle_server(service_.get(), server_options);
+  auto port = short_idle_server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+  std::string uri = "xrpc://127.0.0.1:" + std::to_string(port.value());
+
+  net::HttpTransport transport;
+  net::RpcMetrics metrics;
+  transport.set_metrics(&metrics);
+  std::string updating_body = "<x updCall=\"true\"/>";
+  // Prime the pool with a successful (read-only) exchange.
+  server::WsatMessage msg;
+  msg.op = server::WsatOp::kPrepare;
+  msg.query_id = "q";
+  ASSERT_TRUE(transport
+                  .Post(uri + "/" + server::kWsatPath,
+                        server::SerializeWsatRequest(msg))
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto second = transport.Post(uri, updating_body);
+  // Either the stale socket surfaces as a closed/reset connection error —
+  // never a silent replay.
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kNetworkError);
+  EXPECT_EQ(metrics.conn_stale_retries(), 0);
+  short_idle_server.Stop();
+}
+
+TEST_F(HttpIntegrationTest, OverloadedServerAnswers503) {
+  // One worker, queue capacity one: a connection parked mid-request pins
+  // the worker, a second fills the queue, the third must be shed with 503.
+  net::HttpServer::Options server_options;
+  server_options.workers = 1;
+  server_options.accept_queue_capacity = 1;
+  server_options.keep_alive_idle_millis = 10'000;
+  net::HttpServer tiny_server(service_.get(), server_options);
+  net::RpcMetrics metrics;
+  tiny_server.set_metrics(&metrics);
+  auto port = tiny_server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  auto open_conn = [&](const char* bytes) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port.value()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    if (bytes != nullptr) {
+      (void)!::send(fd, bytes, strlen(bytes), 0);
+    }
+    return fd;
+  };
+  // Pin the worker with an incomplete request (no terminating blank line).
+  int pinned = open_conn("POST /p HTTP/1.1\r\nContent-Length: 10\r\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Fill the single queue slot.
+  int queued = open_conn(nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Next connection must be shed.
+  auto reply = net::HttpPost("127.0.0.1", port.value(), "p", "x",
+                             /*timeout_millis=*/2000);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().message().find("503"), std::string::npos)
+      << reply.status();
+  EXPECT_EQ(tiny_server.overload_rejections(), 1);
+  EXPECT_EQ(metrics.server_overloads(), 1);
+  EXPECT_GE(metrics.accept_queue_max_depth(), 1);
+  ::close(pinned);
+  ::close(queued);
+  tiny_server.Stop();
+}
+
+TEST_F(HttpIntegrationTest, ParallelFanoutOverRealSockets) {
+  // Three HTTP daemons on loopback, one RpcClient fanning out on a real
+  // thread pool through one keep-alive transport: responses must map back
+  // to their destination index whatever the completion order.
+  std::vector<std::unique_ptr<net::HttpServer>> servers;
+  std::vector<std::string> uris;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<net::HttpServer>(service_.get()));
+    auto port = servers.back()->Start(0);
+    ASSERT_TRUE(port.ok()) << port.status();
+    uris.push_back("xrpc://127.0.0.1:" + std::to_string(port.value()));
+  }
+  net::ThreadPool pool(3);
+  RpcClient::Options opts;
+  opts.dispatch_pool = &pool;
+  net::RpcMetrics metrics;
+  opts.dispatch_metrics = &metrics;
+  RpcClient client(&transport_, opts);
+  const char* actors[] = {"Sean Connery", "Gerard Depardieu",
+                          "Julie Andrews"};
+  const size_t expected[] = {2, 1, 0};
+  std::vector<RpcClient::Destination> dests;
+  for (int i = 0; i < 3; ++i) {
+    soap::XrpcRequest req;
+    req.module_ns = "films";
+    req.method = "filmsByActor";
+    req.arity = 1;
+    req.calls.push_back(
+        {xdm::Sequence{xdm::Item(xdm::AtomicValue::String(actors[i]))}});
+    dests.push_back({uris[i], std::move(req)});
+  }
+  auto responses = client.ExecuteBulkAll(std::move(dests));
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*responses)[i].results[0].size(), expected[i]) << actors[i];
+  }
+  EXPECT_EQ(metrics.fanout_groups(), 1);
+  EXPECT_EQ(metrics.fanout_destinations(), 3);
+  for (auto& s : servers) s->Stop();
 }
 
 TEST_F(HttpIntegrationTest, ConcurrentClients) {

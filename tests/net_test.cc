@@ -269,6 +269,68 @@ TEST(HttpServer, MalformedRequestLineAnswers400) {
   server.Stop();
 }
 
+TEST(HttpServer, DuplicateContentLengthRejected) {
+  // Two Content-Length headers on record make the body boundary ambiguous
+  // (the request-smuggling vector); the server must answer 400 without
+  // invoking the endpoint, even when the values agree.
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /p HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n"
+      "ping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 400 Bad Request", 0), 0u) << reply;
+  EXPECT_NE(reply.find("duplicate Content-Length"), std::string::npos)
+      << reply;
+  EXPECT_EQ(endpoint.requests, 0);
+  server.Stop();
+}
+
+TEST(HttpServer, XContentLengthHeaderIsNotContentLength) {
+  // The old substring scan matched any header whose *name* merely contained
+  // "content-length:" — an X-Content-Length: 999 would have set the body
+  // length to 999 and left the server waiting for bytes that never come.
+  // Strict line-by-line parsing takes only the exactly-named header.
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /p HTTP/1.1\r\nX-Content-Length: 999\r\nContent-Length: 4\r\n"
+      "Connection: close\r\n\r\nping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply;
+  EXPECT_NE(reply.find("echo:ping"), std::string::npos) << reply;
+  EXPECT_EQ(endpoint.requests, 1);
+  server.Stop();
+}
+
+TEST(HttpServer, UnparsableContentLengthRejected) {
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /p HTTP/1.1\r\nContent-Length: four\r\n\r\nping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 400 Bad Request", 0), 0u) << reply;
+  EXPECT_EQ(endpoint.requests, 0);
+  server.Stop();
+}
+
+TEST(HttpPost, DuplicateContentLengthInResponseIsAnError) {
+  // The client-side reader applies the same strictness to responses.
+  CannedServer server(
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok");
+  auto reply = HttpPost("127.0.0.1", server.port(), "p", "x");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().message().find("duplicate Content-Length"),
+            std::string::npos)
+      << reply.status();
+}
+
 TEST(HttpServer, SurvivesManySequentialConnections) {
   // The accept loop reaps finished worker threads; the worker set must not
   // grow without bound (and Stop must join whatever is left).

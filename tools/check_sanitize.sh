@@ -2,7 +2,8 @@
 # Sanitizer gate for the transport and transaction layers: builds the
 # tests under ThreadSanitizer (or the sanitizer given as $1) in a side
 # build directory and runs the suites that exercise the HttpServer
-# threading paths plus the concurrent WAL / 2PC crash-recovery paths.
+# worker-pool / keep-alive threading paths, the parallel Bulk RPC
+# dispatch paths, plus the concurrent WAL / 2PC crash-recovery paths.
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -16,5 +17,5 @@ cmake -B "$BUILD" -S "$ROOT" -DXRPC_SANITIZE="$SANITIZER" \
 cmake --build "$BUILD" -j
 cd "$BUILD"
 ctest --output-on-failure -j"$(nproc)" \
-      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry|TxnLog|PulSerialization|TxnRecovery'
+      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry|TxnLog|PulSerialization|TxnRecovery|ThreadPool|ParallelGroup|ParallelDispatch|RetryJitter'
 echo "sanitize($SANITIZER): OK"
