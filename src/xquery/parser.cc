@@ -78,8 +78,17 @@ class Parser {
     for (size_t i = 0; i < pos_ && i < src_.size(); ++i) {
       if (src_[i] == '\n') ++line;
     }
+    // An unterminated (: comment :) swallows everything to EOF during
+    // whitespace skipping; whatever error the grammar then hits, the
+    // comment is the actual problem — report it instead.
+    const std::string& shown =
+        (Eof() && unterminated_comment_line_ > 0) ? "unterminated comment"
+                                                  : msg;
+    const int shown_line = (Eof() && unterminated_comment_line_ > 0)
+                               ? unterminated_comment_line_
+                               : line;
     return Status::ParseError("XQuery parse error at line " +
-                              std::to_string(line) + ": " + msg);
+                              std::to_string(shown_line) + ": " + shown);
   }
 
   // Skips whitespace and (nested) XQuery comments.
@@ -89,6 +98,7 @@ class Parser {
       if (IsXmlWhitespace(c)) {
         ++pos_;
       } else if (c == '(' && Peek(1) == ':') {
+        const size_t comment_start = pos_;
         int depth = 0;
         while (pos_ < src_.size()) {
           if (Peek() == '(' && Peek(1) == ':') {
@@ -101,6 +111,13 @@ class Parser {
           } else {
             ++pos_;
           }
+        }
+        if (depth != 0 && unterminated_comment_line_ == 0) {
+          int line = 1;
+          for (size_t i = 0; i < comment_start; ++i) {
+            if (src_[i] == '\n') ++line;
+          }
+          unterminated_comment_line_ = line;
         }
       } else {
         return;
@@ -1519,6 +1536,9 @@ class Parser {
 
   std::string_view src_;
   size_t pos_ = 0;
+  /// Line of the first unterminated comment SkipWs ran into (0 = none);
+  /// see Error() — it beats whatever confusing EOF error follows.
+  int unterminated_comment_line_ = 0;
   std::vector<std::pair<std::string, std::string>> ns_;
   std::string module_target_ns_;
 };

@@ -1,0 +1,2 @@
+(: Aggregates mixed into integer arithmetic with idiv/mod. :)
+6 + count(doc("persons.xml")/site/people/person/text()) - 7 mod 6 - 11

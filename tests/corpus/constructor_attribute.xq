@@ -1,0 +1,2 @@
+(: Direct element constructor with computed attribute and content. :)
+<r k="{count(doc("films.xml")//film)}">{doc("films.xml")/films/film[1]/name}</r>

@@ -1,0 +1,4 @@
+(: Set-ish builtins over node and atomic sequences. :)
+(distinct-values((1, 2, 2, 3)),
+ exists(doc("films.xml")//actor),
+ empty(doc("films.xml")//director))

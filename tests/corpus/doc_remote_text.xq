@@ -1,0 +1,2 @@
+(: Remote document fetch with a trailing text() step. :)
+doc("xrpc://B/auctions.xml")/site/closed_auctions/closed_auction/price/text()

@@ -1,0 +1,3 @@
+import module namespace b="functions_b" at "b.xq";
+import module namespace tst="test" at "test.xq";
+execute at {"xrpc://B"} {b:Q_B1()}

@@ -1,0 +1,3 @@
+import module namespace b="functions_b" at "b.xq";
+import module namespace tst="test" at "test.xq";
+<row>{execute at {"xrpc://B"} {tst:echo(string("The"))}}</row>

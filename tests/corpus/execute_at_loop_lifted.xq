@@ -1,0 +1,6 @@
+(: execute-at inside a FLWOR loop: the relational engine must lift the
+   whole loop into one Bulk RPC request. :)
+import module namespace b="functions_b" at "b.xq";
+import module namespace tst="test" at "test.xq";
+for $p in doc("persons.xml")/site/people/person
+return execute at {"xrpc://B"} {b:Q_B3(string($p/name))}

@@ -1,0 +1,5 @@
+(: FLWOR over the remote auction document with a numeric where filter;
+   the where clause must compile to a relational select, not a fallback. :)
+for $a in doc("xrpc://B/auctions.xml")/site/open_auctions/open_auction
+where 18 < number($a/price)
+return $a/price

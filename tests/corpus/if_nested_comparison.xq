@@ -1,0 +1,3 @@
+(: Nested conditionals with general comparisons on attributes. :)
+for $p in doc("persons.xml")/site/people
+return if ($p/@id != "person0") then <r>{count($p/person)}</r> else "none"

@@ -1,0 +1,2 @@
+(: Positional predicate on a descendant step of the remote document. :)
+doc("xrpc://B/auctions.xml")//item[position() <= 1]

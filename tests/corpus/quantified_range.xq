@@ -1,0 +1,2 @@
+(: Quantified expressions over range sequences. :)
+(every $q in 1 to 4 satisfies $q >= 1, some $q in 1 to 5 satisfies $q > 4)

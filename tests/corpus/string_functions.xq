@@ -1,0 +1,6 @@
+(: String builtins of the relational subset. :)
+(concat("a", "-", "b"),
+ contains("Sean Connery", "Conn"),
+ string-join(("x", "y", "z"), "/"),
+ starts-with("person0", "per"),
+ ends-with("person0", "0"))

@@ -1,0 +1,2 @@
+(: XQUF delete with positional predicate. :)
+delete nodes doc("persons.xml")/site/people/person[6]

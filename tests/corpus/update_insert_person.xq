@@ -1,0 +1,4 @@
+(: XQUF insert: both engines (the relational peer falls back for XQUF)
+   must produce identical post-update document state. :)
+insert nodes <person id="personX"><name>Xavier</name></person>
+  into doc("persons.xml")/site/people

@@ -1,0 +1,2 @@
+(: XQUF replace value of the first film title. :)
+replace value of node doc("films.xml")/films/film[1]/name with "Renamed"

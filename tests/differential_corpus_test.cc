@@ -1,0 +1,120 @@
+// Regression corpus for the cross-engine differential harness (DESIGN.md
+// §11): every query under tests/corpus/ must produce identical normalized
+// results (and, for XQUF queries, identical post-update document state) on
+// the loop-lifted relational engine and the tree-walking interpreter.
+// Divergences found by tools/fuzz_differential get their minimized form
+// checked in here so the disagreement stays fixed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.h"
+#include "fuzz/generator.h"
+
+namespace xrpc::fuzz {
+namespace {
+
+#ifndef XRPC_CORPUS_DIR
+#error "XRPC_CORPUS_DIR must point at tests/corpus"
+#endif
+
+bool IsUpdating(const std::string& text) {
+  return text.find("insert nodes") != std::string::npos ||
+         text.find("delete nodes") != std::string::npos ||
+         text.find("replace value") != std::string::npos ||
+         text.find("rename node") != std::string::npos;
+}
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(XRPC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".xq") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(DifferentialCorpusTest, EveryCorpusQueryAgreesAcrossEngines) {
+  const auto files = CorpusFiles();
+  ASSERT_GE(files.size(), 10u) << "corpus went missing from "
+                               << XRPC_CORPUS_DIR;
+  DifferentialHarness harness;
+  int relational_runs = 0;
+  for (const auto& path : files) {
+    const std::string text = ReadFile(path);
+    ASSERT_FALSE(text.empty()) << path;
+    EXPECT_EQ(DifferentialHarness::SkiplistReason(text), "")
+        << path << " is skiplisted; corpus entries must be real agreements";
+    Comparison c = harness.Run(text, IsUpdating(text));
+    EXPECT_TRUE(c.agree) << path.filename() << "\n  relational : "
+                         << c.relational_result
+                         << "\n  interpreter: " << c.interpreter_result;
+    EXPECT_TRUE(c.relational_ok) << path.filename() << ": "
+                                 << c.relational_result;
+    if (!c.fell_back) ++relational_runs;
+  }
+  // The corpus is only a differential test if a decent share of it really
+  // runs on the relational engine instead of falling back.
+  EXPECT_GE(relational_runs, static_cast<int>(files.size()) / 2);
+}
+
+TEST(DifferentialCorpusTest, ForcedDivergenceIsMinimizedAndReproducible) {
+  // Self-test of the whole pipeline: with force_divergence on, the first
+  // non-empty agreeing result counts as a divergence, gets minimized, and
+  // round-trips through the repro file format.
+  DifferentialConfig config;
+  config.force_divergence = true;
+  DifferentialHarness harness(config);
+  GeneratorConfig gcfg;
+  gcfg.seed = 99;
+  QueryGenerator gen(gcfg);
+
+  Divergence d;
+  bool found = false;
+  for (int i = 0; i < 10 && !found; ++i) {
+    GeneratedQuery q = gen.Next();
+    found = harness.RunAndMinimize(&q, &d);
+  }
+  ASSERT_TRUE(found);
+  EXPECT_FALSE(d.query.empty());
+  EXPECT_LE(d.query.size(), d.original_query.size());
+
+  const std::string file = FormatReproFile(d);
+  auto parsed = ParseReproFile(file);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().query, d.query);
+  EXPECT_EQ(parsed.value().seed, d.seed);
+  EXPECT_TRUE(parsed.value().force);
+
+  // Replaying the minimized query reproduces the recorded divergence.
+  Comparison replay = harness.Run(parsed.value().query, parsed.value().updating);
+  EXPECT_FALSE(replay.agree);
+  EXPECT_EQ(replay.relational_result, d.comparison.relational_result);
+  EXPECT_EQ(replay.interpreter_result, d.comparison.interpreter_result);
+}
+
+TEST(DifferentialCorpusTest, NormalizationCanonicalizesNumericLexicalForms) {
+  xdm::Sequence ints{xdm::Item(xdm::AtomicValue::Integer(4))};
+  xdm::Sequence doubles{xdm::Item(xdm::AtomicValue::Double(4.0))};
+  EXPECT_EQ(NormalizeSequence(ints), NormalizeSequence(doubles));
+  xdm::Sequence frac{xdm::Item(xdm::AtomicValue::Double(2.5))};
+  EXPECT_EQ(NormalizeSequence(frac), "2.5");
+  EXPECT_EQ(NormalizeSequence({}), "");
+}
+
+}  // namespace
+}  // namespace xrpc::fuzz

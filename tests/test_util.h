@@ -5,6 +5,10 @@
 // module resolvers and RPC recorders for exercising the XQuery engines
 // without a network.
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +21,18 @@
 #include "xquery/parser.h"
 
 namespace xrpc::testing {
+
+/// Collision-free scratch file path: <TempDir>/<name>.<pid>.<seq>.
+/// ::testing::TempDir() is shared across test binaries, so fixed names
+/// ("roundtrip.wal") collide when `ctest -j` runs suites in parallel or a
+/// binary is sharded; the pid + per-process sequence make every call
+/// unique. Callers still remove the file themselves.
+inline std::string UniqueTempPath(const std::string& name) {
+  static std::atomic<int> seq{0};
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1));
+}
 
 /// Document provider backed by a name -> XML text map.
 class MapDocumentProvider : public xquery::DocumentProvider {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "server/txn_log.h"
+#include "tests/test_util.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/update.h"
@@ -22,7 +23,7 @@ namespace {
 using RecordType = TxnLog::RecordType;
 
 std::string TempWalPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  return xrpc::testing::UniqueTempPath(name);
 }
 
 std::string ReadFileBytes(const std::string& path) {

@@ -16,6 +16,7 @@
 #include "core/peer_network.h"
 #include "server/rpc_client.h"
 #include "server/wsat.h"
+#include "tests/test_util.h"
 
 namespace xrpc::core {
 namespace {
@@ -375,8 +376,7 @@ TEST_F(TxnRecoveryTest, PreparedSessionSurvivesExpiry) {
 }
 
 TEST_F(TxnRecoveryTest, FileBackedWalSurvivesRestart) {
-  const std::string path =
-      ::testing::TempDir() + "/txn_recovery_z.wal";
+  const std::string path = xrpc::testing::UniqueTempPath("txn_recovery_z.wal");
   std::remove(path.c_str());
   ASSERT_TRUE(z_->EnableWal(path).ok());
 

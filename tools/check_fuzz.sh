@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Budgeted fuzz smoke lane (target: under 60 seconds on the normal build):
+#
+#  1. the ctest `fuzz` label — generator determinism, the differential
+#     corpus, forced-divergence minimization/repro round-trips, and a
+#     slice of the fault-schedule grid including the sabotage self-test;
+#  2. a fixed-seed 200-query differential campaign on both engines
+#     (fails on any unexplained divergence; repro files land in $OUT);
+#  3. a fixed-seed 400-schedule fault exploration asserting the four 2PC
+#     invariants (at-most-once, all-or-nothing, no in-doubt leaks,
+#     serial equivalence).
+#
+# Long soak campaigns (thousands of queries/schedules, many seeds) run the
+# same binaries by hand — see EXPERIMENTS.md.
+#
+# Usage: tools/check_fuzz.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cmake -B "$BUILD" -S "$ROOT" > /dev/null
+cmake --build "$BUILD" -j --target \
+      fuzz_differential fuzz_schedules differential_corpus_test \
+      fuzz_smoke_test > /dev/null
+
+(cd "$BUILD" && ctest --output-on-failure -L fuzz -j"$(nproc)")
+
+"$BUILD/tools/fuzz_differential" --seed 1 --count 200 --out-dir "$OUT"
+"$BUILD/tools/fuzz_schedules" --seed 1 --count 400 --out-dir "$OUT" \
+    --wal-dir "$OUT"
+
+echo "fuzz smoke: OK"
