@@ -25,6 +25,8 @@ enum class StatusCode {
   kTransactionError,  ///< 2PC prepare/commit failure.
   kUnsupported,       ///< Feature outside the implemented XQuery subset.
   kInternal,          ///< Invariant violation; indicates a library bug.
+  kDeadlineExceeded,  ///< The query's end-to-end time budget ran out.
+  kCancelled,         ///< The query was cooperatively cancelled.
 };
 
 /// Returns a stable human-readable name, e.g. "ParseError".
@@ -80,6 +82,12 @@ class Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

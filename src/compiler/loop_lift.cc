@@ -453,6 +453,13 @@ class LoopLiftedEvaluator::Impl {
   // ------------------------------------------------------------ dispatcher
 
   StatusOr<Table> Eval(const Expr& e, const Loop& loop) {
+    if (cfg_.cancel != nullptr) {
+      // Set-oriented plans batch whole loops into single operators, so the
+      // per-dispatch poll here is the finest boundary this engine has; it
+      // is checked BEFORE the empty-loop shortcut so even degenerate plans
+      // observe a tripped deadline.
+      XRPC_RETURN_IF_ERROR(cfg_.cancel->CheckCancelled());
+    }
     if (loop.empty()) return Table::IterPosItem();
     // Loop-invariant hoisting: evaluate once, broadcast over the loop.
     if (cfg_.enable_hoisting && loop.size() > 1) {

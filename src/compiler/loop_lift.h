@@ -40,6 +40,9 @@ struct LoopLiftConfig {
   /// Ablation toggles (benchmarking the design choices; leave on).
   bool enable_hoisting = true;       ///< loop-invariant subplan hoisting
   bool enable_join_rewrite = true;   ///< equality-where hash join
+  /// Cooperative cancellation token polled at every algebra-expression
+  /// dispatch; a tripped token aborts evaluation with its status.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// The Pathfinder-style loop-lifted evaluator: XQuery expressions evaluate

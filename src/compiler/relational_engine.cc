@@ -86,6 +86,7 @@ StatusOr<std::vector<xdm::Sequence>> RelationalEngine::ExecuteRelational(
   config.modules = context.modules;
   config.rpc = context.bulk_rpc;
   config.shreds = &shreds_;
+  config.cancel = context.cancel;
   LoopLiftedEvaluator evaluator(config);
   XRPC_ASSIGN_OR_RETURN(
       algebra::Table result,

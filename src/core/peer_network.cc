@@ -160,6 +160,10 @@ Peer::Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network)
   }
   service_ = std::make_unique<server::XrpcService>(
       server::XrpcService::Options{uri_}, &db_, &registry_, engine, network_);
+  // Deadlines/cancellation are measured against the owning network's
+  // virtual clock, so simulated latency (not host wall time) ages budgets.
+  service_->set_time_source(
+      [network = network_] { return network->clock().NowMicros(); });
   network_->RegisterPeer(net::ParseXrpcUri(uri_).value(), service_.get());
   (void)registry_.RegisterModule(server::SystemModuleSource());
 }
@@ -185,13 +189,22 @@ PeerNetwork::PeerNetwork(net::NetworkProfile profile)
       // keep surfacing fail-fast; set_retry_policy() opts into resilience.
       // Backoff "sleeps" advance the virtual clock — fully deterministic.
       transport_(&network_, net::RetryPolicy{.max_attempts = 1}, &metrics_,
-                 [this](int64_t us) { network_.clock().Advance(us); }) {
+                 [this](int64_t us) { network_.clock().Advance(us); },
+                 /*jitter_seed=*/42,
+                 [this] { return network_.clock().NowMicros(); }) {
   network_.set_metrics(&metrics_);
 }
 
 void PeerNetwork::EnableParallelDispatch(int threads) {
   if (threads < 1) threads = 1;
   dispatch_pool_ = std::make_unique<net::ThreadPool>(threads);
+}
+
+void PeerNetwork::EnableCircuitBreaker(net::CircuitBreaker::Policy policy) {
+  breaker_ = std::make_unique<net::CircuitBreaker>(
+      policy, [this] { return network_.clock().NowMicros(); });
+  breaker_->set_metrics(&metrics_);
+  transport_.set_circuit_breaker(breaker_.get());
 }
 
 Peer* PeerNetwork::AddPeer(const std::string& name, EngineKind kind) {
@@ -233,6 +246,28 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     auto parsed = ParseInt64(*t);
     if (parsed.ok()) timeout_sec = parsed.value();
   }
+  // End-to-end deadline: ExecuteOptions wins over the query's declared
+  // option; 0 (neither set) keeps deadline-free behavior.
+  int64_t deadline_budget_us = options.deadline_us;
+  if (deadline_budget_us <= 0) {
+    if (const std::string* d = query.prolog.FindOption(
+            std::string("{") + xml::kXrpcNs + "}deadline")) {
+      auto parsed = ParseInt64(*d);
+      if (!parsed.ok() || parsed.value() < 0) {
+        return Status::InvalidArgument("malformed xrpc:deadline option: " +
+                                       *d);
+      }
+      deadline_budget_us = parsed.value();
+    }
+  }
+  CancellationToken cancel_token;
+  const CancellationToken* cancel = nullptr;
+  if (deadline_budget_us > 0) {
+    cancel_token.ArmDeadline(
+        network_.clock().NowMicros() + deadline_budget_us,
+        [this] { return network_.clock().NowMicros(); });
+    cancel = &cancel_token;
+  }
 
   server::RpcClient::Options copts;
   soap::QueryId qid;
@@ -251,6 +286,10 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
   // dimension and is recorded by the client.
   copts.dispatch_pool = dispatch_pool_.get();
   copts.dispatch_metrics = &metrics_;
+  if (deadline_budget_us > 0) {
+    copts.deadline_us = cancel_token.deadline_us();
+    copts.now_us = [this] { return network_.clock().NowMicros(); };
+  }
   server::RpcClient client(&transport_, copts);
   server::LiveDocumentProvider local_docs(&p0->db_);
   server::FederatedDocumentProvider docs(&local_docs, &client);
@@ -272,6 +311,7 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     cfg.trace_bulk_rpc = options.trace_bulk_rpc;
     cfg.enable_hoisting = !options.disable_hoisting;
     cfg.enable_join_rewrite = !options.disable_join_rewrite;
+    cfg.cancel = cancel;
     compiler::LoopLiftedEvaluator evaluator(cfg);
     auto result = evaluator.EvaluateQuery(query);
     if (result.ok()) {
@@ -290,6 +330,7 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     cfg.documents = &docs;
     cfg.modules = &p0->registry_;
     cfg.rpc = &client;
+    cfg.cancel = cancel;
     xquery::Interpreter interpreter(cfg);
     XRPC_ASSIGN_OR_RETURN(xquery::QueryResult qr,
                           interpreter.EvaluateQuery(query));

@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "base/cancellation.h"
 #include "base/statusor.h"
 #include "compiler/relational_engine.h"
+#include "net/circuit_breaker.h"
 #include "net/retrying_transport.h"
 #include "net/rpc_metrics.h"
 #include "net/simulated_network.h"
@@ -107,6 +109,12 @@ struct ExecuteOptions {
   /// Ablation toggles for the engine optimizations (bench_ablation).
   bool disable_hoisting = false;
   bool disable_join_rewrite = false;
+
+  /// End-to-end time budget (virtual-clock micros) of the whole query,
+  /// including every relocation hop; 0 = none. A query may instead (or
+  /// additionally) carry `declare option xrpc:deadline "<micros>"` — when
+  /// both are set, this field wins.
+  int64_t deadline_us = 0;
 };
 
 /// Everything measured about one query execution.
@@ -170,6 +178,14 @@ class PeerNetwork {
   }
   const net::RetryPolicy& retry_policy() const { return transport_.policy(); }
 
+  /// Attaches a per-peer circuit breaker (aged on the virtual clock) to
+  /// the outgoing transport: after `failure_threshold` consecutive
+  /// failures/timeouts toward one destination, further requests to it are
+  /// short-circuited locally until the cooldown admits a probe. Opt-in —
+  /// without this call, behavior is unchanged. Call before Execute().
+  void EnableCircuitBreaker(net::CircuitBreaker::Policy policy = {});
+  net::CircuitBreaker* circuit_breaker() { return breaker_.get(); }
+
   /// Switches multi-destination Bulk RPC dispatch from the (deterministic)
   /// serial default to genuinely parallel dispatch on a pool of `threads`
   /// workers. Modeled network time is max-over-destinations either way;
@@ -192,6 +208,7 @@ class PeerNetwork {
   net::SimulatedNetwork network_;
   net::RpcMetrics metrics_;
   net::RetryingTransport transport_;  ///< retry/timeout decorator over network_
+  std::unique_ptr<net::CircuitBreaker> breaker_;    ///< null = disabled
   std::unique_ptr<net::ThreadPool> dispatch_pool_;  ///< null = serial dispatch
   std::map<std::string, std::unique_ptr<Peer>> peers_;
   int64_t next_query_serial_ = 1;

@@ -44,6 +44,21 @@ constexpr char kUpdateBoth[] = R"(
 
 constexpr int kBaseFilms = 3;
 
+/// Deadline axis: loose outlives every grid fault (spikes are <= 250 ms and
+/// backoffs are bounded); tight dies the moment a latency spike lands, so
+/// budgets expire at arbitrary points of the dispatch/2PC pipeline.
+constexpr int kDeadlineModes = 3;
+constexpr int64_t kLooseDeadlineUs = 60'000'000;
+constexpr int64_t kTightDeadlineUs = 150'000;
+
+int64_t DeadlineBudgetUs(int mode) {
+  switch (mode) {
+    case 1: return kLooseDeadlineUs;
+    case 2: return kTightDeadlineUs;
+    default: return 0;
+  }
+}
+
 // Systematically enumerated dimension tables (the grid). Sampled indices
 // draw from wider ranges.
 net::FaultProfile GridFaults(int variant, uint64_t fault_seed) {
@@ -172,6 +187,9 @@ std::string Schedule::Describe() const {
            (coord_crash == 1 ? "after-votes" : "after-decision-log");
   }
   if (durable_wal) out += " wal=file";
+  if (deadline_mode != 0) {
+    out += std::string(" deadline=") + (deadline_mode == 1 ? "loose" : "tight");
+  }
   return out;
 }
 
@@ -192,7 +210,7 @@ ScheduleExplorer::~ScheduleExplorer() = default;
 
 int ScheduleExplorer::GridSize() const {
   const int wal_dims = config_.wal_dir.empty() ? 1 : 2;
-  return kCrashVariants * kFaultVariants * 2 * wal_dims;
+  return kCrashVariants * kFaultVariants * 2 * kDeadlineModes * wal_dims;
 }
 
 Schedule ScheduleExplorer::MakeSchedule(int index) const {
@@ -209,6 +227,8 @@ Schedule ScheduleExplorer::MakeSchedule(int index) const {
     k /= kFaultVariants;
     s.retry_attempts = (k % 2) == 0 ? 1 : 3;
     k /= 2;
+    s.deadline_mode = k % kDeadlineModes;
+    k /= kDeadlineModes;
     s.durable_wal = !config_.wal_dir.empty() && (k % 2) == 1;
     s.faults = GridFaults(fault_variant, fault_seed);
     GridCrash(crash_variant, &s);
@@ -243,6 +263,7 @@ Schedule ScheduleExplorer::MakeSchedule(int index) const {
   }
   s.coord_crash = below(3) == 0 ? static_cast<int>(below(3)) : 0;
   s.durable_wal = !config_.wal_dir.empty() && below(3) == 0;
+  s.deadline_mode = static_cast<int>(below(3));
   return s;
 }
 
@@ -275,8 +296,12 @@ ScheduleResult ScheduleExplorer::RunSchedule(const Schedule& schedule) {
   fx.net.network().set_fault_profile(schedule.faults);
 
   // --- run the workload under the schedule --------------------------------
+  const int64_t deadline_budget_us = DeadlineBudgetUs(schedule.deadline_mode);
   if (schedule.coord_crash == 0) {
-    auto report = fx.net.Execute("p0.example.org", kUpdateBoth);
+    core::ExecuteOptions exec_options;
+    exec_options.deadline_us = deadline_budget_us;
+    auto report =
+        fx.net.Execute("p0.example.org", kUpdateBoth, exec_options);
     if (report.ok()) {
       r.committed_known = true;
       r.committed = report->committed;
@@ -293,6 +318,13 @@ ScheduleResult ScheduleExplorer::RunSchedule(const Schedule& schedule) {
     server::RpcClient::Options copts;
     copts.isolation = server::IsolationLevel::kRepeatable;
     copts.query_id = qid;
+    if (deadline_budget_us > 0) {
+      // The staged path stamps budgets too, so coordinator-crash schedules
+      // also explore deadlines dying between dispatch and decision.
+      copts.deadline_us =
+          fx.net.network().clock().NowMicros() + deadline_budget_us;
+      copts.now_us = [&fx] { return fx.net.network().clock().NowMicros(); };
+    }
     server::RpcClient client(&fx.net.network(), copts);
     soap::XrpcRequest req;
     req.module_ns = "films";

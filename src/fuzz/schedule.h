@@ -37,6 +37,12 @@ struct Schedule {
   /// File-backed WAL on the crashing participant (vs in-memory log).
   bool durable_wal = false;
 
+  /// End-to-end deadline budget of the workload query: 0 = none (today's
+  /// behavior), 1 = loose (never expires under any grid fault), 2 = tight
+  /// (expires whenever a latency spike lands mid-transaction). The four
+  /// invariants must hold regardless of where in the 2PC the budget dies.
+  int deadline_mode = 0;
+
   std::string Describe() const;
 };
 

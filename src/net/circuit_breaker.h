@@ -1,0 +1,82 @@
+#ifndef XRPC_NET_CIRCUIT_BREAKER_H_
+#define XRPC_NET_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "net/rpc_metrics.h"
+
+namespace xrpc::net {
+
+/// Per-peer circuit breaker: after `failure_threshold` CONSECUTIVE
+/// failures/timeouts toward one destination the circuit opens and requests
+/// are short-circuited (failed without a dial) until `cooldown_us` has
+/// passed on the injected clock; then exactly one probe request is let
+/// through (half-open). A successful probe closes the circuit; a failed
+/// probe re-opens it for another cooldown.
+///
+/// This is the fan-out degradation layer under ExecuteBulkAll: a dead
+/// destination costs one instant local failure instead of a full dial +
+/// timeout on every bulk exchange, while error isolation still reports the
+/// skipped destination per-destination.
+///
+/// Time is injected (`now_us`), so the simulated network's virtual clock
+/// and the steady clock age breakers identically. Thread-safe.
+class CircuitBreaker {
+ public:
+  using NowFn = std::function<int64_t()>;
+
+  struct Policy {
+    int failure_threshold = 3;       ///< consecutive failures before opening
+    int64_t cooldown_us = 1'000'000; ///< open duration before a probe
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(Policy policy, NowFn now_us)
+      : policy_(policy), now_us_(std::move(now_us)) {}
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when a request toward `peer` may be attempted. An open circuit
+  /// whose cooldown has passed transitions to half-open and admits this
+  /// one caller as the probe; further callers are refused until the probe
+  /// reports back.
+  bool Allow(const std::string& peer);
+
+  /// Outcome of an attempted request (dial failures, transport errors and
+  /// timeouts all count as failures; application-level faults mean the
+  /// peer is alive and count as successes for breaker purposes).
+  void RecordSuccess(const std::string& peer);
+  void RecordFailure(const std::string& peer);
+
+  State GetState(const std::string& peer) const;
+
+  /// Transition/short-circuit counters land in the shared registry.
+  void set_metrics(RpcMetrics* metrics) { metrics_ = metrics; }
+
+  const Policy& policy() const { return policy_; }
+
+  void Reset();
+
+ private:
+  struct PeerState {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int64_t opened_at_us = 0;
+    bool probe_in_flight = false;
+  };
+
+  Policy policy_;
+  NowFn now_us_;
+  RpcMetrics* metrics_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<std::string, PeerState> peers_;
+};
+
+}  // namespace xrpc::net
+
+#endif  // XRPC_NET_CIRCUIT_BREAKER_H_

@@ -122,13 +122,14 @@ void SetRecvTimeout(int fd, int64_t timeout_millis) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-// Graceful sender-side teardown: signal EOF, then wait (bounded) for the
-// peer's own EOF before closing. Closing with unread bytes in the receive
-// buffer makes the kernel send RST, which can destroy the response we just
-// wrote before the peer reads it — the classic lost-last-reply bug.
-void GracefulClose(int fd) {
+// Graceful sender-side teardown: signal EOF, then wait (bounded by
+// `drain_timeout_millis`) for the peer's own EOF before closing. Closing
+// with unread bytes in the receive buffer makes the kernel send RST, which
+// can destroy the response we just wrote before the peer reads it — the
+// classic lost-last-reply bug.
+void GracefulClose(int fd, int64_t drain_timeout_millis) {
   ::shutdown(fd, SHUT_WR);
-  SetRecvTimeout(fd, 200);
+  SetRecvTimeout(fd, drain_timeout_millis);
   char buf[1024];
   while (::recv(fd, buf, sizeof(buf), 0) > 0) {
   }
@@ -337,7 +338,7 @@ void HttpServer::RejectOverload(int fd) {
   (void)SendAll(fd,
                 BuildResponse("HTTP/1.1 503 Service Unavailable", body,
                               /*keep_alive=*/false));
-  GracefulClose(fd);
+  GracefulClose(fd, options_.drain_timeout_millis);
 }
 
 void HttpServer::AcceptLoop() {
@@ -382,7 +383,7 @@ void HttpServer::WorkerLoop() {
     bool graceful = ServeConnection(fd);
     if (graceful) {
       ::shutdown(fd, SHUT_WR);
-      SetRecvTimeout(fd, 200);
+      SetRecvTimeout(fd, options_.drain_timeout_millis);
       char buf[1024];
       while (::recv(fd, buf, sizeof(buf), 0) > 0) {
       }

@@ -81,6 +81,11 @@ class HttpServer {
     int64_t keep_alive_idle_millis = 5000;
     /// Requests served per connection before forcing close; 0 = unlimited.
     int max_requests_per_connection = 0;
+    /// Bound on the post-shutdown drain-for-peer-EOF wait during graceful
+    /// connection teardown (both 503 rejections and normal keep-alive
+    /// closes). Small keeps worker threads responsive; large tolerates
+    /// slow clients still flushing pipelined bytes.
+    int64_t drain_timeout_millis = 200;
   };
 
   explicit HttpServer(SoapEndpoint* endpoint)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/string_util.h"
+
 namespace xrpc::net {
 
 bool RetryingTransport::IsUpdatingEnvelope(const std::string& body) {
@@ -10,6 +12,22 @@ bool RetryingTransport::IsUpdatingEnvelope(const std::string& body) {
   // both quote styles are accepted on the wire.
   return body.find("updCall=\"true\"") != std::string::npos ||
          body.find("updCall='true'") != std::string::npos;
+}
+
+std::optional<int64_t> RetryingTransport::ExtractDeadlineMicros(
+    const std::string& body) {
+  // Cheap substring sniff of the serialized envelope, mirroring
+  // IsUpdatingEnvelope: the transport must not pay for a full XML parse on
+  // every attempt. The authoritative validation lives in ParseRequest.
+  size_t tag = body.find("<xrpc:deadline");
+  if (tag == std::string::npos) return std::nullopt;
+  size_t open_end = body.find('>', tag);
+  if (open_end == std::string::npos) return std::nullopt;
+  size_t close = body.find('<', open_end + 1);
+  if (close == std::string::npos) return std::nullopt;
+  auto value = ParseInt64(body.substr(open_end + 1, close - open_end - 1));
+  if (!value.ok() || *value < 0) return std::nullopt;
+  return *value;
 }
 
 int64_t RetryingTransport::BackoffMicros(int retry) {
@@ -30,29 +48,80 @@ int64_t RetryingTransport::BackoffMicros(int retry) {
 StatusOr<PostResult> RetryingTransport::Post(const std::string& dest_uri,
                                              const std::string& body) {
   const bool updating = IsUpdatingEnvelope(body);
+  const std::optional<int64_t> budget = ExtractDeadlineMicros(body);
   const int max_attempts = std::max(1, policy_.max_attempts);
   // Backoff waits are part of the exchange's wire-level elapsed time; they
   // are accumulated into the returned network_micros so that critical-path
   // accounting (Table 4) sees the true cost of a flaky link.
   int64_t backoff_total = 0;
+  // Budget accounting: spent_modeled sums the modeled wire time of failed
+  // attempts plus backoffs. Inside a virtual-time parallel group the
+  // simulated clock is frozen per-Post, so the injected now() alone would
+  // under-count; on a real transport spent_modeled alone would miss local
+  // processing time. The spend is the max of both views.
+  int64_t spent_modeled = 0;
+  const int64_t start_us = (budget.has_value() && now_) ? now_() : 0;
+  auto spent_us = [&]() -> int64_t {
+    int64_t spent = spent_modeled;
+    if (now_) spent = std::max(spent, now_() - start_us);
+    return spent;
+  };
   Status last_error = Status::NetworkError("no attempt made");
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (breaker_ != nullptr && !breaker_->Allow(dest_uri)) {
+      // Open circuit: fail locally, no dial. (Allow() already counted the
+      // short circuit.) Distinct from a transport failure so callers can
+      // tell "refused locally" from "tried and failed".
+      last_error =
+          Status::NetworkError("circuit open: refusing to dial " + dest_uri);
+      break;
+    }
+
+    // Per-attempt timeout: the policy deadline capped by what is left of
+    // the end-to-end budget. Across all attempts the budget is never
+    // exceeded, and exhaustion is final (kDeadlineExceeded, not retried).
+    int64_t effective_timeout_us = policy_.request_timeout_us;
+    bool budget_bound = false;
+    if (budget.has_value()) {
+      const int64_t remaining = *budget - spent_us();
+      if (remaining <= 0) {
+        if (metrics_) metrics_->RecordDeadlineExceeded(dest_uri);
+        return Status::DeadlineExceeded(
+            "budget of " + std::to_string(*budget) + "us toward " + dest_uri +
+            " exhausted after " + std::to_string(spent_us()) + "us");
+      }
+      if (effective_timeout_us <= 0 || remaining < effective_timeout_us) {
+        effective_timeout_us = remaining;
+        budget_bound = true;
+      }
+    }
+
     auto result = inner_->Post(dest_uri, body);
 
-    if (result.ok() && policy_.request_timeout_us > 0 &&
-        result->network_micros > policy_.request_timeout_us) {
+    bool timed_out = false;
+    if (result.ok() && effective_timeout_us > 0 &&
+        result->network_micros > effective_timeout_us) {
       // The reply arrived past the deadline: the caller has already given
       // up on this attempt, so the reply is discarded (its content must not
       // be used — that would resurrect an abandoned request).
+      timed_out = true;
+      spent_modeled += result->network_micros;
       if (metrics_) metrics_->RecordTimeout(dest_uri);
-      result = Status::NetworkError(
-          "request timed out after " +
-          std::to_string(result->network_micros) + "us (deadline " +
-          std::to_string(policy_.request_timeout_us) + "us)");
+      std::string msg = "request timed out after " +
+                        std::to_string(result->network_micros) +
+                        "us (deadline " +
+                        std::to_string(effective_timeout_us) + "us)";
+      if (budget_bound) {
+        if (metrics_) metrics_->RecordDeadlineExceeded(dest_uri);
+        result = Status::DeadlineExceeded(std::move(msg));
+      } else {
+        result = Status::NetworkError(std::move(msg));
+      }
     }
 
     if (result.ok()) {
+      if (breaker_ != nullptr) breaker_->RecordSuccess(dest_uri);
       result->network_micros += backoff_total;
       if (metrics_) {
         metrics_->RecordClientRequest(dest_uri, body.size(),
@@ -67,6 +136,16 @@ StatusOr<PostResult> RetryingTransport::Post(const std::string& dest_uri,
       metrics_->RecordClientRequest(dest_uri, body.size(), 0, 0,
                                     /*ok=*/false);
     }
+    if (breaker_ != nullptr) {
+      // Transport failures and timeout-abandoned replies age the breaker;
+      // any other terminal status means the peer answered (a SOAP Fault is
+      // an alive peer), which resets its consecutive-failure streak.
+      if (timed_out || last_error.code() == StatusCode::kNetworkError) {
+        breaker_->RecordFailure(dest_uri);
+      } else {
+        breaker_->RecordSuccess(dest_uri);
+      }
+    }
 
     // Only transport-level failures are transient; and an updating envelope
     // is never retransmitted once it may have reached the destination
@@ -77,7 +156,17 @@ StatusOr<PostResult> RetryingTransport::Post(const std::string& dest_uri,
     }
 
     int64_t backoff = BackoffMicros(attempt);
+    if (budget.has_value() && spent_us() + backoff >= *budget) {
+      // The backoff wait alone would cross the deadline: give up now
+      // rather than sleep past it and fail on the next loop iteration.
+      if (metrics_) metrics_->RecordDeadlineExceeded(dest_uri);
+      return Status::DeadlineExceeded(
+          "budget of " + std::to_string(*budget) + "us toward " + dest_uri +
+          " exhausted after " + std::to_string(spent_us()) +
+          "us (next backoff " + std::to_string(backoff) + "us)");
+    }
     backoff_total += backoff;
+    spent_modeled += backoff;
     if (metrics_) {
       metrics_->RecordRetry(dest_uri);
       metrics_->RecordBackoff(backoff);

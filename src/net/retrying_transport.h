@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "base/prng.h"
+#include "net/circuit_breaker.h"
 #include "net/rpc_metrics.h"
 #include "net/transport.h"
 
@@ -48,6 +50,23 @@ struct RetryPolicy {
 ///    apply the update twice, breaking XQUF/2PC soundness. The failure is
 ///    surfaced to the caller (who owns the transactional recovery path).
 ///
+/// End-to-end deadline budgets: when the envelope carries an xrpc:deadline
+/// header (remaining micros), the whole Post — attempts, timeouts and
+/// backoff waits combined — never exceeds that budget. Each attempt's
+/// timeout is the smaller of the per-attempt policy timeout and the
+/// remaining budget; once the budget is exhausted the Post returns
+/// kDeadlineExceeded (which is final, never retried). Elapsed time is the
+/// larger of the modeled spend (attempt wire time + backoffs, correct
+/// inside virtual-time parallel groups where the clock is frozen) and the
+/// injected `now` clock's progress (correct for wall-clock transports).
+///
+/// Per-peer circuit breaking: with set_circuit_breaker(), a destination
+/// whose circuit is open fails instantly without a dial. Attempt outcomes
+/// age the breaker uniformly: transport failures AND timeout-abandoned
+/// replies count as failures (a peer that answers too late is as dead as
+/// one that never answers), while any response — including a SOAP Fault —
+/// proves liveness and closes the circuit.
+///
 /// Time is fully injectable: `sleep` performs the backoff (default: no-op,
 /// correct for the virtual-time simulated network when the caller accounts
 /// backoff via metrics; pass a real sleeper for wall-clock transports) and
@@ -56,14 +75,16 @@ struct RetryPolicy {
 class RetryingTransport : public Transport {
  public:
   using SleepFn = std::function<void(int64_t micros)>;
+  using NowFn = std::function<int64_t()>;
 
   RetryingTransport(Transport* inner, RetryPolicy policy,
                     RpcMetrics* metrics = nullptr, SleepFn sleep = nullptr,
-                    uint64_t jitter_seed = 42)
+                    uint64_t jitter_seed = 42, NowFn now = nullptr)
       : inner_(inner),
         policy_(policy),
         metrics_(metrics),
         sleep_(std::move(sleep)),
+        now_(std::move(now)),
         prng_(jitter_seed) {}
 
   StatusOr<PostResult> Post(const std::string& dest_uri,
@@ -90,11 +111,23 @@ class RetryingTransport : public Transport {
   /// (updCall="true"), which must not be retransmitted.
   static bool IsUpdatingEnvelope(const std::string& body);
 
+  /// Remaining-budget micros of the envelope's xrpc:deadline header;
+  /// nullopt when the envelope carries none (or it is unreadable — the
+  /// server-side parser is the validator, not this sniffer).
+  static std::optional<int64_t> ExtractDeadlineMicros(const std::string& body);
+
+  /// Attaches a per-peer circuit breaker consulted before every attempt
+  /// and fed with every attempt outcome. Not owned; may be null.
+  void set_circuit_breaker(CircuitBreaker* breaker) { breaker_ = breaker; }
+  CircuitBreaker* circuit_breaker() const { return breaker_; }
+
  private:
   Transport* inner_;
   RetryPolicy policy_;
   RpcMetrics* metrics_;
   SleepFn sleep_;
+  NowFn now_;
+  CircuitBreaker* breaker_ = nullptr;
   std::mutex prng_mu_;  ///< guards prng_ under concurrent per-dest retries
   DeterministicPrng prng_;
 };

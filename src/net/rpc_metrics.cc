@@ -200,6 +200,49 @@ void RpcMetrics::RecordTxnIdempotentReply() {
   ++txn_.idempotent_replies;
 }
 
+void RpcMetrics::RecordDeadlineExceeded(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)peer;
+  ++deadline_.client_exceeded;
+}
+
+void RpcMetrics::RecordServerDeadlineReject(const std::string& self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)self;
+  ++deadline_.server_rejects;
+}
+
+void RpcMetrics::RecordCancellation() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_.cancellations;
+}
+
+void RpcMetrics::RecordSessionReleased() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_.sessions_released;
+}
+
+void RpcMetrics::RecordBreakerOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++breaker_.opens;
+}
+
+void RpcMetrics::RecordBreakerHalfOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++breaker_.half_opens;
+}
+
+void RpcMetrics::RecordBreakerClose() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++breaker_.closes;
+}
+
+void RpcMetrics::RecordBreakerShortCircuit(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)peer;
+  ++breaker_.short_circuits;
+}
+
 #define XRPC_METRICS_SUM(field)                          \
   std::lock_guard<std::mutex> lock(mu_);                 \
   int64_t total = 0;                                     \
@@ -331,6 +374,46 @@ int64_t RpcMetrics::txn_idempotent_replies() const {
   return txn_.idempotent_replies;
 }
 
+int64_t RpcMetrics::deadline_client_exceeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_.client_exceeded;
+}
+
+int64_t RpcMetrics::deadline_server_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_.server_rejects;
+}
+
+int64_t RpcMetrics::cancellations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_.cancellations;
+}
+
+int64_t RpcMetrics::sessions_released() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_.sessions_released;
+}
+
+int64_t RpcMetrics::breaker_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.opens;
+}
+
+int64_t RpcMetrics::breaker_half_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.half_opens;
+}
+
+int64_t RpcMetrics::breaker_closes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.closes;
+}
+
+int64_t RpcMetrics::breaker_short_circuits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.short_circuits;
+}
+
 LatencyHistogram RpcMetrics::latency() const {
   std::lock_guard<std::mutex> lock(mu_);
   LatencyHistogram merged;
@@ -399,6 +482,16 @@ std::string RpcMetrics::Report() const {
          " replayed_records=" + FormatCount(txn_.replayed_records) +
          " recovered_sessions=" + FormatCount(txn_.recovered_sessions) +
          " idempotent_replies=" + FormatCount(txn_.idempotent_replies) + "\n";
+  out += "  breaker: opens=" + FormatCount(breaker_.opens) +
+         " half_opens=" + FormatCount(breaker_.half_opens) +
+         " closes=" + FormatCount(breaker_.closes) +
+         " short_circuits=" + FormatCount(breaker_.short_circuits) + "\n";
+  out += "  deadline: client_exceeded=" +
+         FormatCount(deadline_.client_exceeded) +
+         " server_rejects=" + FormatCount(deadline_.server_rejects) +
+         " cancellations=" + FormatCount(deadline_.cancellations) +
+         " sessions_released=" + FormatCount(deadline_.sessions_released) +
+         "\n";
   return out;
 }
 
@@ -413,6 +506,8 @@ void RpcMetrics::Reset() {
   dispatch_ = DispatchStats{};
   accept_queue_max_depth_ = 0;
   server_overloads_ = 0;
+  deadline_ = DeadlineStats{};
+  breaker_ = BreakerStats{};
 }
 
 }  // namespace xrpc::net

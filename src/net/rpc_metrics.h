@@ -125,6 +125,29 @@ class RpcMetrics {
   /// decided-outcome record instead of re-executing it.
   void RecordTxnIdempotentReply();
 
+  // -- Deadline / cancellation / circuit-breaker counters ------------------
+
+  /// Client side: a request toward `peer` gave up because its end-to-end
+  /// deadline budget ran out (before, between, or during attempts).
+  void RecordDeadlineExceeded(const std::string& peer);
+  /// Server side: `self` rejected an already-expired request before
+  /// compiling or executing anything.
+  void RecordServerDeadlineReject(const std::string& self);
+  /// Server side: an engine observed cooperative cancellation mid-query.
+  void RecordCancellation();
+  /// Server side: a cancelled query's repeatable-read snapshot was
+  /// released immediately (instead of waiting for session expiry).
+  void RecordSessionReleased();
+
+  /// Circuit breaker transitions: closed->open, open->half-open (probe
+  /// admitted), half-open->closed.
+  void RecordBreakerOpen();
+  void RecordBreakerHalfOpen();
+  void RecordBreakerClose();
+  /// A request toward `peer` was refused locally by an open circuit
+  /// (no dial happened).
+  void RecordBreakerShortCircuit(const std::string& peer);
+
   // -- Aggregate accessors (totals over all peers) ------------------------
   int64_t requests() const;
   int64_t failures() const;
@@ -155,6 +178,14 @@ class RpcMetrics {
   int64_t txn_replayed_records() const;
   int64_t txn_recovered_sessions() const;
   int64_t txn_idempotent_replies() const;
+  int64_t deadline_client_exceeded() const;
+  int64_t deadline_server_rejects() const;
+  int64_t cancellations() const;
+  int64_t sessions_released() const;
+  int64_t breaker_opens() const;
+  int64_t breaker_half_opens() const;
+  int64_t breaker_closes() const;
+  int64_t breaker_short_circuits() const;
 
   /// Copy of the latency histogram aggregated over all peers.
   LatencyHistogram latency() const;
@@ -202,6 +233,22 @@ class RpcMetrics {
 
   int64_t accept_queue_max_depth_ = 0;  ///< gauge maximum
   int64_t server_overloads_ = 0;
+
+  struct DeadlineStats {
+    int64_t client_exceeded = 0;
+    int64_t server_rejects = 0;
+    int64_t cancellations = 0;
+    int64_t sessions_released = 0;
+  };
+  DeadlineStats deadline_;
+
+  struct BreakerStats {
+    int64_t opens = 0;
+    int64_t half_opens = 0;
+    int64_t closes = 0;
+    int64_t short_circuits = 0;
+  };
+  BreakerStats breaker_;
 
   struct ServerStats {
     int64_t requests = 0;

@@ -44,11 +44,18 @@ StatusOr<std::vector<xdm::Sequence>> InterpreterEngine::ExecuteRequest(
   config.documents = context.documents;
   config.modules = context.modules;
   config.rpc = context.rpc;
+  config.cancel = context.cancel;
   xquery::Interpreter interp(config);
 
   std::vector<xdm::Sequence> results;
   results.reserve(request.calls.size());
   for (const std::vector<xdm::Sequence>& params : request.calls) {
+    if (context.cancel != nullptr) {
+      // A bulk request is cancelled between calls too, not only inside the
+      // interpreter: with many short calls the per-call boundary is the
+      // dominant poll point.
+      XRPC_RETURN_IF_ERROR(context.cancel->CheckCancelled());
+    }
     XRPC_ASSIGN_OR_RETURN(xquery::QueryResult result,
                           interp.CallModuleFunction(*module, *def, params));
     if (pul != nullptr && !result.updates.empty()) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancellation.h"
 #include "base/statusor.h"
 #include "server/module_registry.h"
 #include "soap/message.h"
@@ -39,6 +40,10 @@ struct CallContext {
   xquery::ModuleResolver* modules = nullptr;
   xquery::RpcHandler* rpc = nullptr;
   BulkRpcChannel* bulk_rpc = nullptr;
+  /// Cooperative cancellation: engines poll this at evaluation-step
+  /// boundaries and abandon the request once it trips (deadline expiry or
+  /// explicit cancel). Null = never cancelled.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// An XQuery execution engine able to serve (bulk) XRPC requests.

@@ -133,6 +133,17 @@ StatusOr<soap::XrpcResponse> RpcClient::ExchangeOnce(
     }
     request.query_id = options_.query_id;
   }
+  if (options_.deadline_us > 0 && options_.now_us) {
+    // Stamp the envelope with the budget REMAINING at send time. The
+    // receiver sees a relative figure, so clock domains never need to
+    // agree; each hop only promises "you have this much left".
+    const int64_t remaining = options_.deadline_us - options_.now_us();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(
+          "query deadline passed before dispatch toward " + dest_uri);
+    }
+    request.deadline_us = remaining;
+  }
   if (request.updating) stats->sent_updating = true;
   size_t call_count = request.calls.size();
   std::string body = soap::SerializeRequest(request);

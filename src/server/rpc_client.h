@@ -2,6 +2,7 @@
 #define XRPC_SERVER_RPC_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -61,6 +62,15 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
     /// different dimension than per-request wire metrics, so it may alias
     /// the RetryingTransport's registry without double counting).
     net::RpcMetrics* dispatch_metrics = nullptr;
+    /// Absolute deadline (micros on the `now_us` clock) of the query this
+    /// client serves; 0 = none. Every outgoing envelope is stamped with an
+    /// xrpc:deadline header carrying the REMAINING budget at send time
+    /// (relative micros — no cross-host clock sync needed), and a request
+    /// whose budget is already spent fails locally without being sent.
+    int64_t deadline_us = 0;
+    /// Clock `deadline_us` is measured against (virtual or steady);
+    /// required when deadline_us > 0.
+    std::function<int64_t()> now_us;
   };
 
   RpcClient(net::Transport* transport, Options options)

@@ -1,11 +1,13 @@
 #include "server/xrpc_service.h"
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "base/cancellation.h"
 #include "base/string_util.h"
 #include "server/remote_docs.h"
 #include "server/rpc_client.h"
@@ -37,7 +39,12 @@ XrpcService::XrpcService(Options options, Database* database,
       registry_(registry),
       engine_(engine),
       outgoing_(outgoing),
-      isolation_(database) {}
+      isolation_(database),
+      now_us_([] {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+      }) {}
 
 StatusOr<std::string> XrpcService::Handle(const std::string& path,
                                           const std::string& body) {
@@ -91,6 +98,25 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
   const soap::XrpcRequest& request = parsed.value();
   calls_handled_ += static_cast<int64_t>(request.calls.size());
 
+  // Deadline admission + cancellation arming. The header carries the
+  // budget REMAINING when the caller sent the request; this hop anchors it
+  // to its own clock at entry (no cross-host clock agreement needed). An
+  // already-spent budget is rejected before any module resolution or
+  // compilation — the cheapest place to shed doomed work.
+  const int64_t entry_us = now_us_();
+  CancellationToken cancel_token;
+  if (request.deadline_us.has_value()) {
+    if (*request.deadline_us <= 0) {
+      if (metrics_ != nullptr) {
+        metrics_->RecordServerDeadlineReject(options_.self_uri);
+      }
+      return fault_reply(Status::DeadlineExceeded(
+          "request arrived with an exhausted deadline budget at " +
+          options_.self_uri));
+    }
+    cancel_token.ArmDeadline(entry_us + *request.deadline_us, now_us_);
+  }
+
   // Choose the database view per the isolation level of the request.
   QuerySession* session = nullptr;
   std::unique_ptr<xquery::DocumentProvider> provider;
@@ -115,6 +141,13 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
       copts.isolation = IsolationLevel::kRepeatable;
       copts.query_id = request.query_id;
     }
+    if (request.deadline_us.has_value()) {
+      // Nested relocation hops inherit the budget MINUS whatever this hop
+      // spends before each send: the client stamps the remainder at send
+      // time against this service's clock.
+      copts.deadline_us = entry_us + *request.deadline_us;
+      copts.now_us = now_us_;
+    }
     nested = std::make_unique<RpcClient>(outgoing_, copts);
   }
 
@@ -127,10 +160,26 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
   context.modules = registry_;
   context.rpc = nested.get();
   context.bulk_rpc = nested.get();
+  context.cancel = &cancel_token;
 
   xquery::PendingUpdateList pul;
   auto results = engine_->ExecuteRequest(request, context, &pul);
   if (!results.ok()) {
+    const StatusCode code = results.status().code();
+    if (code == StatusCode::kDeadlineExceeded || code == StatusCode::kCancelled) {
+      // The engine observed cooperative cancellation. Release the query's
+      // repeatable-read snapshot NOW instead of waiting for session expiry
+      // — the query can never complete, so pinning its private clones any
+      // longer only wastes memory. Prepared sessions are exempt: their PUL
+      // is on the stable log and the 2PC promise to commit must survive
+      // (the coordinator's decision, not a deadline, ends them).
+      if (metrics_ != nullptr) metrics_->RecordCancellation();
+      if (session != nullptr && !session->prepared) {
+        isolation_.EndSession(request.query_id->id);
+        session = nullptr;
+        if (metrics_ != nullptr) metrics_->RecordSessionReleased();
+      }
+    }
     return fault_reply(results.status());
   }
 

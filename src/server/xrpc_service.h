@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -122,6 +123,13 @@ class XrpcService : public net::SoapEndpoint, public CoordinatorJournal {
   /// transaction counters (in-doubt, replays, idempotent replies).
   void set_metrics(net::RpcMetrics* metrics) { metrics_ = metrics; }
 
+  /// Clock that deadlines and cancellation are measured against (micros;
+  /// steady clock by default, the virtual clock under simulation). Set
+  /// before serving traffic.
+  void set_time_source(std::function<int64_t()> now_us) {
+    now_us_ = std::move(now_us);
+  }
+
  private:
   /// Outcome a peer remembers for a decided transaction (idempotent
   /// Commit/Rollback replies; inquiry answers). Rebuilt from the WAL.
@@ -175,6 +183,7 @@ class XrpcService : public net::SoapEndpoint, public CoordinatorJournal {
   IsolationManager isolation_;
   TxnLog log_;
   net::RpcMetrics* metrics_ = nullptr;
+  std::function<int64_t()> now_us_;
 
   /// Serializes WS-AT verb handling and recovery state rebuilding: two
   /// concurrently re-delivered Commits must not both apply the same PUL.

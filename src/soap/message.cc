@@ -1,5 +1,7 @@
 #include "soap/message.h"
 
+#include <string_view>
+
 #include "base/string_util.h"
 #include "soap/marshal.h"
 #include "xml/parser.h"
@@ -19,11 +21,12 @@ QName EnvName(const char* local) {
 }
 QName XrpcName(const char* local) { return QName(xml::kXrpcNs, local, "xrpc"); }
 
-NodePtr NewEnvelope(NodePtr body_content) {
+NodePtr NewEnvelope(NodePtr body_content, NodePtr header = nullptr) {
   NodePtr envelope = Node::NewElement(EnvName("Envelope"));
   envelope->SetAttribute(Node::NewAttribute(
       QName(xml::kXsiNs, "schemaLocation", "xsi"),
       "http://monetdb.cwi.nl/XQuery http://monetdb.cwi.nl/XQuery/XRPC.xsd"));
+  if (header != nullptr) envelope->AppendChild(std::move(header));
   NodePtr body = Node::NewElement(EnvName("Body"));
   body->AppendChild(std::move(body_content));
   envelope->AppendChild(std::move(body));
@@ -36,6 +39,24 @@ std::string SerializeEnvelope(const NodePtr& doc) {
   xml::SerializeOptions opts;
   opts.xml_declaration = true;
   return xml::SerializeNode(*doc, opts);
+}
+
+// Locates env:Envelope/env:Header; nullptr when the envelope carries none
+// (a malformed envelope also yields nullptr — FindBodyChild reports it).
+const Node* FindHeader(const Node& doc) {
+  const Node* envelope = nullptr;
+  for (const NodePtr& c : doc.children()) {
+    if (c->kind() == NodeKind::kElement) envelope = c.get();
+  }
+  if (envelope == nullptr || envelope->name() != EnvName("Envelope")) {
+    return nullptr;
+  }
+  for (const NodePtr& c : envelope->children()) {
+    if (c->kind() == NodeKind::kElement && c->name() == EnvName("Header")) {
+      return c.get();
+    }
+  }
+  return nullptr;
 }
 
 // Locates env:Envelope/env:Body and returns its single element child.
@@ -115,7 +136,14 @@ std::string SerializeRequest(const XrpcRequest& request) {
     }
     req->AppendChild(std::move(call_elem));
   }
-  return SerializeEnvelope(NewEnvelope(std::move(req)));
+  NodePtr header;
+  if (request.deadline_us.has_value()) {
+    header = Node::NewElement(EnvName("Header"));
+    NodePtr deadline = Node::NewElement(XrpcName("deadline"));
+    deadline->AppendChild(Node::NewText(std::to_string(*request.deadline_us)));
+    header->AppendChild(std::move(deadline));
+  }
+  return SerializeEnvelope(NewEnvelope(std::move(req), std::move(header)));
 }
 
 StatusOr<XrpcRequest> ParseRequest(std::string_view text) {
@@ -128,6 +156,22 @@ StatusOr<XrpcRequest> ParseRequest(std::string_view text) {
                                    req->name().Clark());
   }
   XrpcRequest out;
+  // Header extensions: xrpc:deadline carries the remaining time budget;
+  // unrecognized header children are ignored (mustUnderstand-free
+  // extensibility, so newer clients interoperate with this peer too).
+  if (const Node* header = FindHeader(*doc)) {
+    for (const NodePtr& c : header->children()) {
+      if (c->kind() != NodeKind::kElement) continue;
+      if (c->name() != XrpcName("deadline")) continue;
+      auto budget = ParseInt64(c->StringValue());
+      if (!budget.ok() || budget.value() < 0) {
+        return Status::InvalidArgument(
+            "SOAP: malformed xrpc:deadline header: \"" + c->StringValue() +
+            "\" (expected non-negative micros)");
+      }
+      out.deadline_us = budget.value();
+    }
+  }
   if (const Node* a = req->FindAttribute(QName("module"))) {
     out.module_ns = a->value();
   }
@@ -238,6 +282,18 @@ Fault FaultFromStatus(const Status& status) {
 }
 
 Status StatusFromFault(const Fault& fault) {
+  // Deadline/cancellation faults keep their typed status across hops: the
+  // reason carries Status::ToString() ("<Code>: <msg>"), and the caller
+  // must be able to tell "my budget ran out downstream" (not retryable,
+  // feeds deadline metrics) from a generic application fault.
+  constexpr std::string_view kDeadlinePrefix = "DeadlineExceeded: ";
+  constexpr std::string_view kCancelledPrefix = "Cancelled: ";
+  if (fault.reason.rfind(kDeadlinePrefix, 0) == 0) {
+    return Status::DeadlineExceeded(fault.reason.substr(kDeadlinePrefix.size()));
+  }
+  if (fault.reason.rfind(kCancelledPrefix, 0) == 0) {
+    return Status::Cancelled(fault.reason.substr(kCancelledPrefix.size()));
+  }
   return Status::SoapFault(fault.code + ": " + fault.reason);
 }
 

@@ -38,6 +38,15 @@ struct XrpcRequest {
   std::vector<std::vector<xdm::Sequence>> calls;
 
   std::optional<QueryId> query_id;  ///< present => repeatable-read isolation
+
+  /// End-to-end deadline propagation: the REMAINING time budget of the
+  /// query in microseconds, carried as an env:Header child xrpc:deadline.
+  /// Relative (not an absolute instant) so peers need no clock sync and
+  /// virtual-clock simulations work unchanged; each hop decrements its own
+  /// elapsed time before stamping nested relocation requests. Absent =>
+  /// no deadline (pre-deadline peers interoperate: unknown headers are
+  /// ignored on parse, and no header is emitted when unset).
+  std::optional<int64_t> deadline_us;
 };
 
 /// A SOAP XRPC response: one result sequence per call of the request, plus

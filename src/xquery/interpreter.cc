@@ -233,6 +233,14 @@ class Evaluator {
   // --------------------------------------------------------- dispatcher
 
   StatusOr<Sequence> Eval(const Expr& e) {
+    if (cfg_.cancel != nullptr) {
+      // Cooperative cancellation: every expression dispatch is a poll
+      // point, so a deadline expiring mid-query (e.g. while iterating a
+      // FLWOR over nested `execute at` calls) is observed within one
+      // evaluation step — no runaway query can outlive its budget by more
+      // than one expression.
+      XRPC_RETURN_IF_ERROR(cfg_.cancel->CheckCancelled());
+    }
     if (++depth_ > cfg_.max_recursion_depth * 16) {
       --depth_;
       return Status::EvalError("expression nesting too deep");

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/cancellation.h"
 #include "base/statusor.h"
 #include "xquery/context.h"
 #include "xquery/module.h"
@@ -34,6 +35,10 @@ class Interpreter {
     /// Ablation toggles (benchmarking the design choices; leave on).
     bool enable_join_index = true;  ///< hash index for [path = $var]
     bool enable_path_memo = true;   ///< per-query path-prefix memoization
+    /// Cooperative cancellation token polled at every expression-dispatch
+    /// boundary; a tripped token aborts the evaluation with its status
+    /// (kDeadlineExceeded / kCancelled). Null = never cancelled.
+    const CancellationToken* cancel = nullptr;
   };
 
   explicit Interpreter(const Config& config) : config_(config) {}

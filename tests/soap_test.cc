@@ -246,6 +246,118 @@ TEST(Message, GarbageIsRejected) {
   EXPECT_FALSE(ParseResponse("<a/>").ok());
 }
 
+// ---------------------------------------------------------------------------
+// xrpc:deadline header (end-to-end budget propagation)
+
+namespace {
+XrpcRequest MinimalRequest() {
+  XrpcRequest req;
+  req.module_ns = "m";
+  req.method = "f";
+  req.arity = 0;
+  req.calls.push_back({});
+  return req;
+}
+}  // namespace
+
+TEST(Message, DeadlineHeaderRoundTrips) {
+  XrpcRequest req = MinimalRequest();
+  req.deadline_us = 1'500'000;
+  std::string text = SerializeRequest(req);
+  EXPECT_NE(text.find("Header"), std::string::npos);
+  EXPECT_NE(text.find(">1500000<"), std::string::npos);
+  auto back = ParseRequest(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_TRUE(back->deadline_us.has_value());
+  EXPECT_EQ(*back->deadline_us, 1'500'000);
+}
+
+TEST(Message, HeaderFreeRequestHasNoDeadlineAndNoHeaderElement) {
+  // Absent header => exactly today's wire format and today's semantics.
+  std::string text = SerializeRequest(MinimalRequest());
+  EXPECT_EQ(text.find("Header"), std::string::npos);
+  auto back = ParseRequest(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_FALSE(back->deadline_us.has_value());
+}
+
+TEST(Message, ZeroDeadlineIsValidOnTheWire) {
+  // An exhausted-but-present budget parses fine; rejecting it is the
+  // server handler's job (admission control), not the codec's.
+  XrpcRequest req = MinimalRequest();
+  req.deadline_us = 0;
+  auto back = ParseRequest(SerializeRequest(req));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_TRUE(back->deadline_us.has_value());
+  EXPECT_EQ(*back->deadline_us, 0);
+}
+
+TEST(Message, MalformedDeadlineHeaderRejected) {
+  XrpcRequest req = MinimalRequest();
+  req.deadline_us = 777;
+  std::string text = SerializeRequest(req);
+  const size_t pos = text.find(">777<");
+  ASSERT_NE(pos, std::string::npos);
+  std::string garbled = text;
+  garbled.replace(pos, 5, ">soon<");
+  auto back = ParseRequest(garbled);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(back.status().message().find("xrpc:deadline"), std::string::npos);
+}
+
+TEST(Message, NegativeDeadlineHeaderRejected) {
+  XrpcRequest req = MinimalRequest();
+  req.deadline_us = 777;
+  std::string text = SerializeRequest(req);
+  const size_t pos = text.find(">777<");
+  ASSERT_NE(pos, std::string::npos);
+  std::string garbled = text;
+  garbled.replace(pos, 5, ">-50<");
+  auto back = ParseRequest(garbled);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Message, UnknownHeaderChildrenIgnored) {
+  // mustUnderstand-free extensibility: a newer client's extra header
+  // entries must not break this peer.
+  XrpcRequest req = MinimalRequest();
+  req.deadline_us = 42;
+  std::string text = SerializeRequest(req);
+  const size_t pos = text.find("<xrpc:deadline");
+  ASSERT_NE(pos, std::string::npos);
+  std::string extended = text;
+  extended.insert(pos,
+                  "<x:futureExtension xmlns:x=\"urn:example:ext\">opaque"
+                  "</x:futureExtension>");
+  auto back = ParseRequest(extended);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_TRUE(back->deadline_us.has_value());
+  EXPECT_EQ(*back->deadline_us, 42);
+}
+
+TEST(Message, DeadlineAndCancelledStatusesSurviveFaultRoundTrip) {
+  // A downstream hop's DeadlineExceeded must arrive typed at the caller —
+  // not as a generic SoapFault — so it is never retried and feeds the
+  // deadline metrics.
+  {
+    Fault f = FaultFromStatus(Status::DeadlineExceeded("budget gone"));
+    Status back = StatusFromFault(f);
+    EXPECT_EQ(back.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(back.message().find("budget gone"), std::string::npos);
+  }
+  {
+    Fault f = FaultFromStatus(Status::Cancelled("killed by admin"));
+    Status back = StatusFromFault(f);
+    EXPECT_EQ(back.code(), StatusCode::kCancelled);
+    EXPECT_NE(back.message().find("killed by admin"), std::string::npos);
+  }
+  // Ordinary faults still map to kSoapFault.
+  Status generic = StatusFromFault(FaultFromStatus(Status::EvalError("boom")));
+  EXPECT_EQ(generic.code(), StatusCode::kSoapFault);
+}
+
 // Property sweep: atomic values of every type survive the wire.
 class AtomicWireRoundTrip
     : public ::testing::TestWithParam<xdm::AtomicValue> {};

@@ -85,5 +85,51 @@ INSTANTIATE_TEST_SUITE_P(
         Placement{EngineKind::kRelational, EngineKind::kInterpreter, 10, 80, 8},
         Placement{EngineKind::kRelational, EngineKind::kWrapper, 3, 5, 1}));
 
+// Deadline enforcement is strategy-independent: every Section 5 rewrite
+// involves at least one remote exchange, so an exhausted budget fails all
+// four with the same typed status — while a generous budget changes
+// nothing about their agreement.
+TEST(StrategyDeadlines, BudgetsApplyUniformlyAcrossStrategies) {
+  xmark::XmarkConfig cfg;
+  cfg.num_persons = 10;
+  cfg.num_closed_auctions = 12;
+  cfg.num_matches = 2;
+  cfg.annotation_bytes = 24;
+
+  PeerNetwork net;
+  Peer* a = net.AddPeer("A", EngineKind::kRelational);
+  Peer* b = net.AddPeer("B", EngineKind::kInterpreter);
+  ASSERT_TRUE(a->AddDocument("persons.xml", xmark::GeneratePersons(cfg)).ok());
+  ASSERT_TRUE(
+      b->AddDocument("auctions.xml", xmark::GenerateAuctions(cfg)).ok());
+  std::string module = xmark::FunctionsBModuleSource("xrpc://A");
+  ASSERT_TRUE(b->RegisterModule(module, "b.xq").ok());
+  ASSERT_TRUE(a->RegisterModule(module, "b.xq").ok());
+
+  const std::vector<std::string> strategies = {
+      kDataShipping, std::string(kImportB) + kPushdown,
+      std::string(kImportB) + kRelocation, std::string(kImportB) + kSemiJoin};
+
+  ExecuteOptions generous;
+  generous.deadline_us = 60'000'000;
+  std::string baseline;
+  for (const std::string& query : strategies) {
+    auto report = net.Execute("A", query, generous);
+    ASSERT_TRUE(report.ok()) << report.status();
+    std::string result = xdm::SequenceToString(report->result);
+    if (baseline.empty()) baseline = result;
+    EXPECT_EQ(result, baseline);
+  }
+
+  ExecuteOptions tight;
+  tight.deadline_us = 1;  // exhausted by the first wire exchange
+  for (const std::string& query : strategies) {
+    auto report = net.Execute("A", query, tight);
+    ASSERT_FALSE(report.ok()) << query;
+    EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded)
+        << report.status();
+  }
+}
+
 }  // namespace
 }  // namespace xrpc::core
