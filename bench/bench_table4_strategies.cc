@@ -18,9 +18,20 @@
 // relocation is worst (it ships persons AND tasks the slower engine with
 // the whole join); MonetDB time collapses for relocation/semi-join.
 
+// A second section extends the strategy comparison beyond the paper: the
+// same Q7 semi-join run N-way against a hash-sharded auctions collection
+// ("shard:auctions.xml", DESIGN.md §13), comparing 1 shard vs 16 shards.
+// Every call carries the partition key, so the catalog prunes each call
+// to one shard: 16 shards means each peer scans 1/16 of the data and the
+// per-shard Bulk RPCs dispatch in parallel. Results land in
+// BENCH_shard_scaleup.json.
+
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "xmark/shard_loader.h"
 #include "xmark/xmark.h"
 
 namespace {
@@ -144,5 +155,96 @@ int main() {
       "ships the least data and one Bulk RPC), push-down beats data\n"
       "shipping, and execution relocation is slowest (persons shipped to\n"
       "the slower engine, which then runs the whole join).\n");
+
+  // --- Shard scale-up: Q7 semi-join over a hash-sharded collection. ---
+  const std::string shard_semijoin = std::string(kImportB) + R"(
+for $p in doc("persons.xml")//person
+let $ca := execute at {"shard:auctions.xml"} {b:Q_B3(string($p/@id))}
+return if (empty($ca)) then ()
+       else <result>{$p, $ca/annotation}</result>)";
+
+  std::printf(
+      "\nShard scale-up — the same semi-join N-way against\n"
+      "shard:auctions.xml (interpreter shard peers, partition-key pruning,\n"
+      "parallel dispatch):\n\n");
+
+  struct ShardRun {
+    int shards = 0;
+    int64_t total_us = 0;
+    int64_t requests = 0;
+    size_t results = 0;
+  };
+  std::vector<ShardRun> runs;
+  xrpc::bench::TablePrinter shard_table(
+      {"shards", "total", "requests", "results"});
+  for (int shards : {1, 16}) {
+    PeerNetwork snet;
+    snet.EnableParallelDispatch(16);
+    xrpc::xmark::ShardLoadOptions sopts;
+    sopts.num_shards = shards;
+    auto loaded = xrpc::xmark::LoadShardedXmark(&snet, cfg, sopts);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench_table4: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    Peer* p0 = snet.AddPeer("p0", EngineKind::kRelational);
+    (void)p0->AddDocument("persons.xml", xrpc::xmark::GeneratePersons(cfg));
+    (void)p0->RegisterModule(b_module, "http://example.org/b.xq");
+    auto report = snet.Execute("p0", shard_semijoin);
+    if (!report.ok()) {
+      std::fprintf(stderr, "bench_table4: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    ShardRun run;
+    run.shards = shards;
+    run.total_us = xrpc::bench::TotalMicros(report.value());
+    run.requests = report->requests_sent;
+    run.results = report->result.size();
+    runs.push_back(run);
+    shard_table.AddRow({std::to_string(run.shards),
+                        xrpc::bench::Ms(run.total_us),
+                        std::to_string(run.requests),
+                        std::to_string(run.results)});
+  }
+  shard_table.Print();
+  double speedup = runs[1].total_us > 0
+                       ? static_cast<double>(runs[0].total_us) /
+                             static_cast<double>(runs[1].total_us)
+                       : 0.0;
+  std::printf(
+      "\n16-shard speedup over 1 shard: %.1fx (each pruned call scans\n"
+      "1/16 of the collection; per-shard Bulk RPCs run concurrently).\n",
+      speedup);
+
+  FILE* json = std::fopen("BENCH_shard_scaleup.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"shard_scaleup\",\n"
+                 "  \"query\": \"Q7 distributed semi-join over "
+                 "shard:auctions.xml (partition-key pruned)\",\n"
+                 "  \"config\": {\"persons\": %d, \"closed_auctions\": %d, "
+                 "\"matches\": %d, \"shard_engine\": \"interpreter\", "
+                 "\"p0_engine\": \"relational\"},\n"
+                 "  \"runs\": [\n",
+                 cfg.num_persons, cfg.num_closed_auctions, cfg.num_matches);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"shards\": %d, \"total_us\": %lld, "
+                   "\"requests\": %lld, \"results\": %zu}%s\n",
+                   runs[i].shards, static_cast<long long>(runs[i].total_us),
+                   static_cast<long long>(runs[i].requests), runs[i].results,
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"speedup_16_shards_over_1\": %.2f\n"
+                 "}\n",
+                 speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_shard_scaleup.json\n");
+  }
   return 0;
 }

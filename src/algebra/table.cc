@@ -254,4 +254,44 @@ StatusOr<Table> SortBy(const Table& in,
   return out;
 }
 
+Table ScatterGatherMerge(const std::vector<Table>& sources) {
+  // Tag every row with its source rank, stable-sort by (iter, rank, pos),
+  // then renumber pos densely per iteration. Stability keeps equal keys in
+  // append order, so a source whose rows are already grouped per call
+  // keeps each call's sequence order intact.
+  struct TaggedRow {
+    int64_t iter;
+    int64_t rank;
+    int64_t pos;
+    size_t source;
+    size_t row;
+  };
+  std::vector<TaggedRow> rows;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const Table& t = sources[s];
+    for (size_t i = 0; i < t.NumRows(); ++i) {
+      rows.push_back({t.Iter(i), static_cast<int64_t>(s), t.Pos(i), s, i});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const TaggedRow& a, const TaggedRow& b) {
+                     if (a.iter != b.iter) return a.iter < b.iter;
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.pos < b.pos;
+                   });
+  Table out = Table::IterPosItem();
+  int64_t current_iter = 0;
+  int64_t next_pos = 1;
+  bool have_iter = false;
+  for (const TaggedRow& r : rows) {
+    if (!have_iter || r.iter != current_iter) {
+      current_iter = r.iter;
+      next_pos = 1;
+      have_iter = true;
+    }
+    out.AppendIPI(r.iter, next_pos++, sources[r.source].ItemAt(r.row));
+  }
+  return out;
+}
+
 }  // namespace xrpc::algebra

@@ -126,6 +126,16 @@ Table LiteralTable(std::vector<std::string> names,
 StatusOr<Table> SortBy(const Table& in,
                        const std::vector<std::string>& columns);
 
+/// Order-preserving scatter-gather merge (DESIGN.md §13): recombines the
+/// per-shard result tables of a decomposed Bulk RPC. `sources` are
+/// iter|pos|item tables listed in shard-rank order; within each iteration
+/// the sources' sequences are concatenated in rank order (then by their
+/// own pos) and pos is renumbered densely 1..n, yielding one canonical
+/// iter|pos|item table sorted by iter. With a single source this is
+/// exactly union + sort-by-iter — the degenerate merge of an unsharded or
+/// partition-key-pruned dispatch.
+Table ScatterGatherMerge(const std::vector<Table>& sources);
+
 }  // namespace xrpc::algebra
 
 #endif  // XRPC_ALGEBRA_TABLE_H_

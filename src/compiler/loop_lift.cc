@@ -2029,18 +2029,76 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     if (def != nullptr) updating = def->updating;
   }
 
-  // Distinct destination peers, in first-appearance order (δ on dst.item).
+  // Parameter groups are needed both for request assembly and for
+  // partition-key routing, so compute them up front.
+  auto param_groups =
+      std::vector<std::unordered_map<int64_t, std::vector<size_t>>>();
+  for (const Table& p : params) param_groups.push_back(GroupByIter(p));
+
+  // Physical calls per iteration, after catalog decomposition (DESIGN.md
+  // §13). A plain destination stays one (peer, rank 0) call — δ on
+  // dst.item in first-appearance order, as before. A logical
+  // "shard:<collection>" destination expands against the catalog: when
+  // the collection's routing parameter is bound to a singleton in this
+  // iteration, the call is PRUNED to the single shard owning that key
+  // (the semijoin case — the predicate binds the partition key);
+  // otherwise it broadcasts to every shard peer and the scatter-gather
+  // merge recombines the per-shard sequences in shard order via `rank`.
+  struct PeerCall {
+    int64_t iter;
+    int rank;  ///< shard rank of this call's results within its iteration
+  };
   std::vector<std::string> peers;
-  std::map<std::string, std::vector<int64_t>> iters_of_peer;
+  std::map<std::string, std::vector<PeerCall>> calls_of_peer;
+  int max_rank = 0;
+  auto add_call = [&](const std::string& peer, int64_t iter, int rank) {
+    if (calls_of_peer.find(peer) == calls_of_peer.end()) peers.push_back(peer);
+    calls_of_peer[peer].push_back({iter, rank});
+    if (rank > max_rank) max_rank = rank;
+  };
   for (int64_t iter : loop) {
     auto d = dst_map.find(iter);
     if (d == dst_map.end()) {
       return Status::EvalError("execute at: empty destination in iteration " +
                                std::to_string(iter));
     }
-    std::string peer = d->second.ToString();
-    if (iters_of_peer.find(peer) == iters_of_peer.end()) peers.push_back(peer);
-    iters_of_peer[peer].push_back(iter);
+    std::string dest = d->second.ToString();
+    if (!core::Catalog::IsShardUri(dest)) {
+      add_call(dest, iter, 0);
+      continue;
+    }
+    if (cfg_.catalog == nullptr) {
+      return Status::EvalError("no peer catalog configured for destination " +
+                               dest);
+    }
+    const core::ShardedCollection* collection =
+        cfg_.catalog->Find(core::Catalog::CollectionOf(dest));
+    if (collection == nullptr || collection->shards.empty()) {
+      return Status::EvalError("unknown sharded collection: " + dest);
+    }
+    int routed = -1;
+    if (collection->route_param >= 0 &&
+        collection->route_param < static_cast<int>(arity)) {
+      const auto& groups = param_groups[collection->route_param];
+      auto g = groups.find(iter);
+      if (g != groups.end() && g->second.size() == 1) {
+        const Item& key =
+            params[collection->route_param].ItemAt(g->second[0]);
+        auto r = cfg_.catalog->RouteKey(*collection, key.Atomize().ToString());
+        // An unroutable key (e.g. outside every range) is not an error
+        // here — the call simply cannot be pruned and broadcasts.
+        if (r.ok()) routed = r.value();
+      }
+    }
+    if (routed >= 0) {
+      add_call(collection->shards[routed].peer_uri, iter, 0);
+    } else {
+      std::set<std::string> broadcast_seen;
+      for (const core::ShardInfo& s : collection->shards) {
+        if (!broadcast_seen.insert(s.peer_uri).second) continue;
+        add_call(s.peer_uri, iter, s.index);
+      }
+    }
   }
 
   // Traces present iterations as their rank within this loop scope
@@ -2067,13 +2125,10 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
   // request tables req_p^i, and the Bulk RPC request.
   struct PeerWork {
     std::string peer;
-    std::map<int64_t, int64_t> iter_to_iterp;
-    std::vector<int64_t> iterp_to_iter;  // index = iterp - 1
+    std::vector<PeerCall> calls;  // index = iterp - 1
   };
   std::vector<PeerWork> work;
   std::vector<server::BulkRpcChannel::Destination> destinations;
-  auto param_groups = std::vector<std::unordered_map<int64_t, std::vector<size_t>>>();
-  for (const Table& p : params) param_groups.push_back(GroupByIter(p));
 
   for (const std::string& peer : peers) {
     PeerWork w;
@@ -2088,10 +2143,10 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     tp.peer = peer;
     tp.map = algebra::LiteralTable({"iter", "iterp"}, {});
     tp.req.resize(arity, Table::IterPosItem());
-    for (int64_t iter : iters_of_peer[peer]) {
-      int64_t iterp = static_cast<int64_t>(w.iterp_to_iter.size()) + 1;
-      w.iter_to_iterp[iter] = iterp;
-      w.iterp_to_iter.push_back(iter);
+    for (const PeerCall& pc : calls_of_peer[peer]) {
+      int64_t iter = pc.iter;
+      int64_t iterp = static_cast<int64_t>(w.calls.size()) + 1;
+      w.calls.push_back(pc);
       std::vector<Sequence> call;
       for (size_t p = 0; p < arity; ++p) {
         Sequence param;
@@ -2123,35 +2178,41 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     return Status::Internal("bulk channel returned wrong response count");
   }
 
-  // Map iterp back to iter and merge-union all peers' results so the final
-  // table is ordered by the original iteration numbers.
-  Table result = Table::IterPosItem();
+  // Map iterp back to iter, bucket each call's sequence by its shard
+  // rank, and recombine with the order-preserving scatter-gather merge:
+  // within each iteration, rank order then per-call sequence order, pos
+  // renumbered densely, whole table sorted by iter. For plain (unsharded)
+  // destinations every call has rank 0 and this degenerates to the
+  // original merge-union + sort of Figure 2, byte for byte.
+  std::vector<Table> shard_sources(static_cast<size_t>(max_rank) + 1,
+                                   Table::IterPosItem());
   for (size_t w = 0; w < work.size(); ++w) {
     const soap::XrpcResponse& response = responses[w];
-    if (response.results.size() != work[w].iterp_to_iter.size()) {
+    if (response.results.size() != work[w].calls.size()) {
       return Status::SoapFault("peer " + work[w].peer + " answered " +
                                std::to_string(response.results.size()) +
                                " results for " +
-                               std::to_string(work[w].iterp_to_iter.size()) +
+                               std::to_string(work[w].calls.size()) +
                                " calls");
     }
     for (size_t k = 0; k < response.results.size(); ++k) {
-      int64_t iter = work[w].iterp_to_iter[k];
+      const PeerCall& pc = work[w].calls[k];
       const Sequence& seq = response.results[k];
       for (size_t i = 0; i < seq.size(); ++i) {
-        result.AppendIPI(iter, static_cast<int64_t>(i + 1), seq[i]);
+        shard_sources[pc.rank].AppendIPI(pc.iter, static_cast<int64_t>(i + 1),
+                                         seq[i]);
       }
       if (cfg_.trace_bulk_rpc) {
         for (size_t i = 0; i < seq.size(); ++i) {
           trace.peers[w].msg.AppendIPI(static_cast<int64_t>(k + 1),
                                        static_cast<int64_t>(i + 1), seq[i]);
-          trace.peers[w].res.AppendIPI(trace_rank[iter],
+          trace.peers[w].res.AppendIPI(trace_rank[pc.iter],
                                        static_cast<int64_t>(i + 1), seq[i]);
         }
       }
     }
   }
-  result = SortIPI(result);
+  Table result = algebra::ScatterGatherMerge(shard_sources);
   if (cfg_.trace_bulk_rpc) {
     for (auto& tp : trace.peers) {
       tp.msg = SortIPI(tp.msg);

@@ -7,6 +7,7 @@
 
 #include "algebra/table.h"
 #include "base/statusor.h"
+#include "core/catalog.h"
 #include "server/engine.h"
 #include "shred/shredded_doc.h"
 #include "xquery/context.h"
@@ -43,6 +44,10 @@ struct LoopLiftConfig {
   /// Cooperative cancellation token polled at every algebra-expression
   /// dispatch; a tripped token aborts evaluation with its status.
   const CancellationToken* cancel = nullptr;
+  /// Peer catalog consulted to decompose logical "shard:<collection>"
+  /// destinations into per-shard Bulk RPCs (DESIGN.md §13). Null disables
+  /// decomposition; shard destinations then fail with an eval error.
+  const core::Catalog* catalog = nullptr;
 };
 
 /// The Pathfinder-style loop-lifted evaluator: XQuery expressions evaluate

@@ -1,0 +1,101 @@
+#ifndef XRPC_CORE_CATALOG_H_
+#define XRPC_CORE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace xrpc::core {
+
+/// How a sharded collection partitions its elements over shards.
+enum class PartitionKind {
+  kHash,   ///< shard = ShardHash(key) % num_shards
+  kRange,  ///< shard owning the half-open numeric range [lo, hi) that
+           ///< contains the key's trailing integer (e.g. "person42" -> 42)
+};
+
+/// One shard of a collection: which peer owns it and under which physical
+/// fragment name the peer's database stores it.
+struct ShardInfo {
+  int index = 0;          ///< 0-based shard number (merge rank)
+  std::string peer_uri;   ///< owning peer, e.g. "xrpc://shard3"
+  std::string doc_name;   ///< fragment name at that peer, e.g. "auctions.xml#3"
+  int64_t lo = 0;         ///< kRange only: inclusive lower key bound
+  int64_t hi = 0;         ///< kRange only: exclusive upper key bound
+};
+
+/// The shard map of one logical collection (DESIGN.md §13): a document
+/// name addressable as doc("shard:<name>") or `execute at
+/// {"shard:<name>"}`, physically split over the shards below.
+struct ShardedCollection {
+  std::string name;        ///< logical document name, e.g. "auctions.xml"
+  PartitionKind kind = PartitionKind::kHash;
+  /// Human-readable partition key description ("buyer/@person"); the
+  /// routable form is `route_param` below.
+  std::string partition_key;
+  /// Index of the argument that carries the partition key when a call is
+  /// routed at this collection (`execute at {"shard:<name>"} {f($key,...)}`);
+  /// -1 = no routable parameter, every call broadcasts to all shards.
+  int route_param = -1;
+  std::vector<ShardInfo> shards;
+};
+
+/// Stable FNV-1a hash of a partition-key string. The sharded XMark loader
+/// and the query-time router MUST agree on this function — both sides use
+/// this one.
+uint64_t ShardHash(std::string_view key);
+
+/// The peer catalog: a versioned registry of sharded collections, shared
+/// by every peer of a simulated network (standing in for the gossiped /
+/// replicated catalog service of a real deployment). Query compilation
+/// (`execute at` decomposition), fn:doc resolution, and the XRPC service's
+/// local fragment lookup all consult it.
+///
+/// Thread-safety: registration must complete before queries run;
+/// concurrent Find() during execution is safe (the map is only read), but
+/// re-registering a collection while queries are in flight is undefined.
+class Catalog {
+ public:
+  /// Registers (or replaces) a collection's shard map and bumps the
+  /// catalog version. Validates that the shard list is non-empty, indices
+  /// are dense 0..n-1, and range bounds cover disjoint ascending ranges.
+  Status RegisterCollection(ShardedCollection collection);
+
+  /// Looks up a collection by logical name; nullptr if unknown. The
+  /// pointer stays valid for the catalog's lifetime (map nodes are stable).
+  const ShardedCollection* Find(std::string_view name) const;
+
+  /// Routes a partition-key value to the index of its owning shard.
+  /// kHash: ShardHash(key) modulo shard count. kRange: the shard whose
+  /// [lo, hi) contains the key's trailing integer; a key without a
+  /// trailing integer or outside every range is an error (callers treat a
+  /// routing error as "cannot prune" and broadcast instead).
+  StatusOr<int> RouteKey(const ShardedCollection& collection,
+                         std::string_view key) const;
+
+  /// Monotonic registration counter (0 = empty catalog).
+  int64_t version() const;
+
+  std::vector<std::string> CollectionNames() const;
+
+  /// True for logical shard destinations: "shard:<collection>".
+  static bool IsShardUri(std::string_view uri);
+  /// The collection name of a shard URI ("" when not a shard URI).
+  static std::string_view CollectionOf(std::string_view uri);
+  /// Renders the logical destination of a collection name.
+  static std::string ShardUri(std::string_view collection);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ShardedCollection, std::less<>> collections_;
+  int64_t version_ = 0;
+};
+
+}  // namespace xrpc::core
+
+#endif  // XRPC_CORE_CATALOG_H_

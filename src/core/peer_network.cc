@@ -121,7 +121,8 @@ const char* EngineKindToString(EngineKind kind) {
   return "unknown";
 }
 
-Peer::Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network)
+Peer::Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network,
+           const Catalog* catalog)
     : name_(std::move(name)), uri_("xrpc://" + name_), kind_(kind),
       network_(network) {
   server::ExecutionEngine* engine = nullptr;
@@ -159,7 +160,8 @@ Peer::Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network)
       break;
   }
   service_ = std::make_unique<server::XrpcService>(
-      server::XrpcService::Options{uri_}, &db_, &registry_, engine, network_);
+      server::XrpcService::Options{uri_, catalog}, &db_, &registry_, engine,
+      network_);
   // Deadlines/cancellation are measured against the owning network's
   // virtual clock, so simulated latency (not host wall time) ages budgets.
   service_->set_time_source(
@@ -208,7 +210,7 @@ void PeerNetwork::EnableCircuitBreaker(net::CircuitBreaker::Policy policy) {
 }
 
 Peer* PeerNetwork::AddPeer(const std::string& name, EngineKind kind) {
-  auto peer = std::make_unique<Peer>(name, kind, &network_);
+  auto peer = std::make_unique<Peer>(name, kind, &network_, &catalog_);
   Peer* raw = peer.get();
   peer->service_->set_metrics(&metrics_);
   peers_[name] = std::move(peer);
@@ -290,9 +292,14 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     copts.deadline_us = cancel_token.deadline_us();
     copts.now_us = [this] { return network_.clock().NowMicros(); };
   }
+  copts.catalog = &catalog_;
   server::RpcClient client(&transport_, copts);
   server::LiveDocumentProvider local_docs(&p0->db_);
-  server::FederatedDocumentProvider docs(&local_docs, &client);
+  server::FederatedDocumentProvider federated(&local_docs, &client);
+  // Sharded-collection resolution on top of federation: doc("shard:C")
+  // assembles the whole collection at p0; a collection's logical name
+  // resolves to p0-local fragments if it stores any.
+  server::ShardDocumentProvider docs(&federated, &catalog_, p0->uri());
 
   ExecutionReport report;
   StopWatch wall;
@@ -312,6 +319,7 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     cfg.enable_hoisting = !options.disable_hoisting;
     cfg.enable_join_rewrite = !options.disable_join_rewrite;
     cfg.cancel = cancel;
+    cfg.catalog = &catalog_;
     compiler::LoopLiftedEvaluator evaluator(cfg);
     auto result = evaluator.EvaluateQuery(query);
     if (result.ok()) {

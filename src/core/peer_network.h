@@ -11,6 +11,7 @@
 #include "base/cancellation.h"
 #include "base/statusor.h"
 #include "compiler/relational_engine.h"
+#include "core/catalog.h"
 #include "net/circuit_breaker.h"
 #include "net/retrying_transport.h"
 #include "net/rpc_metrics.h"
@@ -44,7 +45,8 @@ const char* EngineKindToString(EngineKind kind);
 /// service, addressable as xrpc://<name> on the owning PeerNetwork.
 class Peer {
  public:
-  Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network);
+  Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network,
+       const Catalog* catalog = nullptr);
 
   Peer(const Peer&) = delete;
   Peer& operator=(const Peer&) = delete;
@@ -164,6 +166,12 @@ class PeerNetwork {
 
   net::SimulatedNetwork& network() { return network_; }
 
+  /// The network-wide peer catalog (DESIGN.md §13). Every peer's service
+  /// and every Execute() consult it; register sharded collections here
+  /// (typically via xmark::LoadShardedXmark) before running queries.
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
   /// Shared observability registry: client-side traffic (per-peer requests,
   /// retries, faults, bytes, latency histogram), server-side request counts
   /// and injected faults all land here. Dumped by the bench harness.
@@ -206,6 +214,7 @@ class PeerNetwork {
 
  private:
   net::SimulatedNetwork network_;
+  Catalog catalog_;
   net::RpcMetrics metrics_;
   net::RetryingTransport transport_;  ///< retry/timeout decorator over network_
   std::unique_ptr<net::CircuitBreaker> breaker_;    ///< null = disabled

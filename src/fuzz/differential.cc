@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "xmark/shard_loader.h"
 #include "xmark/xmark.h"
 #include "xml/serializer.h"
 
@@ -100,6 +101,12 @@ void DifferentialHarness::BuildFixtures() {
     for (core::Peer* p : {p0, b}) {
       (void)p->RegisterModule(mod_b, "b.xq");
       (void)p->RegisterModule(mod_tst, "test.xq");
+    }
+    if (config_.num_shards > 0) {
+      xmark::ShardLoadOptions sopts;
+      sopts.num_shards = config_.num_shards;
+      sopts.engine = kind;
+      (void)xmark::LoadShardedXmark(net.get(), xcfg, sopts);
     }
     return net;
   };

@@ -58,6 +58,12 @@ struct DifferentialConfig {
   int num_open_auctions = 5;
   int num_items = 8;
   int num_matches = 3;
+  /// When > 0, both fixture networks additionally carry the XMark
+  /// documents sharded over this many peers (xmark::LoadShardedXmark), so
+  /// generated/corpus queries can target "shard:auctions.xml" and the
+  /// scatter-gather merge is differentially checked against the
+  /// interpreter's shard-order concatenation.
+  int num_shards = 0;
   /// Self-test mode: treat every non-empty agreeing result as a
   /// divergence, to exercise minimization + repro writing end to end.
   bool force_divergence = false;

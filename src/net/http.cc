@@ -70,6 +70,16 @@ Status ParseHeaderBlock(std::string_view block, HttpMessage* msg,
       }
       *content_length = static_cast<size_t>(len.value());
     }
+    if (name == "transfer-encoding" && ToLower(value) != "identity") {
+      // This server frames bodies by Content-Length only. Acting on the
+      // length header while ignoring Transfer-Encoding: chunked would
+      // desynchronize framing (a smuggling vector), so the message is
+      // refused before any body byte is consumed; the server maps this to
+      // 501 Not Implemented.
+      return Status::Unsupported("Transfer-Encoding '" + value +
+                                 "' not implemented; frame the body with "
+                                 "Content-Length");
+    }
     msg->headers.emplace_back(std::move(name), std::move(value));
   }
   return Status::OK();
@@ -162,7 +172,7 @@ StatusOr<int> DialHost(const std::string& host, int port,
 
 std::string BuildRequest(const std::string& host, const std::string& path,
                          const std::string& body, bool keep_alive) {
-  return "POST /" + path + " HTTP/1.1\r\nHost: " + host +
+  return "POST /" + PercentEncodePath(path) + " HTTP/1.1\r\nHost: " + host +
          "\r\nContent-Type: application/soap+xml"
          "\r\nContent-Length: " +
          std::to_string(body.size()) + "\r\nConnection: " +
@@ -418,8 +428,13 @@ bool HttpServer::ServeConnection(int fd) {
           st.message() == "recv failed") {
         break;
       }
-      (void)SendAll(fd, BuildResponse("HTTP/1.1 400 Bad Request",
-                                      st.ToString(), /*keep_alive=*/false));
+      // A request the parser understood but refuses to serve (chunked
+      // Transfer-Encoding) is answered 501; malformed requests get 400.
+      const char* reject_line = st.code() == StatusCode::kUnsupported
+                                    ? "HTTP/1.1 501 Not Implemented"
+                                    : "HTTP/1.1 400 Bad Request";
+      (void)SendAll(fd, BuildResponse(reject_line, st.ToString(),
+                                      /*keep_alive=*/false));
       responded = true;
       break;
     }
@@ -447,12 +462,20 @@ bool HttpServer::ServeConnection(int fd) {
         status_line = "HTTP/1.1 405 Method Not Allowed";
       } else {
         if (!path.empty() && path[0] == '/') path = path.substr(1);
-        auto handled = endpoint_->Handle(path, message->body);
-        if (handled.ok()) {
-          reply_body = std::move(handled).value();
+        // The wire carries the percent-encoded form; handlers see the
+        // decoded path. Malformed escapes are a client error.
+        auto decoded = PercentDecode(path);
+        if (!decoded.ok()) {
+          status_line = "HTTP/1.1 400 Bad Request";
+          reply_body = decoded.status().ToString();
         } else {
-          status_line = "HTTP/1.1 500 Internal Server Error";
-          reply_body = handled.status().ToString();
+          auto handled = endpoint_->Handle(decoded.value(), message->body);
+          if (handled.ok()) {
+            reply_body = std::move(handled).value();
+          } else {
+            status_line = "HTTP/1.1 500 Internal Server Error";
+            reply_body = handled.status().ToString();
+          }
         }
       }
     }

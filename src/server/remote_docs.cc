@@ -47,4 +47,77 @@ StatusOr<xml::NodePtr> FederatedDocumentProvider::GetDocument(
   return doc;
 }
 
+StatusOr<xml::NodePtr> ShardDocumentProvider::GetDocument(
+    const std::string& uri) {
+  auto cached = cache_.find(uri);
+  if (cached != cache_.end()) return cached->second;
+  if (core::Catalog::IsShardUri(uri)) {
+    if (catalog_ == nullptr) {
+      return Status::NotFound("no peer catalog to resolve " + uri);
+    }
+    const core::ShardedCollection* collection =
+        catalog_->Find(core::Catalog::CollectionOf(uri));
+    if (collection == nullptr) {
+      return Status::NotFound("unknown sharded collection: " + uri);
+    }
+    XRPC_ASSIGN_OR_RETURN(xml::NodePtr doc,
+                          Assemble(*collection, /*local_only=*/false));
+    cache_[uri] = doc;
+    return doc;
+  }
+  if (base_ == nullptr) return Status::NotFound("document not found: " + uri);
+  auto direct = base_->GetDocument(uri);
+  if (direct.ok() || direct.status().code() != StatusCode::kNotFound ||
+      catalog_ == nullptr) {
+    return direct;
+  }
+  // The base has no such document, but the name may be a catalog
+  // collection with fragments stored at this peer — a shard serving its
+  // partition under the collection's logical name.
+  const core::ShardedCollection* collection = catalog_->Find(uri);
+  if (collection == nullptr) return direct;
+  bool any_local = false;
+  for (const core::ShardInfo& s : collection->shards) {
+    if (s.peer_uri == self_uri_) any_local = true;
+  }
+  if (!any_local) return direct;
+  XRPC_ASSIGN_OR_RETURN(xml::NodePtr doc,
+                        Assemble(*collection, /*local_only=*/true));
+  cache_[uri] = doc;
+  return doc;
+}
+
+StatusOr<xml::NodePtr> ShardDocumentProvider::Assemble(
+    const core::ShardedCollection& collection, bool local_only) {
+  std::vector<xml::NodePtr> fragments;
+  for (const core::ShardInfo& s : collection.shards) {
+    bool local = s.peer_uri == self_uri_;
+    if (local_only && !local) continue;
+    std::string fragment_uri =
+        local ? s.doc_name : s.peer_uri + "/" + s.doc_name;
+    auto fragment = base_->GetDocument(fragment_uri);
+    if (!fragment.ok()) {
+      return Status(fragment.status().code(),
+                    "fragment " + std::to_string(s.index) + " of " +
+                        collection.name + " (" + fragment_uri +
+                        "): " + fragment.status().message());
+    }
+    fragments.push_back(std::move(fragment).value());
+  }
+  if (fragments.empty()) {
+    return Status::NotFound("collection " + collection.name +
+                            " has no fragments at " + self_uri_);
+  }
+  // The one-fragment case keeps the fragment's node identity — essential
+  // for the 1-shard ≡ unsharded determinism contract.
+  if (fragments.size() == 1) return fragments[0];
+  xml::NodePtr doc = xml::Node::NewDocument();
+  for (const xml::NodePtr& fragment : fragments) {
+    for (const xml::NodePtr& child : fragment->children()) {
+      doc->AppendChild(child->Clone());
+    }
+  }
+  return doc;
+}
+
 }  // namespace xrpc::server

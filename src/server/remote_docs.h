@@ -37,6 +37,47 @@ class FederatedDocumentProvider : public xquery::DocumentProvider {
   std::map<std::string, xml::NodePtr> remote_cache_;
 };
 
+/// DocumentProvider layered over a (typically federated) base provider
+/// that resolves sharded collections through the peer catalog (DESIGN.md
+/// §13). Two resolutions on top of plain pass-through:
+///
+///  - doc("shard:<collection>") assembles the full logical collection:
+///    every fragment is fetched — local fragments through `base` under
+///    their fragment name, remote ones as "<peer_uri>/<fragment>" (which a
+///    federated base ships via sys:doc) — and the fragments' root
+///    children are spliced under one synthetic document node in shard
+///    order. A single-fragment collection returns that fragment directly,
+///    node identity preserved.
+///
+///  - A plain logical name (e.g. "auctions.xml") the base reports as
+///    NotFound, but which names a catalog collection with fragments local
+///    to `self_uri`: the union of the LOCAL fragments is returned, so
+///    unmodified XMark modules running on a shard peer see exactly their
+///    partition.
+///
+/// Assembled documents are cached per provider (one query), matching
+/// fn:doc's stable-identity guarantee.
+class ShardDocumentProvider : public xquery::DocumentProvider {
+ public:
+  /// `catalog` may be null, turning the provider into pass-through.
+  ShardDocumentProvider(xquery::DocumentProvider* base,
+                        const core::Catalog* catalog, std::string self_uri)
+      : base_(base), catalog_(catalog), self_uri_(std::move(self_uri)) {}
+
+  StatusOr<xml::NodePtr> GetDocument(const std::string& uri) override;
+
+ private:
+  /// Fetches the collection's fragments (all, or only those at self_uri_)
+  /// and splices them in shard order.
+  StatusOr<xml::NodePtr> Assemble(const core::ShardedCollection& collection,
+                                  bool local_only);
+
+  xquery::DocumentProvider* base_;
+  const core::Catalog* catalog_;
+  std::string self_uri_;
+  std::map<std::string, xml::NodePtr> cache_;
+};
+
 }  // namespace xrpc::server
 
 #endif  // XRPC_SERVER_REMOTE_DOCS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <set>
 
 namespace xrpc::server {
 
@@ -13,8 +14,59 @@ StatusOr<xdm::Sequence> RpcClient::Execute(const xquery::RpcCall& call) {
   request.arity = call.args.size();
   request.updating = call.updating;
   request.calls.push_back(call.args);
+
+  // Resolve a logical "shard:<collection>" destination against the peer
+  // catalog: prune to the owning shard when the routing parameter is a
+  // singleton, otherwise broadcast to every shard peer and concatenate the
+  // per-shard results in shard order (the interpreter-side counterpart of
+  // the compiler's scatter-gather decomposition).
+  std::string dest_uri = call.dest_uri;
+  if (core::Catalog::IsShardUri(dest_uri)) {
+    if (options_.catalog == nullptr) {
+      return Status::EvalError("no peer catalog configured for destination " +
+                               dest_uri);
+    }
+    const core::ShardedCollection* collection =
+        options_.catalog->Find(core::Catalog::CollectionOf(dest_uri));
+    if (collection == nullptr || collection->shards.empty()) {
+      return Status::EvalError("unknown sharded collection: " + dest_uri);
+    }
+    int routed = -1;
+    if (collection->route_param >= 0 &&
+        collection->route_param < static_cast<int>(call.args.size()) &&
+        call.args[collection->route_param].size() == 1) {
+      auto r = options_.catalog->RouteKey(
+          *collection,
+          call.args[collection->route_param][0].Atomize().ToString());
+      if (r.ok()) routed = r.value();
+    }
+    if (routed >= 0) {
+      dest_uri = collection->shards[routed].peer_uri;
+    } else {
+      std::vector<Destination> destinations;
+      std::set<std::string> seen;
+      for (const core::ShardInfo& s : collection->shards) {
+        if (!seen.insert(s.peer_uri).second) continue;
+        destinations.push_back({s.peer_uri, request});
+      }
+      XRPC_ASSIGN_OR_RETURN(std::vector<soap::XrpcResponse> responses,
+                            ExecuteBulkAll(std::move(destinations)));
+      xdm::Sequence merged;
+      for (soap::XrpcResponse& response : responses) {
+        if (response.results.size() != 1) {
+          return Status::SoapFault("expected 1 result sequence, got " +
+                                   std::to_string(response.results.size()));
+        }
+        for (xdm::Item& item : response.results[0]) {
+          merged.push_back(std::move(item));
+        }
+      }
+      return merged;
+    }
+  }
+
   XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
-                        ExecuteBulk(call.dest_uri, std::move(request)));
+                        ExecuteBulk(dest_uri, std::move(request)));
   if (response.results.size() != 1) {
     return Status::SoapFault("expected 1 result sequence, got " +
                              std::to_string(response.results.size()));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/statusor.h"
+#include "core/catalog.h"
 #include "net/rpc_metrics.h"
 #include "net/thread_pool.h"
 #include "net/transport.h"
@@ -71,6 +72,13 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
     /// Clock `deadline_us` is measured against (virtual or steady);
     /// required when deadline_us > 0.
     std::function<int64_t()> now_us;
+    /// Peer catalog consulted by Execute() to resolve logical
+    /// "shard:<collection>" destinations (the one-at-a-time counterpart of
+    /// the compiler's decomposition pass, DESIGN.md §13): a call whose
+    /// routing parameter is a singleton is sent to the single owning
+    /// shard, anything else fans out to every shard peer and concatenates
+    /// the per-shard results in shard order. Null disables resolution.
+    const core::Catalog* catalog = nullptr;
   };
 
   RpcClient(net::Transport* transport, Options options)

@@ -148,15 +148,20 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
       copts.deadline_us = entry_us + *request.deadline_us;
       copts.now_us = now_us_;
     }
+    copts.catalog = options_.catalog;
     nested = std::make_unique<RpcClient>(outgoing_, copts);
   }
 
   // Function bodies may themselves call fn:doc on xrpc:// URIs (the Q_B2
   // execution-relocation pattern); route those through the nested client.
   FederatedDocumentProvider federated(provider.get(), nested.get());
+  // On top of federation, resolve sharded collections: a shard peer's
+  // module body calls doc("<collection>") and sees its local fragments.
+  ShardDocumentProvider sharded(&federated, options_.catalog,
+                                options_.self_uri);
 
   CallContext context;
-  context.documents = &federated;
+  context.documents = &sharded;
   context.modules = registry_;
   context.rpc = nested.get();
   context.bulk_rpc = nested.get();

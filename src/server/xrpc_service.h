@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/statusor.h"
+#include "core/catalog.h"
 #include "net/rpc_metrics.h"
 #include "net/transport.h"
 #include "server/database.h"
@@ -53,6 +54,12 @@ class XrpcService : public net::SoapEndpoint, public CoordinatorJournal {
   struct Options {
     /// This peer's own xrpc:// URI, reported in participating-peer lists.
     std::string self_uri;
+    /// Shared peer catalog (DESIGN.md §13); when set, incoming requests
+    /// resolve sharded collection names — both "shard:<collection>" URIs
+    /// and a collection's logical name mapped to this peer's local
+    /// fragments — and nested `execute at` calls route through it. Null
+    /// disables shard awareness.
+    const core::Catalog* catalog = nullptr;
   };
 
   /// `outgoing` is the transport used for nested `execute at` calls made

@@ -1,0 +1,56 @@
+#include "xmark/shard_loader.h"
+
+#include "core/catalog.h"
+
+namespace xrpc::xmark {
+
+StatusOr<ShardLoadResult> LoadShardedXmark(core::PeerNetwork* net,
+                                           const XmarkConfig& config,
+                                           const ShardLoadOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const int n = options.num_shards;
+  ShardLoadResult result;
+  result.auctions_uri = core::Catalog::ShardUri("auctions.xml");
+  result.persons_uri = core::Catalog::ShardUri("persons.xml");
+
+  std::vector<std::string> auctions = GenerateAuctionsFragments(config, n);
+  std::vector<std::string> persons = GeneratePersonsFragments(config, n);
+
+  core::ShardedCollection auctions_map;
+  auctions_map.name = "auctions.xml";
+  auctions_map.kind = core::PartitionKind::kHash;
+  auctions_map.partition_key = "buyer/@person";
+  auctions_map.route_param = 0;
+  core::ShardedCollection persons_map;
+  persons_map.name = "persons.xml";
+  persons_map.kind = core::PartitionKind::kHash;
+  persons_map.partition_key = "@id";
+  persons_map.route_param = 0;
+
+  for (int k = 0; k < n; ++k) {
+    std::string name = options.peer_prefix + std::to_string(k);
+    core::Peer* peer = net->GetPeer(name);
+    if (peer == nullptr) peer = net->AddPeer(name, options.engine);
+    std::string auctions_doc = "auctions.xml." + std::to_string(k);
+    std::string persons_doc = "persons.xml." + std::to_string(k);
+    XRPC_RETURN_IF_ERROR(peer->AddDocument(auctions_doc, auctions[k]));
+    XRPC_RETURN_IF_ERROR(peer->AddDocument(persons_doc, persons[k]));
+    // The module bodies keep saying doc("auctions.xml"): the shard-aware
+    // document resolution maps the logical name to the local fragment.
+    XRPC_RETURN_IF_ERROR(
+        peer->RegisterModule(FunctionsBModuleSource(peer->uri())));
+    auctions_map.shards.push_back({k, peer->uri(), auctions_doc, 0, 0});
+    persons_map.shards.push_back({k, peer->uri(), persons_doc, 0, 0});
+    result.peers.push_back(peer);
+  }
+
+  XRPC_RETURN_IF_ERROR(
+      net->catalog().RegisterCollection(std::move(auctions_map)));
+  XRPC_RETURN_IF_ERROR(
+      net->catalog().RegisterCollection(std::move(persons_map)));
+  return result;
+}
+
+}  // namespace xrpc::xmark

@@ -1,0 +1,44 @@
+#ifndef XRPC_XMARK_SHARD_LOADER_H_
+#define XRPC_XMARK_SHARD_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/peer_network.h"
+#include "xmark/xmark.h"
+
+namespace xrpc::xmark {
+
+/// Options of LoadShardedXmark.
+struct ShardLoadOptions {
+  int num_shards = 4;
+  /// Engine of the shard peers. Interpreter is the lightweight default for
+  /// many-peer simulations; relational peers exercise the loop-lifted
+  /// server path.
+  core::EngineKind engine = core::EngineKind::kInterpreter;
+  /// Shard peers are named "<peer_prefix>0" .. "<peer_prefix>N-1".
+  std::string peer_prefix = "shard";
+};
+
+/// Handles to the loaded deployment.
+struct ShardLoadResult {
+  std::vector<core::Peer*> peers;  ///< shard k's peer at index k
+  /// Logical destination of the auctions collection ("shard:auctions.xml").
+  std::string auctions_uri;
+  std::string persons_uri;  ///< likewise for persons.xml
+};
+
+/// Creates `num_shards` peers on `net`, partitions the XMark documents
+/// over them with the fragment generators (persons by @id, closed
+/// auctions by buyer/@person — core::ShardHash on both sides), loads
+/// fragment k at peer k as "<name>.<k>", registers the functions_b module
+/// at every shard peer, and records both collections in the network's
+/// catalog: hash-partitioned, with route_param 0 (a Q_B3-style call
+/// carrying the person id as its first argument prunes to one shard).
+StatusOr<ShardLoadResult> LoadShardedXmark(core::PeerNetwork* net,
+                                           const XmarkConfig& config,
+                                           const ShardLoadOptions& options = {});
+
+}  // namespace xrpc::xmark
+
+#endif  // XRPC_XMARK_SHARD_LOADER_H_

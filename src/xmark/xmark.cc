@@ -1,5 +1,7 @@
 #include "xmark/xmark.h"
 
+#include "core/catalog.h"
+
 namespace xrpc::xmark {
 
 namespace {
@@ -52,62 +54,90 @@ std::string AnnotationText(Rng* rng, int bytes) {
 
 }  // namespace
 
-std::string GeneratePersons(const XmarkConfig& config) {
+std::vector<std::string> GeneratePersonsFragments(const XmarkConfig& config,
+                                                  int num_shards) {
+  if (num_shards < 1) num_shards = 1;
   Rng rng(config.seed);
-  std::string out;
-  out.reserve(static_cast<size_t>(config.num_persons) * 160 + 64);
-  out += "<site><people>";
+  std::vector<std::string> out(static_cast<size_t>(num_shards));
+  for (std::string& f : out) {
+    f.reserve(static_cast<size_t>(config.num_persons) * 160 /
+                  static_cast<size_t>(num_shards) +
+              64);
+    f += "<site><people>";
+  }
   for (int i = 0; i < config.num_persons; ++i) {
     std::string id = "person" + std::to_string(i);
-    out += "<person id=\"" + id + "\">";
-    out += "<name>" + PersonName(&rng) + "</name>";
-    out += "<emailaddress>mailto:" + id + "@example.org</emailaddress>";
-    out += "<address><city>" + std::string(kCities[rng.Below(8)]) +
-           "</city></address>";
-    out += "</person>";
+    // One shared generation stream regardless of num_shards: the element
+    // bytes never depend on the shard count, only their placement does.
+    std::string& f =
+        out[core::ShardHash(id) % static_cast<uint64_t>(num_shards)];
+    f += "<person id=\"" + id + "\">";
+    f += "<name>" + PersonName(&rng) + "</name>";
+    f += "<emailaddress>mailto:" + id + "@example.org</emailaddress>";
+    f += "<address><city>" + std::string(kCities[rng.Below(8)]) +
+         "</city></address>";
+    f += "</person>";
   }
-  out += "</people></site>";
+  for (std::string& f : out) f += "</people></site>";
   return out;
 }
 
-std::string GenerateAuctions(const XmarkConfig& config) {
+std::string GeneratePersons(const XmarkConfig& config) {
+  return GeneratePersonsFragments(config, 1)[0];
+}
+
+std::vector<std::string> GenerateAuctionsFragments(const XmarkConfig& config,
+                                                   int num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  const uint64_t n = static_cast<uint64_t>(num_shards);
   Rng rng(config.seed + 1);
-  std::string out;
-  out.reserve(static_cast<size_t>(config.num_closed_auctions) *
-                  (160 + static_cast<size_t>(config.annotation_bytes)) +
+  std::vector<std::string> out(static_cast<size_t>(num_shards));
+  for (std::string& f : out) {
+    f.reserve(static_cast<size_t>(config.num_closed_auctions) *
+                  (160 + static_cast<size_t>(config.annotation_bytes)) /
+                  static_cast<size_t>(num_shards) +
               1024);
-  out += "<site>";
-  out += "<regions><europe>";
+    f += "<site>";
+    f += "<regions><europe>";
+  }
   for (int i = 0; i < config.num_items; ++i) {
-    out += "<item id=\"item" + std::to_string(i) + "\"><name>" +
-           std::string(kWords[rng.Below(10)]) + " " +
-           std::string(kWords[rng.Below(10)]) + "</name>";
+    std::string id = "item" + std::to_string(i);
+    std::string& f = out[core::ShardHash(id) % n];
+    f += "<item id=\"" + id + "\"><name>" +
+         std::string(kWords[rng.Below(10)]) + " " +
+         std::string(kWords[rng.Below(10)]) + "</name>";
     if (config.item_description_bytes > 0) {
-      out += "<description>" +
-             AnnotationText(&rng, config.item_description_bytes) +
-             "</description>";
+      f += "<description>" +
+           AnnotationText(&rng, config.item_description_bytes) +
+           "</description>";
     }
-    out += "</item>";
+    f += "</item>";
   }
-  out += "</europe></regions>";
-  out += "<open_auctions>";
+  for (std::string& f : out) {
+    f += "</europe></regions>";
+    f += "<open_auctions>";
+  }
   for (int i = 0; i < config.num_open_auctions; ++i) {
-    out += "<open_auction id=\"open_auction" + std::to_string(i) + "\">";
-    out += "<current>" + std::to_string(10 + rng.Below(490)) + "</current>";
-    out += "<itemref item=\"item" +
-           std::to_string(rng.Below(
-               static_cast<uint64_t>(config.num_items > 0 ? config.num_items
-                                                          : 1))) +
-           "\"/>";
+    std::string id = "open_auction" + std::to_string(i);
+    std::string& f = out[core::ShardHash(id) % n];
+    f += "<open_auction id=\"" + id + "\">";
+    f += "<current>" + std::to_string(10 + rng.Below(490)) + "</current>";
+    f += "<itemref item=\"item" +
+         std::to_string(rng.Below(
+             static_cast<uint64_t>(config.num_items > 0 ? config.num_items
+                                                        : 1))) +
+         "\"/>";
     if (config.item_description_bytes > 0) {
-      out += "<annotation><description>" +
-             AnnotationText(&rng, config.item_description_bytes) +
-             "</description></annotation>";
+      f += "<annotation><description>" +
+           AnnotationText(&rng, config.item_description_bytes) +
+           "</description></annotation>";
     }
-    out += "</open_auction>";
+    f += "</open_auction>";
   }
-  out += "</open_auctions>";
-  out += "<closed_auctions>";
+  for (std::string& f : out) {
+    f += "</open_auctions>";
+    f += "<closed_auctions>";
+  }
   for (int i = 0; i < config.num_closed_auctions; ++i) {
     // The first num_matches auctions reference generated persons spread
     // over the id space; the rest reference ids outside it (no match).
@@ -120,23 +150,30 @@ std::string GenerateAuctions(const XmarkConfig& config) {
     } else {
       buyer = "person" + std::to_string(config.num_persons + i);
     }
-    out += "<closed_auction>";
-    out += "<seller person=\"person" +
-           std::to_string(config.num_persons + 100000 + i) + "\"/>";
-    out += "<buyer person=\"" + buyer + "\"/>";
-    out += "<itemref item=\"item" +
-           std::to_string(rng.Below(
-               static_cast<uint64_t>(config.num_items > 0 ? config.num_items
-                                                          : 1))) +
-           "\"/>";
-    out += "<price>" + std::to_string(5 + rng.Below(995)) + "</price>";
-    out += "<annotation><description>" +
-           AnnotationText(&rng, config.annotation_bytes) +
-           "</description></annotation>";
-    out += "</closed_auction>";
+    // Closed auctions partition on the buyer — the routable key of the
+    // Q_B3-style semijoin — so one buyer's auctions always colocate.
+    std::string& f = out[core::ShardHash(buyer) % n];
+    f += "<closed_auction>";
+    f += "<seller person=\"person" +
+         std::to_string(config.num_persons + 100000 + i) + "\"/>";
+    f += "<buyer person=\"" + buyer + "\"/>";
+    f += "<itemref item=\"item" +
+         std::to_string(rng.Below(
+             static_cast<uint64_t>(config.num_items > 0 ? config.num_items
+                                                        : 1))) +
+         "\"/>";
+    f += "<price>" + std::to_string(5 + rng.Below(995)) + "</price>";
+    f += "<annotation><description>" +
+         AnnotationText(&rng, config.annotation_bytes) +
+         "</description></annotation>";
+    f += "</closed_auction>";
   }
-  out += "</closed_auctions></site>";
+  for (std::string& f : out) f += "</closed_auctions></site>";
   return out;
+}
+
+std::string GenerateAuctions(const XmarkConfig& config) {
+  return GenerateAuctionsFragments(config, 1)[0];
 }
 
 std::string GenerateFilmDb(int extra, uint64_t seed) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace xrpc::xmark {
 
@@ -36,8 +37,22 @@ std::string GeneratePersons(const XmarkConfig& config);
 
 /// Generates "auctions.xml": <site> with <open_auctions> and
 /// <closed_auctions>; each closed_auction has buyer/@person, price,
-/// itemref and an annotation with description text.
+/// itemref and an annotation with annotation text.
 std::string GenerateAuctions(const XmarkConfig& config);
+
+/// Sharded variants (DESIGN.md §13): the SAME generation stream as the
+/// unsharded functions — every element is byte-identical and produced in
+/// the same order — but each element lands in the fragment selected by
+/// core::ShardHash of its partition key modulo `num_shards`:
+/// persons by @id; items and open auctions by their own id; closed
+/// auctions by buyer/@person (so a partition-key semijoin on the buyer
+/// touches exactly one shard). Each fragment is a complete document with
+/// the full <site> skeleton. With num_shards == 1 the single fragment
+/// equals the unsharded document byte for byte.
+std::vector<std::string> GeneratePersonsFragments(const XmarkConfig& config,
+                                                  int num_shards);
+std::vector<std::string> GenerateAuctionsFragments(const XmarkConfig& config,
+                                                   int num_shards);
 
 /// The film database of the paper's running example (Section 2), with
 /// `extra` additional generated films.

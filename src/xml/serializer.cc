@@ -15,8 +15,18 @@ std::string EscapeText(std::string_view s) {
       case '<':
         out += "&lt;";
         break;
+      // '>' is escaped unconditionally, which also covers the "]]>"
+      // sequence in character data (XML 1.0 §2.4 forbids a literal "]]>"
+      // outside CDATA): it serializes as "]]&gt;".
       case '>':
         out += "&gt;";
+        break;
+      // A literal CR in character data would be normalized away to LF by
+      // any conforming parser on re-parse (XML 1.0 §2.11), silently
+      // corrupting the value; only the character reference survives a
+      // round trip.
+      case '\r':
+        out += "&#13;";
         break;
       default:
         out.push_back(c);

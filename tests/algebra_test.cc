@@ -164,5 +164,63 @@ TEST(TableTest, ToStringRendersRows) {
   EXPECT_NE(s.find("Sean Connery"), std::string::npos);
 }
 
+// Renders a merged iter|pos|item table as "iter.pos:value" tokens for
+// compact full-table assertions.
+std::string Render(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    if (!out.empty()) out += " ";
+    out += std::to_string(t.Iter(r)) + "." + std::to_string(t.Pos(r)) + ":" +
+           t.ItemAt(r).atomic().ToString();
+  }
+  return out;
+}
+
+TEST(ScatterGatherMergeTest, ConcatenatesPerIterInRankOrder) {
+  // Shard 0 answered iterations 1 and 2; shard 1 answered 1 and 3. Within
+  // iteration 1 shard 0's items come first (rank order), each shard's own
+  // items stay in pos order, and pos renumbers densely.
+  Table s0 = Table::IterPosItem();
+  s0.AppendIPI(2, 1, Item(AtomicValue::String("b")));
+  s0.AppendIPI(1, 1, Item(AtomicValue::String("a0.1")));
+  s0.AppendIPI(1, 2, Item(AtomicValue::String("a0.2")));
+  Table s1 = Table::IterPosItem();
+  s1.AppendIPI(3, 1, Item(AtomicValue::String("c")));
+  s1.AppendIPI(1, 1, Item(AtomicValue::String("a1.1")));
+  Table merged = ScatterGatherMerge({s0, s1});
+  EXPECT_EQ(Render(merged), "1.1:a0.1 1.2:a0.2 1.3:a1.1 2.1:b 3.1:c");
+}
+
+TEST(ScatterGatherMergeTest, SingleSourceIsUnionPlusSortByIter) {
+  // The degenerate 1-source merge (unsharded or fully pruned dispatch)
+  // must reduce to sort-by-(iter,pos): same rows, canonical order, pos
+  // untouched when already dense.
+  Table s = Table::IterPosItem();
+  s.AppendIPI(2, 1, Item(AtomicValue::String("b")));
+  s.AppendIPI(1, 2, Item(AtomicValue::String("a2")));
+  s.AppendIPI(1, 1, Item(AtomicValue::String("a1")));
+  Table merged = ScatterGatherMerge({s});
+  EXPECT_EQ(Render(merged), "1.1:a1 1.2:a2 2.1:b");
+}
+
+TEST(ScatterGatherMergeTest, EmptySourcesYieldEmptyTable) {
+  Table merged = ScatterGatherMerge({});
+  EXPECT_EQ(merged.NumRows(), 0u);
+  merged = ScatterGatherMerge({Table::IterPosItem(), Table::IterPosItem()});
+  EXPECT_EQ(merged.NumRows(), 0u);
+  EXPECT_EQ(merged.ColumnIndex("item"), 2);
+}
+
+TEST(ScatterGatherMergeTest, SparsePosRenumbersDensely) {
+  // Shards report their local pos; after the merge pos must be a dense
+  // 1..n per iteration even when the inputs were sparse.
+  Table s0 = Table::IterPosItem();
+  s0.AppendIPI(1, 5, Item(AtomicValue::String("x")));
+  Table s1 = Table::IterPosItem();
+  s1.AppendIPI(1, 3, Item(AtomicValue::String("y")));
+  Table merged = ScatterGatherMerge({s0, s1});
+  EXPECT_EQ(Render(merged), "1.1:x 1.2:y");
+}
+
 }  // namespace
 }  // namespace xrpc::algebra

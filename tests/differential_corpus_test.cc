@@ -107,6 +107,57 @@ TEST(DifferentialCorpusTest, ForcedDivergenceIsMinimizedAndReproducible) {
   EXPECT_EQ(replay.interpreter_result, d.comparison.interpreter_result);
 }
 
+TEST(DifferentialCorpusTest, ShardedQueriesAgreeAndAreShardCountInvariant) {
+  // Scatter-gather determinism, differentially. Two layered contracts:
+  //  (a) at every shard count the relational scatter-gather merge and the
+  //      interpreter's shard-order concatenation agree — including on the
+  //      broadcast, whose result order is shard-rank order by design and
+  //      therefore legitimately varies WITH the shard count;
+  //  (b) queries whose order does not depend on shard ranks (the
+  //      key-routed semijoin: one shard per call; aggregates over the
+  //      assembled document) are byte-identical over 1, 4, and 16 shards.
+  struct ShardQuery {
+    std::string text;
+    bool shard_count_invariant;
+  };
+  const std::vector<ShardQuery> queries = {
+      // Key-routed Bulk RPC semijoin (prunes to one shard per call).
+      {"import module namespace b=\"functions_b\" at \"b.xq\";\n"
+       "for $p in doc(\"persons.xml\")//person\n"
+       "let $ca := execute at {\"shard:auctions.xml\"}"
+       " {b:Q_B3(string($p/@id))}\n"
+       "return if (empty($ca)) then ()"
+       " else <result>{$p, $ca/annotation}</result>",
+       true},
+      // Broadcast (no partition key bound): merged in shard-rank order.
+      {"import module namespace b=\"functions_b\" at \"b.xq\";\n"
+       "execute at {\"shard:auctions.xml\"} {b:Q_B1()}",
+       false},
+      // Aggregate over the shard-assembled virtual document at p0.
+      {"count(doc(\"shard:auctions.xml\")//closed_auction)", true},
+  };
+  std::vector<std::string> baseline(queries.size());
+  for (int shards : {1, 4, 16}) {
+    DifferentialConfig config;
+    config.num_shards = shards;
+    DifferentialHarness harness(config);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Comparison c = harness.Run(queries[i].text, /*updating=*/false);
+      EXPECT_TRUE(c.agree) << shards << " shards, query " << i << ":\n  rel "
+                           << c.relational_result << "\n  int "
+                           << c.interpreter_result;
+      ASSERT_TRUE(c.relational_ok) << c.relational_result;
+      EXPECT_FALSE(c.relational_result.empty());
+      if (shards == 1) {
+        baseline[i] = c.relational_result;
+      } else if (queries[i].shard_count_invariant) {
+        EXPECT_EQ(c.relational_result, baseline[i])
+            << shards << " shards, query " << i;
+      }
+    }
+  }
+}
+
 TEST(DifferentialCorpusTest, NormalizationCanonicalizesNumericLexicalForms) {
   xdm::Sequence ints{xdm::Item(xdm::AtomicValue::Integer(4))};
   xdm::Sequence doubles{xdm::Item(xdm::AtomicValue::Double(4.0))};

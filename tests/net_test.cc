@@ -420,5 +420,122 @@ TEST(HttpPost, GenericServerErrorStaysNetworkError) {
   EXPECT_EQ(reply.status().code(), StatusCode::kNetworkError);
 }
 
+TEST(Uri, PercentDecodeValidEscapes) {
+  EXPECT_EQ(PercentDecode("no-escapes").value(), "no-escapes");
+  EXPECT_EQ(PercentDecode("").value(), "");
+  EXPECT_EQ(PercentDecode("a%20b").value(), "a b");
+  EXPECT_EQ(PercentDecode("%41%62%63").value(), "Abc");
+  // Hex digits decode case-insensitively.
+  EXPECT_EQ(PercentDecode("%2F%2f").value(), "//");
+  // "%2541" means the five characters "%41", not "A".
+  EXPECT_EQ(PercentDecode("%2541").value(), "%41");
+}
+
+TEST(Uri, PercentDecodeRejectsMalformedEscapes) {
+  // A '%' not followed by two hex digits used to pass through silently,
+  // making encoding ambiguous; now it is a typed parse error.
+  EXPECT_FALSE(PercentDecode("%").ok());
+  EXPECT_FALSE(PercentDecode("abc%2").ok());
+  EXPECT_FALSE(PercentDecode("%GG").ok());
+  EXPECT_FALSE(PercentDecode("%2x").ok());
+  EXPECT_FALSE(PercentDecode("a%%20b").ok());
+}
+
+TEST(Uri, PercentEncodePathRoundTrips) {
+  // Unreserved text and pchar extras pass through untouched ...
+  EXPECT_EQ(PercentEncodePath("docs/filmDB.xml"), "docs/filmDB.xml");
+  EXPECT_EQ(PercentEncodePath("a:b@c,d;e=f"), "a:b@c,d;e=f");
+  // ... everything else round-trips through "%XX".
+  const std::string nasty = "a b%c?d#e\x7f";
+  std::string encoded = PercentEncodePath(nasty);
+  EXPECT_EQ(encoded, "a%20b%25c%3Fd%23e%7F");
+  EXPECT_EQ(PercentDecode(encoded).value(), nasty);
+}
+
+TEST(Uri, ParseDecodesEscapesAndToStringReEncodes) {
+  auto uri = ParseXrpcUri("xrpc://B/docs/film%20DB.xml");
+  ASSERT_TRUE(uri.ok()) << uri.status();
+  EXPECT_EQ(uri->host, "B");
+  EXPECT_EQ(uri->path, "docs/film DB.xml");
+  EXPECT_EQ(uri->ToString(), "xrpc://B/docs/film%20DB.xml");
+
+  // Malformed escapes anywhere in the URI are parse errors.
+  EXPECT_FALSE(ParseXrpcUri("xrpc://B/bad%zzpath").ok());
+  EXPECT_FALSE(ParseXrpcUri("xrpc://bad%GGhost/p").ok());
+}
+
+TEST(HttpServer, ChunkedTransferEncodingAnswers501) {
+  // The server frames bodies by Content-Length only. A chunked request it
+  // silently misframed before (treating the chunk stream as a body of
+  // length 0 — the request-smuggling shape) must be refused up front with
+  // 501 Not Implemented, before any body handling.
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nping\r\n0\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 501 Not Implemented", 0), 0u) << reply;
+  EXPECT_NE(reply.find("Transfer-Encoding"), std::string::npos) << reply;
+  EXPECT_EQ(endpoint.requests, 0);
+  server.Stop();
+}
+
+TEST(HttpServer, ChunkedBesideContentLengthStillRejected) {
+  // Transfer-Encoding wins over Content-Length per RFC 9112 §6.3, so the
+  // pair is exactly the smuggling vector: refuse it even though a
+  // Content-Length is present.
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /p HTTP/1.1\r\nContent-Length: 4\r\n"
+      "Transfer-Encoding: chunked\r\n\r\nping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 501 Not Implemented", 0), 0u) << reply;
+  EXPECT_EQ(endpoint.requests, 0);
+  server.Stop();
+}
+
+TEST(HttpServer, IdentityTransferEncodingStillServed) {
+  // "identity" is a no-op coding; the body is still framed by
+  // Content-Length and the request goes through.
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /p HTTP/1.1\r\nTransfer-Encoding: identity\r\n"
+      "Content-Length: 4\r\nConnection: close\r\n\r\nping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply;
+  EXPECT_NE(reply.find("echo:ping"), std::string::npos) << reply;
+  EXPECT_EQ(endpoint.requests, 1);
+  server.Stop();
+}
+
+TEST(HttpServer, RequestPathIsPercentDecodedForTheEndpoint) {
+  EchoEndpoint endpoint;
+  HttpServer server(&endpoint);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok());
+  std::string reply = RawExchange(
+      port.value(),
+      "POST /film%20DB.xml HTTP/1.1\r\nContent-Length: 4\r\n"
+      "Connection: close\r\n\r\nping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 200 OK", 0), 0u) << reply;
+  EXPECT_EQ(endpoint.last_path, "film DB.xml");
+
+  // A malformed escape in the request target is a client error.
+  reply = RawExchange(
+      port.value(),
+      "POST /bad%zz HTTP/1.1\r\nContent-Length: 4\r\n\r\nping");
+  EXPECT_EQ(reply.rfind("HTTP/1.1 400 Bad Request", 0), 0u) << reply;
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace xrpc::net

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "core/catalog.h"
 #include "tests/test_util.h"
 #include "xmark/xmark.h"
 #include "xml/parser.h"
@@ -20,6 +23,62 @@ TEST(Xmark, GenerationIsDeterministic) {
   XmarkConfig other = cfg;
   other.seed = 43;
   EXPECT_NE(GeneratePersons(cfg), GeneratePersons(other));
+}
+
+TEST(Xmark, SingleFragmentIsByteIdenticalToUnsharded) {
+  // The 1-shard fragmenting is the identity: shard determinism tests
+  // compare sharded runs against this baseline byte for byte.
+  XmarkConfig cfg;
+  EXPECT_EQ(GeneratePersonsFragments(cfg, 1)[0], GeneratePersons(cfg));
+  EXPECT_EQ(GenerateAuctionsFragments(cfg, 1)[0], GenerateAuctions(cfg));
+}
+
+TEST(Xmark, FragmentsPartitionTheCollection) {
+  XmarkConfig cfg;
+  cfg.num_persons = 30;
+  cfg.num_closed_auctions = 50;
+  cfg.num_matches = 5;
+  auto persons = GeneratePersonsFragments(cfg, 4);
+  auto auctions = GenerateAuctionsFragments(cfg, 4);
+  ASSERT_EQ(persons.size(), 4u);
+  ASSERT_EQ(auctions.size(), 4u);
+  int total_persons = 0, total_closed = 0;
+  for (int k = 0; k < 4; ++k) {
+    MapDocumentProvider docs;
+    docs.AddDocument("p.xml", persons[k]);
+    docs.AddDocument("a.xml", auctions[k]);
+    total_persons +=
+        std::stoi(EvalToString("count(doc(\"p.xml\")//person)", &docs));
+    total_closed +=
+        std::stoi(EvalToString("count(doc(\"a.xml\")//closed_auction)", &docs));
+  }
+  EXPECT_EQ(total_persons, cfg.num_persons);
+  EXPECT_EQ(total_closed, cfg.num_closed_auctions);
+}
+
+TEST(Xmark, BuyersAuctionsColocateWithTheBuyersShard) {
+  // Every closed auction lands on the shard its buyer hashes to — the
+  // invariant that lets a Q_B3-style call prune to one shard and still
+  // see the buyer's complete auction set.
+  XmarkConfig cfg;
+  cfg.num_persons = 30;
+  cfg.num_closed_auctions = 50;
+  cfg.num_matches = 5;
+  const int n = 4;
+  auto auctions = GenerateAuctionsFragments(cfg, n);
+  for (int k = 0; k < n; ++k) {
+    MapDocumentProvider docs;
+    docs.AddDocument("a.xml", auctions[k]);
+    // Count auctions whose buyer does NOT hash to shard k: must be zero.
+    std::string buyers = EvalToString(
+        "string-join(doc(\"a.xml\")//closed_auction/buyer/@person, \" \")",
+        &docs);
+    std::istringstream in(buyers);
+    std::string buyer;
+    while (in >> buyer) {
+      EXPECT_EQ(static_cast<int>(core::ShardHash(buyer) % n), k) << buyer;
+    }
+  }
 }
 
 TEST(Xmark, PersonsStructure) {

@@ -222,6 +222,34 @@ TEST(XmlNode, InsertBeforeMaintainsOrder) {
   EXPECT_EQ(SerializeNode(*a), "<a><b/><c/><d/></a>");
 }
 
+TEST(XmlSerializer, CdataEndMarkerInTextSurvivesRoundTrip) {
+  // "]]>" must never appear literally in character data (XML 1.0 §2.4).
+  // EscapeText covers it by escaping every '>', so the marker serializes
+  // as "]]&gt;" — pin that, and that a reparse restores the exact value.
+  auto doc = ParseXml("<t>if (a]]&gt;b) { }</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value()->children()[0]->StringValue(), "if (a]]>b) { }");
+  std::string wire = SerializeNode(*doc.value());
+  EXPECT_EQ(wire, "<t>if (a]]&gt;b) { }</t>");
+  auto back = ParseXml(wire);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value()->children()[0]->StringValue(), "if (a]]>b) { }");
+}
+
+TEST(XmlSerializer, CarriageReturnInTextSurvivesRoundTrip) {
+  // A literal CR in serialized character data would be normalized to LF
+  // by any conforming parser on re-parse (XML 1.0 §2.11), silently
+  // corrupting the value; only the &#13; character reference survives.
+  auto doc = ParseXml("<t>a&#13;b</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value()->children()[0]->StringValue(), "a\rb");
+  std::string wire = SerializeNode(*doc.value());
+  EXPECT_EQ(wire, "<t>a&#13;b</t>");
+  auto back = ParseXml(wire);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value()->children()[0]->StringValue(), "a\rb");
+}
+
 TEST(QNameTest, EqualityIgnoresPrefix) {
   EXPECT_EQ(QName("urn:x", "a", "p"), QName("urn:x", "a", "q"));
   EXPECT_NE(QName("urn:x", "a"), QName("urn:y", "a"));

@@ -3,7 +3,9 @@
 # tests under ThreadSanitizer (or the sanitizer given as $1) in a side
 # build directory and runs the suites that exercise the HttpServer
 # worker-pool / keep-alive threading paths, the parallel Bulk RPC
-# dispatch paths, plus the concurrent WAL / 2PC crash-recovery paths.
+# dispatch paths, the concurrent WAL / 2PC crash-recovery paths, plus the
+# sharded-collection scatter-gather paths (whose per-shard Bulk RPCs ride
+# the parallel dispatch pool).
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -17,5 +19,5 @@ cmake -B "$BUILD" -S "$ROOT" -DXRPC_SANITIZE="$SANITIZER" \
 cmake --build "$BUILD" -j
 cd "$BUILD"
 ctest --output-on-failure -j"$(nproc)" \
-      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry|TxnLog|PulSerialization|TxnRecovery|ThreadPool|ParallelGroup|ParallelDispatch|RetryJitter|CancellationToken|CircuitBreaker|RetryingTransportDeadline|RetryingTransportBreaker|DeadlineChain'
+      -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry|TxnLog|PulSerialization|TxnRecovery|ThreadPool|ParallelGroup|ParallelDispatch|RetryJitter|CancellationToken|CircuitBreaker|RetryingTransportDeadline|RetryingTransportBreaker|DeadlineChain|CatalogTest|ShardExecTest'
 echo "sanitize($SANITIZER): OK"
