@@ -1,0 +1,185 @@
+// Failover-cost benchmark (DESIGN.md §14): the shard broadcast workload
+// over a replicated 4-shard deployment, run healthy, with shard 0's
+// primary dead (every query pays the failed dial plus a replica
+// re-exchange), and dead with the per-peer circuit breaker (after one
+// failure the dead dial collapses to an instant local refusal and the
+// subcall goes straight to the replica). Latencies are per-query
+// virtual-clock time, so every row is deterministic. Emits
+// BENCH_failover.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "xmark/shard_loader.h"
+#include "xmark/xmark.h"
+
+namespace {
+
+using xrpc::bench::Ms;
+using xrpc::bench::TablePrinter;
+using xrpc::core::EngineKind;
+using xrpc::core::ExecuteOptions;
+using xrpc::core::Peer;
+using xrpc::core::PeerNetwork;
+using xrpc::net::CircuitBreaker;
+
+constexpr int kQueries = 40;
+constexpr int kNumShards = 4;
+constexpr int64_t kDeadlineUs = 2'000'000;
+
+constexpr char kQuery[] =
+    "import module namespace b=\"functions_b\" at \"b.xq\";\n"
+    "execute at {\"shard:auctions.xml\"} {b:Q_B1()}";
+
+xrpc::xmark::XmarkConfig Config() {
+  xrpc::xmark::XmarkConfig cfg;
+  cfg.num_persons = 60;
+  cfg.num_closed_auctions = 120;
+  cfg.num_matches = 12;
+  cfg.annotation_bytes = 64;
+  return cfg;
+}
+
+struct Outcome {
+  std::vector<int64_t> latencies_us;
+  int ok = 0;
+  int failed = 0;
+  int64_t dead_dials = 0;
+  int64_t failover_attempts = 0;
+  int64_t failover_successes = 0;
+  int64_t short_circuits = 0;
+  std::string report;
+};
+
+int64_t Percentile(std::vector<int64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+Outcome Run(bool kill_primary, bool with_breaker) {
+  PeerNetwork net;
+  xrpc::xmark::ShardLoadOptions opts;
+  opts.num_shards = kNumShards;
+  opts.replication_factor = 2;
+  auto loaded = xrpc::xmark::LoadShardedXmark(&net, Config(), opts);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  Peer* p0 = net.AddPeer("p0", EngineKind::kRelational);
+  (void)p0->AddDocument("persons.xml", xrpc::xmark::GeneratePersons(Config()));
+  (void)p0->RegisterModule(xrpc::xmark::FunctionsBModuleSource(p0->uri()),
+                           "b.xq");
+  if (with_breaker) {
+    CircuitBreaker::Policy policy;
+    policy.failure_threshold = 1;
+    policy.cooldown_us = 60'000'000;  // stays open for the whole run
+    net.EnableCircuitBreaker(policy);
+  }
+  const std::string dead_uri = loaded->peers[0]->uri();
+  if (kill_primary) loaded->peers[0]->Disconnect();
+
+  ExecuteOptions exec;
+  exec.deadline_us = kDeadlineUs;
+  Outcome out;
+  for (int i = 0; i < kQueries; ++i) {
+    const int64_t start = net.network().clock().NowMicros();
+    auto report = net.Execute("p0", kQuery, exec);
+    out.latencies_us.push_back(net.network().clock().NowMicros() - start);
+    if (report.ok()) {
+      ++out.ok;
+    } else {
+      ++out.failed;
+    }
+  }
+  out.dead_dials = net.metrics().PeerStats(dead_uri).requests;
+  out.failover_attempts = net.metrics().failover_attempts();
+  out.failover_successes = net.metrics().failover_successes();
+  out.short_circuits = net.metrics().breaker_short_circuits();
+  out.report = net.metrics().Report();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Replica failover cost — %d broadcast queries over %d shards with\n"
+      "replication factor 2 (ring placement), %sms deadline budget.\n"
+      "'primary0 dials' counts POSTs attempted toward shard 0's primary; with\n"
+      "the breaker they stop after the first failure (local refusal).\n\n",
+      kQueries, kNumShards, Ms(kDeadlineUs).c_str());
+
+  struct Row {
+    const char* name;
+    bool kill;
+    bool breaker;
+  };
+  const Row rows[] = {
+      {"healthy", false, false},
+      {"dead-primary", true, false},
+      {"dead-primary+breaker", true, true},
+  };
+
+  TablePrinter table({"scenario", "ok", "failed", "p50 ms", "p95 ms", "max ms",
+                      "primary0 dials", "failovers", "short-circuits"});
+  struct JsonRow {
+    const char* name;
+    Outcome out;
+  };
+  std::vector<JsonRow> json_rows;
+  for (const Row& row : rows) {
+    Outcome out = Run(row.kill, row.breaker);
+    table.AddRow({row.name, std::to_string(out.ok), std::to_string(out.failed),
+                  Ms(Percentile(out.latencies_us, 0.50)),
+                  Ms(Percentile(out.latencies_us, 0.95)),
+                  Ms(Percentile(out.latencies_us, 1.0)),
+                  std::to_string(out.dead_dials),
+                  std::to_string(out.failover_successes),
+                  std::to_string(out.short_circuits)});
+    json_rows.push_back({row.name, std::move(out)});
+  }
+  table.Print();
+  std::printf("\nmetrics of the dead-primary+breaker run:\n%s",
+              json_rows.back().out.report.c_str());
+
+  FILE* json = std::fopen("BENCH_failover.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"failover\",\n"
+                 "  \"query\": \"broadcast execute at shard:auctions.xml "
+                 "(Q_B1) x %d\",\n"
+                 "  \"config\": {\"shards\": %d, \"replication_factor\": 2, "
+                 "\"deadline_us\": %lld},\n"
+                 "  \"runs\": [\n",
+                 kQueries, kNumShards, static_cast<long long>(kDeadlineUs));
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      const Outcome& o = json_rows[i].out;
+      std::fprintf(
+          json,
+          "    {\"scenario\": \"%s\", \"ok\": %d, \"failed\": %d, "
+          "\"p50_us\": %lld, \"p95_us\": %lld, \"max_us\": %lld, "
+          "\"primary0_dials\": %lld, \"failover_attempts\": %lld, "
+          "\"failover_successes\": %lld, \"short_circuits\": %lld}%s\n",
+          json_rows[i].name, o.ok, o.failed,
+          static_cast<long long>(Percentile(o.latencies_us, 0.50)),
+          static_cast<long long>(Percentile(o.latencies_us, 0.95)),
+          static_cast<long long>(Percentile(o.latencies_us, 1.0)),
+          static_cast<long long>(o.dead_dials),
+          static_cast<long long>(o.failover_attempts),
+          static_cast<long long>(o.failover_successes),
+          static_cast<long long>(o.short_circuits),
+          i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_failover.json\n");
+  }
+  return 0;
+}

@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation; indicates a library bug.
   kDeadlineExceeded,  ///< The query's end-to-end time budget ran out.
   kCancelled,         ///< The query was cooperatively cancelled.
+  kStaleCatalog,      ///< Shard-routed call fenced: catalog versions differ.
 };
 
 /// Returns a stable human-readable name, e.g. "ParseError".
@@ -88,6 +89,9 @@ class Status {
   }
   [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status StaleCatalog(std::string msg) {
+    return Status(StatusCode::kStaleCatalog, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2035,72 +2035,6 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
       std::vector<std::unordered_map<int64_t, std::vector<size_t>>>();
   for (const Table& p : params) param_groups.push_back(GroupByIter(p));
 
-  // Physical calls per iteration, after catalog decomposition (DESIGN.md
-  // §13). A plain destination stays one (peer, rank 0) call — δ on
-  // dst.item in first-appearance order, as before. A logical
-  // "shard:<collection>" destination expands against the catalog: when
-  // the collection's routing parameter is bound to a singleton in this
-  // iteration, the call is PRUNED to the single shard owning that key
-  // (the semijoin case — the predicate binds the partition key);
-  // otherwise it broadcasts to every shard peer and the scatter-gather
-  // merge recombines the per-shard sequences in shard order via `rank`.
-  struct PeerCall {
-    int64_t iter;
-    int rank;  ///< shard rank of this call's results within its iteration
-  };
-  std::vector<std::string> peers;
-  std::map<std::string, std::vector<PeerCall>> calls_of_peer;
-  int max_rank = 0;
-  auto add_call = [&](const std::string& peer, int64_t iter, int rank) {
-    if (calls_of_peer.find(peer) == calls_of_peer.end()) peers.push_back(peer);
-    calls_of_peer[peer].push_back({iter, rank});
-    if (rank > max_rank) max_rank = rank;
-  };
-  for (int64_t iter : loop) {
-    auto d = dst_map.find(iter);
-    if (d == dst_map.end()) {
-      return Status::EvalError("execute at: empty destination in iteration " +
-                               std::to_string(iter));
-    }
-    std::string dest = d->second.ToString();
-    if (!core::Catalog::IsShardUri(dest)) {
-      add_call(dest, iter, 0);
-      continue;
-    }
-    if (cfg_.catalog == nullptr) {
-      return Status::EvalError("no peer catalog configured for destination " +
-                               dest);
-    }
-    const core::ShardedCollection* collection =
-        cfg_.catalog->Find(core::Catalog::CollectionOf(dest));
-    if (collection == nullptr || collection->shards.empty()) {
-      return Status::EvalError("unknown sharded collection: " + dest);
-    }
-    int routed = -1;
-    if (collection->route_param >= 0 &&
-        collection->route_param < static_cast<int>(arity)) {
-      const auto& groups = param_groups[collection->route_param];
-      auto g = groups.find(iter);
-      if (g != groups.end() && g->second.size() == 1) {
-        const Item& key =
-            params[collection->route_param].ItemAt(g->second[0]);
-        auto r = cfg_.catalog->RouteKey(*collection, key.Atomize().ToString());
-        // An unroutable key (e.g. outside every range) is not an error
-        // here — the call simply cannot be pruned and broadcasts.
-        if (r.ok()) routed = r.value();
-      }
-    }
-    if (routed >= 0) {
-      add_call(collection->shards[routed].peer_uri, iter, 0);
-    } else {
-      std::set<std::string> broadcast_seen;
-      for (const core::ShardInfo& s : collection->shards) {
-        if (!broadcast_seen.insert(s.peer_uri).second) continue;
-        add_call(s.peer_uri, iter, s.index);
-      }
-    }
-  }
-
   // Traces present iterations as their rank within this loop scope
   // (1..n), matching Figure 1's presentation.
   BulkRpcTrace trace;
@@ -2121,107 +2055,237 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     trace.dst = normalize(dst);
   }
 
-  // Per peer: the map table iter<->iterp (ρ renumbering), the per-param
-  // request tables req_p^i, and the Bulk RPC request.
-  struct PeerWork {
-    std::string peer;
-    std::vector<PeerCall> calls;  // index = iterp - 1
-  };
-  std::vector<PeerWork> work;
-  std::vector<server::BulkRpcChannel::Destination> destinations;
+  // Decompose, dispatch, merge — re-run at most once more after a
+  // StaleCatalog fence: a peer that rejected a subcall did so because the
+  // catalog changed between our decomposition and its admission check, so
+  // re-reading the shard map (Snapshot below) and re-routing yields a
+  // correct answer instead of a wrong or partial one (DESIGN.md §14).
+  for (int attempt = 0;; ++attempt) {
+    // Physical calls per iteration, after catalog decomposition (DESIGN.md
+    // §13). A plain destination stays one (group, rank 0) call — δ on
+    // dst.item in first-appearance order, as before. A logical
+    // "shard:<collection>" destination expands against the catalog: when
+    // the collection's routing parameter is bound to a singleton in this
+    // iteration, the call is PRUNED to the single shard owning that key
+    // (the semijoin case — the predicate binds the partition key);
+    // otherwise it broadcasts one call to EVERY shard and the
+    // scatter-gather merge recombines the per-shard sequences in shard
+    // order via `rank`. Calls are grouped per SHARD (not per peer): each
+    // shard-routed Bulk RPC carries an xrpc:shard scope pinning the exact
+    // fragment it reads plus the catalog version it was routed by, and a
+    // replica peer may hold several fragments of one collection — so two
+    // shards co-located on one peer need two scoped requests.
+    struct PeerCall {
+      int64_t iter;
+      int rank;  ///< shard rank of this call's results within its iteration
+    };
+    struct Group {
+      std::string primary;                  ///< destination peer URI
+      std::vector<std::string> fallbacks;   ///< replica peers (failover)
+      std::optional<soap::XrpcRequest::ShardScope> scope;
+      std::vector<PeerCall> calls;
+    };
+    std::vector<std::string> group_keys;
+    std::map<std::string, Group> groups;
+    // One Snapshot per collection per attempt: the routing below iterates
+    // a COPY of the shard map, immune to concurrent re-registration.
+    std::map<std::string, std::pair<core::ShardedCollection, int64_t>>
+        snapshots;
+    int max_rank = 0;
+    auto add_call = [&](const std::string& key, const std::string& primary,
+                        std::vector<std::string> fallbacks,
+                        std::optional<soap::XrpcRequest::ShardScope> scope,
+                        int64_t iter, int rank) {
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        group_keys.push_back(key);
+        it = groups
+                 .emplace(key, Group{primary, std::move(fallbacks),
+                                     std::move(scope), {}})
+                 .first;
+      }
+      it->second.calls.push_back({iter, rank});
+      if (rank > max_rank) max_rank = rank;
+    };
+    for (int64_t iter : loop) {
+      auto d = dst_map.find(iter);
+      if (d == dst_map.end()) {
+        return Status::EvalError(
+            "execute at: empty destination in iteration " +
+            std::to_string(iter));
+      }
+      std::string dest = d->second.ToString();
+      if (!core::Catalog::IsShardUri(dest)) {
+        add_call(dest, dest, {}, std::nullopt, iter, 0);
+        continue;
+      }
+      if (cfg_.catalog == nullptr) {
+        return Status::EvalError(
+            "no peer catalog configured for destination " + dest);
+      }
+      std::string name(core::Catalog::CollectionOf(dest));
+      auto snap = snapshots.find(name);
+      if (snap == snapshots.end()) {
+        core::ShardedCollection copy;
+        int64_t version = 0;
+        if (!cfg_.catalog->Snapshot(name, &copy, &version) ||
+            copy.shards.empty()) {
+          return Status::EvalError("unknown sharded collection: " + dest);
+        }
+        snap = snapshots.emplace(name, std::make_pair(std::move(copy), version))
+                   .first;
+      }
+      const core::ShardedCollection& collection = snap->second.first;
+      const int64_t version = snap->second.second;
+      int routed = -1;
+      if (collection.route_param >= 0 &&
+          collection.route_param < static_cast<int>(arity)) {
+        const auto& pgroups = param_groups[collection.route_param];
+        auto g = pgroups.find(iter);
+        if (g != pgroups.end() && g->second.size() == 1) {
+          const Item& key =
+              params[collection.route_param].ItemAt(g->second[0]);
+          auto r =
+              cfg_.catalog->RouteKey(collection, key.Atomize().ToString());
+          // An unroutable key (e.g. outside every range) is not an error
+          // here — the call simply cannot be pruned and broadcasts.
+          if (r.ok()) routed = r.value();
+        }
+      }
+      auto shard_call = [&](const core::ShardInfo& s, int rank) {
+        add_call(dest + "#" + std::to_string(s.index), s.peer_uri, s.replicas,
+                 soap::XrpcRequest::ShardScope{collection.name, s.index,
+                                               version},
+                 iter, rank);
+      };
+      if (routed >= 0) {
+        shard_call(collection.shards[routed], 0);
+      } else {
+        for (const core::ShardInfo& s : collection.shards) {
+          shard_call(s, s.index);
+        }
+      }
+    }
 
-  for (const std::string& peer : peers) {
-    PeerWork w;
-    w.peer = peer;
-    soap::XrpcRequest request;
-    request.module_ns = e.name.ns_uri;
-    request.method = e.name.local;
-    request.location = location;
-    request.arity = arity;
-    request.updating = updating;
-    BulkRpcTrace::PerPeer tp;
-    tp.peer = peer;
-    tp.map = algebra::LiteralTable({"iter", "iterp"}, {});
-    tp.req.resize(arity, Table::IterPosItem());
-    for (const PeerCall& pc : calls_of_peer[peer]) {
-      int64_t iter = pc.iter;
-      int64_t iterp = static_cast<int64_t>(w.calls.size()) + 1;
-      w.calls.push_back(pc);
-      std::vector<Sequence> call;
-      for (size_t p = 0; p < arity; ++p) {
-        Sequence param;
-        auto g = param_groups[p].find(iter);
-        if (g != param_groups[p].end()) {
-          for (size_t row : g->second) param.push_back(params[p].ItemAt(row));
+    // Per group: the map table iter<->iterp (ρ renumbering), the per-param
+    // request tables req_p^i, and the Bulk RPC request.
+    struct GroupWork {
+      std::string peer;
+      std::vector<PeerCall> calls;  // index = iterp - 1
+    };
+    std::vector<GroupWork> work;
+    std::vector<server::BulkRpcChannel::Destination> destinations;
+    if (cfg_.trace_bulk_rpc) trace.peers.clear();
+
+    for (const std::string& key : group_keys) {
+      Group& group = groups[key];
+      GroupWork w;
+      w.peer = group.primary;
+      soap::XrpcRequest request;
+      request.module_ns = e.name.ns_uri;
+      request.method = e.name.local;
+      request.location = location;
+      request.arity = arity;
+      request.updating = updating;
+      request.shard = group.scope;
+      BulkRpcTrace::PerPeer tp;
+      tp.peer = group.primary;
+      tp.map = algebra::LiteralTable({"iter", "iterp"}, {});
+      tp.req.resize(arity, Table::IterPosItem());
+      for (const PeerCall& pc : group.calls) {
+        int64_t iter = pc.iter;
+        int64_t iterp = static_cast<int64_t>(w.calls.size()) + 1;
+        w.calls.push_back(pc);
+        std::vector<Sequence> call;
+        for (size_t p = 0; p < arity; ++p) {
+          Sequence param;
+          auto g = param_groups[p].find(iter);
+          if (g != param_groups[p].end()) {
+            for (size_t row : g->second) {
+              param.push_back(params[p].ItemAt(row));
+            }
+          }
+          if (cfg_.trace_bulk_rpc) {
+            for (size_t k = 0; k < param.size(); ++k) {
+              tp.req[p].AppendIPI(iterp, static_cast<int64_t>(k + 1),
+                                  param[k]);
+            }
+          }
+          call.push_back(std::move(param));
+        }
+        request.calls.push_back(std::move(call));
+        if (cfg_.trace_bulk_rpc) {
+          tp.map.AppendRow({Cell::Int(trace_rank[iter]), Cell::Int(iterp)});
+        }
+      }
+      destinations.push_back({group.primary, std::move(request),
+                              std::move(group.fallbacks)});
+      work.push_back(std::move(w));
+      if (cfg_.trace_bulk_rpc) trace.peers.push_back(std::move(tp));
+    }
+
+    // Dispatch all Bulk RPC requests (possibly in parallel).
+    auto responses_or = cfg_.rpc->ExecuteBulkAll(std::move(destinations));
+    if (!responses_or.ok()) {
+      if (responses_or.status().code() == StatusCode::kStaleCatalog &&
+          attempt == 0) {
+        cfg_.rpc->NoteStaleReroute();
+        continue;  // refetch the shard map and re-route, exactly once
+      }
+      return responses_or.status();
+    }
+    std::vector<soap::XrpcResponse> responses =
+        std::move(responses_or).value();
+    if (responses.size() != work.size()) {
+      return Status::Internal("bulk channel returned wrong response count");
+    }
+
+    // Map iterp back to iter, bucket each call's sequence by its shard
+    // rank, and recombine with the order-preserving scatter-gather merge:
+    // within each iteration, rank order then per-call sequence order, pos
+    // renumbered densely, whole table sorted by iter. For plain (unsharded)
+    // destinations every call has rank 0 and this degenerates to the
+    // original merge-union + sort of Figure 2, byte for byte.
+    std::vector<Table> shard_sources(static_cast<size_t>(max_rank) + 1,
+                                     Table::IterPosItem());
+    for (size_t w = 0; w < work.size(); ++w) {
+      const soap::XrpcResponse& response = responses[w];
+      if (response.results.size() != work[w].calls.size()) {
+        return Status::SoapFault("peer " + work[w].peer + " answered " +
+                                 std::to_string(response.results.size()) +
+                                 " results for " +
+                                 std::to_string(work[w].calls.size()) +
+                                 " calls");
+      }
+      for (size_t k = 0; k < response.results.size(); ++k) {
+        const PeerCall& pc = work[w].calls[k];
+        const Sequence& seq = response.results[k];
+        for (size_t i = 0; i < seq.size(); ++i) {
+          shard_sources[pc.rank].AppendIPI(pc.iter,
+                                           static_cast<int64_t>(i + 1),
+                                           seq[i]);
         }
         if (cfg_.trace_bulk_rpc) {
-          for (size_t k = 0; k < param.size(); ++k) {
-            tp.req[p].AppendIPI(iterp, static_cast<int64_t>(k + 1), param[k]);
+          for (size_t i = 0; i < seq.size(); ++i) {
+            trace.peers[w].msg.AppendIPI(static_cast<int64_t>(k + 1),
+                                         static_cast<int64_t>(i + 1), seq[i]);
+            trace.peers[w].res.AppendIPI(trace_rank[pc.iter],
+                                         static_cast<int64_t>(i + 1), seq[i]);
           }
         }
-        call.push_back(std::move(param));
-      }
-      request.calls.push_back(std::move(call));
-      if (cfg_.trace_bulk_rpc) {
-        tp.map.AppendRow({Cell::Int(trace_rank[iter]), Cell::Int(iterp)});
       }
     }
-    destinations.push_back({peer, std::move(request)});
-    work.push_back(std::move(w));
-    if (cfg_.trace_bulk_rpc) trace.peers.push_back(std::move(tp));
-  }
-
-  // Dispatch all Bulk RPC requests (possibly in parallel).
-  XRPC_ASSIGN_OR_RETURN(std::vector<soap::XrpcResponse> responses,
-                        cfg_.rpc->ExecuteBulkAll(std::move(destinations)));
-  if (responses.size() != work.size()) {
-    return Status::Internal("bulk channel returned wrong response count");
-  }
-
-  // Map iterp back to iter, bucket each call's sequence by its shard
-  // rank, and recombine with the order-preserving scatter-gather merge:
-  // within each iteration, rank order then per-call sequence order, pos
-  // renumbered densely, whole table sorted by iter. For plain (unsharded)
-  // destinations every call has rank 0 and this degenerates to the
-  // original merge-union + sort of Figure 2, byte for byte.
-  std::vector<Table> shard_sources(static_cast<size_t>(max_rank) + 1,
-                                   Table::IterPosItem());
-  for (size_t w = 0; w < work.size(); ++w) {
-    const soap::XrpcResponse& response = responses[w];
-    if (response.results.size() != work[w].calls.size()) {
-      return Status::SoapFault("peer " + work[w].peer + " answered " +
-                               std::to_string(response.results.size()) +
-                               " results for " +
-                               std::to_string(work[w].calls.size()) +
-                               " calls");
-    }
-    for (size_t k = 0; k < response.results.size(); ++k) {
-      const PeerCall& pc = work[w].calls[k];
-      const Sequence& seq = response.results[k];
-      for (size_t i = 0; i < seq.size(); ++i) {
-        shard_sources[pc.rank].AppendIPI(pc.iter, static_cast<int64_t>(i + 1),
-                                         seq[i]);
+    Table result = algebra::ScatterGatherMerge(shard_sources);
+    if (cfg_.trace_bulk_rpc) {
+      for (auto& tp : trace.peers) {
+        tp.msg = SortIPI(tp.msg);
+        tp.res = SortIPI(tp.res);
       }
-      if (cfg_.trace_bulk_rpc) {
-        for (size_t i = 0; i < seq.size(); ++i) {
-          trace.peers[w].msg.AppendIPI(static_cast<int64_t>(k + 1),
-                                       static_cast<int64_t>(i + 1), seq[i]);
-          trace.peers[w].res.AppendIPI(trace_rank[pc.iter],
-                                       static_cast<int64_t>(i + 1), seq[i]);
-        }
-      }
+      trace.result = normalize(result);
+      traces_.push_back(std::move(trace));
     }
+    return result;
   }
-  Table result = algebra::ScatterGatherMerge(shard_sources);
-  if (cfg_.trace_bulk_rpc) {
-    for (auto& tp : trace.peers) {
-      tp.msg = SortIPI(tp.msg);
-      tp.res = SortIPI(tp.res);
-    }
-    trace.result = normalize(result);
-    traces_.push_back(std::move(trace));
-  }
-  return result;
 }
 
 // ------------------------- constructors ------------------------------------

@@ -1,5 +1,7 @@
 #include "core/catalog.h"
 
+#include <cstdio>
+
 namespace xrpc::core {
 
 namespace {
@@ -55,6 +57,18 @@ Status Catalog::RegisterCollection(ShardedCollection collection) {
                                      collection.name +
                                      " lacks a peer URI or fragment name");
     }
+    for (const std::string& replica : s.replicas) {
+      if (replica.empty()) {
+        return Status::InvalidArgument("shard " + std::to_string(i) + " of " +
+                                       collection.name +
+                                       " lists an empty replica URI");
+      }
+      if (replica == s.peer_uri) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(i) + " of " + collection.name +
+            " lists its primary " + replica + " as a replica");
+      }
+    }
     if (collection.kind == PartitionKind::kRange) {
       if (s.hi <= s.lo) {
         return Status::InvalidArgument("empty key range on shard " +
@@ -79,6 +93,16 @@ const ShardedCollection* Catalog::Find(std::string_view name) const {
   return it == collections_.end() ? nullptr : &it->second;
 }
 
+bool Catalog::Snapshot(std::string_view name, ShardedCollection* out,
+                       int64_t* version_out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version_out != nullptr) *version_out = version_;
+  auto it = collections_.find(name);
+  if (it == collections_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
 StatusOr<int> Catalog::RouteKey(const ShardedCollection& collection,
                                 std::string_view key) const {
   if (collection.shards.empty()) {
@@ -89,6 +113,8 @@ StatusOr<int> Catalog::RouteKey(const ShardedCollection& collection,
   }
   int64_t v = 0;
   if (!TrailingInteger(key, &v)) {
+    ReportRouteMiss(collection.name, "key '" + std::string(key) +
+                                         "' has no trailing integer");
     return Status::InvalidArgument("range-partitioned " + collection.name +
                                    ": key '" + std::string(key) +
                                    "' has no trailing integer");
@@ -96,9 +122,34 @@ StatusOr<int> Catalog::RouteKey(const ShardedCollection& collection,
   for (const ShardInfo& s : collection.shards) {
     if (v >= s.lo && v < s.hi) return s.index;
   }
+  ReportRouteMiss(collection.name,
+                  "key '" + std::string(key) + "' outside every range");
   return Status::InvalidArgument("key '" + std::string(key) +
                                  "' outside every range of " +
                                  collection.name);
+}
+
+void Catalog::set_route_miss_listener(RouteMissListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  route_miss_listener_ = std::move(listener);
+}
+
+void Catalog::ReportRouteMiss(const std::string& collection,
+                              const std::string& why) const {
+  RouteMissListener listener;
+  bool log_first = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener = route_miss_listener_;
+    log_first = miss_logged_.insert(collection).second;
+  }
+  if (log_first) {
+    std::fprintf(stderr,
+                 "xrpc: catalog route miss on collection %s (%s); "
+                 "broadcasting to every shard\n",
+                 collection.c_str(), why.c_str());
+  }
+  if (listener) listener(collection);
 }
 
 int64_t Catalog::version() const {

@@ -2,8 +2,10 @@
 #define XRPC_CORE_CATALOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,10 +25,14 @@ enum class PartitionKind {
 /// fragment name the peer's database stores it.
 struct ShardInfo {
   int index = 0;          ///< 0-based shard number (merge rank)
-  std::string peer_uri;   ///< owning peer, e.g. "xrpc://shard3"
+  std::string peer_uri;   ///< primary peer, e.g. "xrpc://shard3"
   std::string doc_name;   ///< fragment name at that peer, e.g. "auctions.xml#3"
   int64_t lo = 0;         ///< kRange only: inclusive lower key bound
   int64_t hi = 0;         ///< kRange only: exclusive upper key bound
+  /// Replica peers holding the same fragment under the same doc_name.
+  /// Read-only subcalls may fail over primary -> replicas[0] -> ... within
+  /// the deadline budget; updating calls only ever go to the primary.
+  std::vector<std::string> replicas;
 };
 
 /// The shard map of one logical collection (DESIGN.md §13): a document
@@ -56,9 +62,11 @@ uint64_t ShardHash(std::string_view key);
 /// (`execute at` decomposition), fn:doc resolution, and the XRPC service's
 /// local fragment lookup all consult it.
 ///
-/// Thread-safety: registration must complete before queries run;
-/// concurrent Find() during execution is safe (the map is only read), but
-/// re-registering a collection while queries are in flight is undefined.
+/// Thread-safety: all entry points lock. Find() returns a stable map-node
+/// pointer but a concurrent re-registration overwrites the value it points
+/// at — decomposition sites that must tolerate mid-flight catalog churn
+/// (the epoch-fencing re-route of DESIGN.md §14) use Snapshot() instead,
+/// which copies the shard map and its version atomically.
 class Catalog {
  public:
   /// Registers (or replaces) a collection's shard map and bumps the
@@ -69,6 +77,13 @@ class Catalog {
   /// Looks up a collection by logical name; nullptr if unknown. The
   /// pointer stays valid for the catalog's lifetime (map nodes are stable).
   const ShardedCollection* Find(std::string_view name) const;
+
+  /// Race-free lookup for decomposition sites: copies the collection and
+  /// the catalog version it was read at under one lock, so a concurrent
+  /// re-registration cannot mutate the map a router is iterating. Returns
+  /// false when the collection is unknown.
+  bool Snapshot(std::string_view name, ShardedCollection* out,
+                int64_t* version_out) const;
 
   /// Routes a partition-key value to the index of its owning shard.
   /// kHash: ShardHash(key) modulo shard count. kRange: the shard whose
@@ -83,6 +98,15 @@ class Catalog {
 
   std::vector<std::string> CollectionNames() const;
 
+  /// Observer invoked whenever RouteKey fails to place a key (callers then
+  /// broadcast to every shard). The catalog is a leaf library, so metrics
+  /// are injected rather than linked: PeerNetwork wires this listener to
+  /// RpcMetrics::RecordRouteMiss. Independently of the listener the first
+  /// miss per collection is logged to stderr — a quietly regressed routing
+  /// predicate otherwise hides as an N-fold fan-out.
+  using RouteMissListener = std::function<void(const std::string& collection)>;
+  void set_route_miss_listener(RouteMissListener listener);
+
   /// True for logical shard destinations: "shard:<collection>".
   static bool IsShardUri(std::string_view uri);
   /// The collection name of a shard URI ("" when not a shard URI).
@@ -91,9 +115,15 @@ class Catalog {
   static std::string ShardUri(std::string_view collection);
 
  private:
+  void ReportRouteMiss(const std::string& collection,
+                       const std::string& why) const;
+
   mutable std::mutex mu_;
   std::map<std::string, ShardedCollection, std::less<>> collections_;
   int64_t version_ = 0;
+  RouteMissListener route_miss_listener_;
+  /// Collections whose first route miss has already been logged.
+  mutable std::set<std::string> miss_logged_;
 };
 
 }  // namespace xrpc::core

@@ -170,6 +170,14 @@ Peer::Peer(std::string name, EngineKind kind, net::SimulatedNetwork* network,
   (void)registry_.RegisterModule(server::SystemModuleSource());
 }
 
+void Peer::Disconnect() {
+  network_->DisconnectPeer(net::ParseXrpcUri(uri_).value());
+}
+
+void Peer::Reconnect() {
+  network_->RegisterPeer(net::ParseXrpcUri(uri_).value(), service_.get());
+}
+
 Status Peer::AddDocument(const std::string& doc_name,
                          std::string_view xml_text) {
   return db_.PutDocumentText(doc_name, xml_text);
@@ -195,6 +203,12 @@ PeerNetwork::PeerNetwork(net::NetworkProfile profile)
                  /*jitter_seed=*/42,
                  [this] { return network_.clock().NowMicros(); }) {
   network_.set_metrics(&metrics_);
+  // A RouteKey miss silently degrades pruning to broadcast; count every
+  // occurrence in the shared registry (the catalog itself cannot link the
+  // metrics library — it sits below it in the layering).
+  catalog_.set_route_miss_listener([this](const std::string& collection) {
+    metrics_.RecordRouteMiss(collection);
+  });
 }
 
 void PeerNetwork::EnableParallelDispatch(int threads) {

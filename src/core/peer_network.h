@@ -80,6 +80,14 @@ class Peer {
   /// in-doubt transactions by coordinator inquiry / commit retry.
   Status Restart() { return service_->Restart(network_); }
 
+  /// Membership chaos (DESIGN.md §14): detaches this peer from the
+  /// simulated network — subsequent dials to it fail with the same
+  /// kNetworkError a connection refusal produces — and re-attaches it.
+  /// Unlike InjectCrash, the peer's state (database, sessions, WAL) is
+  /// untouched: this models a partition or process pause, not a crash.
+  void Disconnect();
+  void Reconnect();
+
   /// Engine-specific handles (null when the peer runs another engine).
   compiler::RelationalEngine* relational_engine() { return relational_.get(); }
   wrapper::WrapperEngine* wrapper_engine() { return wrapper_.get(); }

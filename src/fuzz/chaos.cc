@@ -1,0 +1,318 @@
+#include "fuzz/chaos.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "base/prng.h"
+#include "core/peer_network.h"
+#include "net/circuit_breaker.h"
+#include "xdm/item.h"
+#include "xmark/shard_loader.h"
+#include "xmark/xmark.h"
+
+namespace xrpc::fuzz {
+
+namespace {
+
+constexpr int kNumShards = 3;
+
+/// The fixed workload: a broadcast over every shard, so the survival of
+/// the query depends on every shard having a reachable copy.
+constexpr char kChaosQuery[] =
+    "import module namespace b=\"functions_b\" at \"b.xq\";\n"
+    "execute at {\"shard:auctions.xml\"} {b:Q_B1()}";
+
+/// Virtual-time budget of every run; chaos must resolve — success or one
+/// clean fault — within it. Generous: a healthy broadcast costs ~1 ms.
+constexpr int64_t kDeadlineBudgetUs = 5'000'000;
+/// The final message of a run may complete past the budget before the
+/// expiry is observed; allow one round of wire slack beyond it.
+constexpr int64_t kDeadlineSlackUs = 1'000'000;
+
+xmark::XmarkConfig ChaosXmarkConfig() {
+  xmark::XmarkConfig cfg;
+  cfg.num_persons = 18;
+  cfg.num_closed_auctions = 24;
+  cfg.num_matches = 4;
+  cfg.annotation_bytes = 8;
+  return cfg;
+}
+
+/// SplitMix-style mix (same construction as the schedule explorer) so
+/// every (seed, index) pair gets an independent sampled-dimension stream.
+uint64_t MixSeed(uint64_t seed, int index) {
+  uint64_t x =
+      seed + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(index) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+struct Fixture {
+  core::PeerNetwork net;
+  std::vector<core::Peer*> shard_peers;
+  core::Peer* p0 = nullptr;
+  Status status = Status::OK();
+
+  Fixture(int replication_factor, bool sabotage) {
+    xmark::ShardLoadOptions opts;
+    opts.num_shards = kNumShards;
+    opts.replication_factor = replication_factor;
+    auto loaded = xmark::LoadShardedXmark(&net, ChaosXmarkConfig(), opts);
+    if (!loaded.ok()) {
+      status = loaded.status();
+      return;
+    }
+    shard_peers = loaded->peers;
+    p0 = net.AddPeer("p0", core::EngineKind::kRelational);
+    status = p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()),
+                                "b.xq");
+    if (sabotage) {
+      // Replace shard 0's primary fragment with an empty one: any run
+      // that answers from it diverges from the baseline, so the
+      // byte-identity detector must fire.
+      (void)shard_peers[0]->AddDocument(
+          "auctions.xml.0", "<site><closed_auctions/></site>");
+    }
+  }
+};
+
+}  // namespace
+
+bool ChaosSchedule::Covered(int num_shards) const {
+  for (int k = 0; k < num_shards; ++k) {
+    bool alive = false;
+    for (int r = 0; r < replication_factor && !alive; ++r) {
+      alive = (kill_mask & (1u << ((k + r) % num_shards))) == 0;
+    }
+    if (!alive) return false;
+  }
+  return true;
+}
+
+std::string ChaosSchedule::Describe() const {
+  std::string out = "rf=" + std::to_string(replication_factor);
+  if (kill_mask != 0) {
+    out += " kill={";
+    for (int k = 0; k < kNumShards; ++k) {
+      if (kill_mask & (1u << k)) out += std::to_string(k);
+    }
+    out += "}@" + std::to_string(kill_serial);
+    if (revive_serial > 0) out += " revive@" + std::to_string(revive_serial);
+  }
+  if (bump_serial > 0) out += " bump@" + std::to_string(bump_serial);
+  if (use_breaker) out += " breaker=on";
+  out += Covered(kNumShards) ? " [covered]" : " [uncovered]";
+  return out;
+}
+
+ChaosExplorer::ChaosExplorer(const ChaosConfig& config) : config_(config) {
+  // Chaos-free reference run: its normalized result is the byte-identity
+  // baseline every surviving run must reproduce, regardless of which
+  // replicas answered. Deliberately built WITHOUT sabotage.
+  Fixture fx(/*replication_factor=*/1, /*sabotage=*/false);
+  if (fx.status.ok()) {
+    auto report = fx.net.Execute("p0", kChaosQuery);
+    if (report.ok()) baseline_ = xdm::SequenceToString(report->result);
+  }
+}
+
+ChaosExplorer::~ChaosExplorer() = default;
+
+// Grid dimensions: rf {1,2} x kill {none,0,1,01} x kill instant {pre,2,4}
+// x revive {never, kill+3} x bump {off,3} x breaker {off,on}.
+constexpr int kKillMasks[] = {0, 1, 2, 3};
+constexpr int kKillSerials[] = {0, 2, 4};
+
+int ChaosExplorer::GridSize() const { return 2 * 4 * 3 * 2 * 2 * 2; }
+
+ChaosSchedule ChaosExplorer::MakeSchedule(int index) const {
+  ChaosSchedule s;
+  s.seed = config_.seed;
+  s.index = index;
+
+  if (index < GridSize()) {
+    int k = index;
+    s.replication_factor = 1 + k % 2;
+    k /= 2;
+    s.kill_mask = static_cast<uint32_t>(kKillMasks[k % 4]);
+    k /= 4;
+    s.kill_serial = kKillSerials[k % 3];
+    k /= 3;
+    if ((k % 2) == 1 && s.kill_mask != 0) {
+      s.revive_serial = s.kill_serial + 3;
+    }
+    k /= 2;
+    if ((k % 2) == 1) s.bump_serial = 3;
+    k /= 2;
+    s.use_breaker = (k % 2) == 1;
+    if (s.kill_mask == 0) s.kill_serial = 0;  // canonicalize no-kill points
+    return s;
+  }
+
+  // Sampled region: wider ranges, including kill-everything masks and
+  // replication factor 3 (every peer holds every fragment).
+  DeterministicPrng prng(MixSeed(config_.seed, index));
+  auto below = [&prng](uint64_t n) {
+    return static_cast<int>(prng.NextUint64() % n);
+  };
+  s.replication_factor = 1 + below(3);
+  s.kill_mask = static_cast<uint32_t>(below(8));
+  if (s.kill_mask != 0) {
+    s.kill_serial = below(7);
+    if (below(2) == 0) s.revive_serial = s.kill_serial + 1 + below(4);
+  }
+  if (below(2) == 0) s.bump_serial = 1 + below(5);
+  s.use_breaker = below(2) == 0;
+  return s;
+}
+
+ChaosResult ChaosExplorer::RunSchedule(const ChaosSchedule& schedule) {
+  ChaosResult r;
+  r.schedule = schedule;
+  r.covered = schedule.Covered(kNumShards);
+  ++stats_.explored;
+
+  auto fail = [&r](const std::string& invariant, const std::string& detail) {
+    r.ok = false;
+    r.violations.push_back(invariant + ": " + detail);
+  };
+
+  Fixture fx(schedule.replication_factor, config_.sabotage_divergence);
+  if (!fx.status.ok()) {
+    fail("fixture", fx.status.ToString());
+    ++stats_.violations;
+    return r;
+  }
+  if (schedule.use_breaker) {
+    net::CircuitBreaker::Policy policy;
+    policy.failure_threshold = 2;
+    policy.cooldown_us = 200'000;
+    fx.net.EnableCircuitBreaker(policy);
+  }
+
+  auto apply_kill = [&] {
+    for (int k = 0; k < kNumShards; ++k) {
+      if (schedule.kill_mask & (1u << k)) fx.shard_peers[k]->Disconnect();
+    }
+  };
+  if (schedule.kill_mask != 0 && schedule.kill_serial == 0) apply_kill();
+  fx.net.network().set_post_hook([&](int64_t serial) {
+    if (schedule.kill_mask != 0 && schedule.kill_serial > 0 &&
+        serial == schedule.kill_serial) {
+      apply_kill();
+    }
+    if (schedule.kill_mask != 0 && schedule.revive_serial > 0 &&
+        serial == schedule.revive_serial) {
+      for (int k = 0; k < kNumShards; ++k) {
+        if (schedule.kill_mask & (1u << k)) fx.shard_peers[k]->Reconnect();
+      }
+    }
+    if (schedule.bump_serial > 0 && serial == schedule.bump_serial) {
+      // Identical re-registration: only the version moves, so a fenced
+      // query re-routes once and then MUST succeed on the same shard map.
+      core::ShardedCollection c;
+      int64_t version = 0;
+      if (fx.net.catalog().Snapshot("persons.xml", &c, &version)) {
+        (void)fx.net.catalog().RegisterCollection(std::move(c));
+      }
+    }
+  });
+
+  const int64_t start_us = fx.net.network().clock().NowMicros();
+  core::ExecuteOptions exec_options;
+  exec_options.deadline_us = kDeadlineBudgetUs;
+  auto report = fx.net.Execute("p0", kChaosQuery, exec_options);
+  r.elapsed_us = fx.net.network().clock().NowMicros() - start_us;
+  r.failover_successes = fx.net.metrics().failover_successes();
+  r.stale_reroutes = fx.net.metrics().stale_catalog_reroutes();
+  stats_.failover_successes += r.failover_successes;
+  stats_.stale_reroutes += r.stale_reroutes;
+
+  if (report.ok()) {
+    r.query_ok = true;
+    r.outcome = xdm::SequenceToString(report->result);
+    ++stats_.survived;
+    // 1. Byte-identity: whichever replicas answered, the merged result is
+    //    indistinguishable from the chaos-free run.
+    if (r.outcome != baseline_) {
+      fail("byte-identity",
+           "result diverges from the chaos-free baseline (got " +
+               std::to_string(r.outcome.size()) + " bytes, want " +
+               std::to_string(baseline_.size()) + ")");
+    }
+  } else {
+    r.outcome = report.status().ToString();
+    const StatusCode code = report.status().code();
+    // 2. Replica-coverage: with a live copy of every shard the query has
+    //    no excuse to fail — failover must have found it.
+    if (r.covered) {
+      fail("replica-coverage",
+           "failed although live replicas cover every shard: " + r.outcome);
+    }
+    // 3. Clean-fault: an uncovered loss surfaces as one network/deadline
+    //    fault, nothing half-merged or internal.
+    if (code != StatusCode::kNetworkError &&
+        code != StatusCode::kDeadlineExceeded) {
+      fail("clean-fault", "unexpected fault class: " + r.outcome);
+    } else if (r.ok) {
+      ++stats_.clean_faults;
+    }
+  }
+  // 4. No-hang: chaos or not, the query resolves within its budget.
+  if (r.elapsed_us > kDeadlineBudgetUs + kDeadlineSlackUs) {
+    fail("no-hang", "query consumed " + std::to_string(r.elapsed_us) +
+                        "us of a " + std::to_string(kDeadlineBudgetUs) +
+                        "us budget");
+  }
+  // 5. Single-reroute: one epoch fence means one refetch + re-dispatch.
+  if (r.stale_reroutes > 1) {
+    fail("single-reroute",
+         std::to_string(r.stale_reroutes) + " catalog re-routes in one query");
+  }
+
+  if (!r.ok) ++stats_.violations;
+  return r;
+}
+
+std::string FormatChaosRepro(const ChaosResult& r) {
+  std::string out;
+  out += "# xrpc-fuzz chaos repro\n";
+  out += "seed: " + std::to_string(r.schedule.seed) + "\n";
+  out += "index: " + std::to_string(r.schedule.index) + "\n";
+  out += "schedule: " + r.schedule.Describe() + "\n";
+  out += std::string("query: ") + (r.query_ok ? "ok" : "fault") + "\n";
+  out += "elapsed_us: " + std::to_string(r.elapsed_us) + "\n";
+  out += "--- violations ---\n";
+  for (const std::string& v : r.violations) out += v + "\n";
+  return out;
+}
+
+StatusOr<ChaosSchedule> ParseChaosRepro(const std::string& content) {
+  ChaosSchedule s;
+  bool saw_seed = false, saw_index = false;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("seed: ", 0) == 0) {
+      s.seed = std::strtoull(line.c_str() + 6, nullptr, 10);
+      saw_seed = true;
+    } else if (line.rfind("index: ", 0) == 0) {
+      s.index = std::atoi(line.c_str() + 7);
+      saw_index = true;
+    }
+  }
+  if (!saw_seed || !saw_index) {
+    return Status::InvalidArgument("chaos repro needs seed: and index:");
+  }
+  // The membership dimensions are re-derived: MakeSchedule(index) under
+  // the same seed reproduces them exactly.
+  return s;
+}
+
+}  // namespace xrpc::fuzz

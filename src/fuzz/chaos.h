@@ -1,0 +1,124 @@
+#ifndef XRPC_FUZZ_CHAOS_H_
+#define XRPC_FUZZ_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace xrpc::fuzz {
+
+/// One membership-chaos schedule (DESIGN.md §14): everything that varies
+/// between runs of the fixed read-only broadcast workload over a
+/// replicated sharded XMark deployment. A ChaosSchedule is a pure function
+/// of (seed, index) — replaying the same pair reproduces the identical run
+/// under the virtual clock.
+struct ChaosSchedule {
+  uint64_t seed = 0;
+  int index = 0;
+
+  /// Total copies of every fragment, primary included (ring placement).
+  int replication_factor = 1;
+  /// Bit k set: shard peer k is disconnected (dials refused) mid-run.
+  uint32_t kill_mask = 0;
+  /// Post serial at which the kills fire; 0 = before the query starts.
+  int kill_serial = 0;
+  /// Post serial at which every killed peer reconnects; 0 = never.
+  int revive_serial = 0;
+  /// Post serial at which the catalog version is bumped (an identical
+  /// re-registration) while scatter calls are in flight; 0 = off. Stamped
+  /// requests then hit the epoch fence and must re-route exactly once.
+  int bump_serial = 0;
+  /// Per-peer circuit breaker on the outgoing transport: dead-peer dials
+  /// trip it open, so later subcalls skip straight to a replica.
+  bool use_breaker = false;
+
+  std::string Describe() const;
+
+  /// True when every shard keeps at least one replica-set member that is
+  /// never killed — the condition under which the query MUST survive
+  /// byte-identically (failover can always find a live copy).
+  bool Covered(int num_shards) const;
+};
+
+/// Outcome of one chaos run.
+struct ChaosResult {
+  ChaosSchedule schedule;
+  bool ok = true;                       ///< all invariants held
+  std::vector<std::string> violations;  ///< "invariant: detail" lines
+
+  bool covered = false;   ///< schedule.Covered() at run time
+  bool query_ok = false;  ///< the broadcast query returned a result
+  std::string outcome;    ///< normalized result, or the fault text
+  int64_t elapsed_us = 0; ///< virtual time the query consumed
+  int64_t failover_successes = 0;
+  int64_t stale_reroutes = 0;
+};
+
+struct ChaosStats {
+  int64_t explored = 0;
+  int64_t survived = 0;      ///< runs that returned a (checked) result
+  int64_t clean_faults = 0;  ///< uncovered runs that failed cleanly
+  int64_t violations = 0;
+  int64_t failover_successes = 0;
+  int64_t stale_reroutes = 0;
+};
+
+struct ChaosConfig {
+  uint64_t seed = 1;
+  /// Self-test mode: corrupt shard 0's primary fragment before every run,
+  /// so a surviving run diverges from the baseline. The byte-identity
+  /// checker must flag it — proving the detector is not vacuous.
+  bool sabotage_divergence = false;
+};
+
+/// Systematic membership-chaos exploration (DESIGN.md §14): the fixed
+/// workload — a broadcast `execute at {"shard:auctions.xml"}` over a
+/// 3-shard replicated XMark deployment — runs under an enumerated grid
+/// (and, past the grid, a seeded random sample) of {replication factor} x
+/// {kill set} x {kill/revive instant} x {catalog bump instant} x {circuit
+/// breaker}. Invariants asserted after every run:
+///   1. byte-identity  — a run that returns a result returns exactly the
+///      chaos-free baseline (replica answers are indistinguishable);
+///   2. replica-coverage — when surviving replicas cover every shard, the
+///      query MUST survive (failover finds the live copy);
+///   3. clean-fault — a failing run fails with a single retriable-class
+///      fault (network / deadline), never anything half-merged;
+///   4. no-hang — the query consumes at most the deadline budget (plus
+///      one message of slack) of virtual time;
+///   5. single-reroute — an epoch fence triggers at most one catalog
+///      refetch + re-dispatch per query.
+class ChaosExplorer {
+ public:
+  explicit ChaosExplorer(const ChaosConfig& config = {});
+  ~ChaosExplorer();
+
+  /// Number of systematically enumerated grid points; index >= GridSize()
+  /// is sampled randomly.
+  int GridSize() const;
+
+  /// Deterministically derives schedule `index` of this explorer's seed.
+  ChaosSchedule MakeSchedule(int index) const;
+
+  /// Builds a fresh replicated deployment, injects the schedule through
+  /// the simulated network's post-hook, runs the workload, and checks the
+  /// invariants.
+  ChaosResult RunSchedule(const ChaosSchedule& schedule);
+
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  ChaosConfig config_;
+  ChaosStats stats_;
+  std::string baseline_;  ///< chaos-free normalized broadcast result
+};
+
+/// Self-contained repro file for a chaos invariant violation; replay with
+/// fuzz_schedules --chaos --replay (the file carries seed + index).
+std::string FormatChaosRepro(const ChaosResult& r);
+StatusOr<ChaosSchedule> ParseChaosRepro(const std::string& content);
+
+}  // namespace xrpc::fuzz
+
+#endif  // XRPC_FUZZ_CHAOS_H_

@@ -67,6 +67,20 @@ void CircuitBreaker::RecordFailure(const std::string& peer) {
   }
 }
 
+void CircuitBreaker::OnProbeAbandoned(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  PeerState& s = it->second;
+  if (s.state != State::kHalfOpen || !s.probe_in_flight) return;
+  // No outcome learned: reopen, but keep the original opened_at so the
+  // already-elapsed cooldown is not forfeited and the next Allow() can
+  // probe right away.
+  s.state = State::kOpen;
+  s.probe_in_flight = false;
+  if (metrics_ != nullptr) metrics_->RecordBreakerProbeAbandoned();
+}
+
 CircuitBreaker::State CircuitBreaker::GetState(const std::string& peer) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = peers_.find(peer);

@@ -53,6 +53,17 @@ class CircuitBreaker {
   void RecordSuccess(const std::string& peer);
   void RecordFailure(const std::string& peer);
 
+  /// Releases the half-open probe slot WITHOUT an outcome. Every caller
+  /// that Allow() admitted must eventually call exactly one of
+  /// RecordSuccess / RecordFailure / OnProbeAbandoned: an admitted probe
+  /// that returns none of them (e.g. the deadline budget ran out between
+  /// Allow() and the dial) would otherwise leave `probe_in_flight` set
+  /// forever, permanently short-circuiting the peer even after it
+  /// recovers. The circuit returns to open but keeps its original
+  /// opened_at, so the elapsed cooldown still counts and the next caller
+  /// becomes the probe immediately.
+  void OnProbeAbandoned(const std::string& peer);
+
   State GetState(const std::string& peer) const;
 
   /// Transition/short-circuit counters land in the shared registry.

@@ -69,18 +69,13 @@ StatusOr<PostResult> RetryingTransport::Post(const std::string& dest_uri,
   Status last_error = Status::NetworkError("no attempt made");
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (breaker_ != nullptr && !breaker_->Allow(dest_uri)) {
-      // Open circuit: fail locally, no dial. (Allow() already counted the
-      // short circuit.) Distinct from a transport failure so callers can
-      // tell "refused locally" from "tried and failed".
-      last_error =
-          Status::NetworkError("circuit open: refusing to dial " + dest_uri);
-      break;
-    }
-
     // Per-attempt timeout: the policy deadline capped by what is left of
     // the end-to-end budget. Across all attempts the budget is never
     // exceeded, and exhaustion is final (kDeadlineExceeded, not retried).
+    // This check MUST precede breaker_->Allow(): every caller Allow()
+    // admits is committed to reporting an outcome, and an early return
+    // here after being admitted as the half-open probe would leave the
+    // probe slot occupied forever, permanently short-circuiting the peer.
     int64_t effective_timeout_us = policy_.request_timeout_us;
     bool budget_bound = false;
     if (budget.has_value()) {
@@ -95,6 +90,15 @@ StatusOr<PostResult> RetryingTransport::Post(const std::string& dest_uri,
         effective_timeout_us = remaining;
         budget_bound = true;
       }
+    }
+
+    if (breaker_ != nullptr && !breaker_->Allow(dest_uri)) {
+      // Open circuit: fail locally, no dial. (Allow() already counted the
+      // short circuit.) Distinct from a transport failure so callers can
+      // tell "refused locally" from "tried and failed".
+      last_error =
+          Status::NetworkError("circuit open: refusing to dial " + dest_uri);
+      break;
     }
 
     auto result = inner_->Post(dest_uri, body);

@@ -243,6 +243,49 @@ void RpcMetrics::RecordBreakerShortCircuit(const std::string& peer) {
   ++breaker_.short_circuits;
 }
 
+void RpcMetrics::RecordBreakerProbeAbandoned() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++breaker_.probes_abandoned;
+}
+
+void RpcMetrics::RecordFailoverAttempt(const std::string& from_peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failover_.attempts;
+  ++failover_.per_failed_peer[from_peer];
+}
+
+void RpcMetrics::RecordFailoverSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failover_.successes;
+}
+
+void RpcMetrics::RecordFailoverExhausted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failover_.exhausted;
+}
+
+void RpcMetrics::RecordStaleCatalogReject(const std::string& self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)self;
+  ++stale_.server_rejects;
+}
+
+void RpcMetrics::RecordStaleCatalogObserved() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stale_.observed;
+}
+
+void RpcMetrics::RecordStaleCatalogReroute() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stale_.reroutes;
+}
+
+void RpcMetrics::RecordRouteMiss(const std::string& collection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++route_.misses;
+  ++route_.per_collection[collection];
+}
+
 #define XRPC_METRICS_SUM(field)                          \
   std::lock_guard<std::mutex> lock(mu_);                 \
   int64_t total = 0;                                     \
@@ -414,6 +457,46 @@ int64_t RpcMetrics::breaker_short_circuits() const {
   return breaker_.short_circuits;
 }
 
+int64_t RpcMetrics::breaker_probe_abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.probes_abandoned;
+}
+
+int64_t RpcMetrics::failover_attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failover_.attempts;
+}
+
+int64_t RpcMetrics::failover_successes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failover_.successes;
+}
+
+int64_t RpcMetrics::failover_exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failover_.exhausted;
+}
+
+int64_t RpcMetrics::stale_catalog_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_.server_rejects;
+}
+
+int64_t RpcMetrics::stale_catalog_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_.observed;
+}
+
+int64_t RpcMetrics::stale_catalog_reroutes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_.reroutes;
+}
+
+int64_t RpcMetrics::route_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return route_.misses;
+}
+
 LatencyHistogram RpcMetrics::latency() const {
   std::lock_guard<std::mutex> lock(mu_);
   LatencyHistogram merged;
@@ -485,7 +568,23 @@ std::string RpcMetrics::Report() const {
   out += "  breaker: opens=" + FormatCount(breaker_.opens) +
          " half_opens=" + FormatCount(breaker_.half_opens) +
          " closes=" + FormatCount(breaker_.closes) +
-         " short_circuits=" + FormatCount(breaker_.short_circuits) + "\n";
+         " short_circuits=" + FormatCount(breaker_.short_circuits) +
+         " probes_abandoned=" + FormatCount(breaker_.probes_abandoned) + "\n";
+  out += "  failover: attempts=" + FormatCount(failover_.attempts) +
+         " successes=" + FormatCount(failover_.successes) +
+         " exhausted=" + FormatCount(failover_.exhausted);
+  for (const auto& [peer, n] : failover_.per_failed_peer) {
+    out += " from[" + peer + "]=" + FormatCount(n);
+  }
+  out += "\n";
+  out += "  stale-catalog: rejects=" + FormatCount(stale_.server_rejects) +
+         " observed=" + FormatCount(stale_.observed) +
+         " reroutes=" + FormatCount(stale_.reroutes) + "\n";
+  out += "  route: key_misses=" + FormatCount(route_.misses);
+  for (const auto& [collection, n] : route_.per_collection) {
+    out += " miss[" + collection + "]=" + FormatCount(n);
+  }
+  out += "\n";
   out += "  deadline: client_exceeded=" +
          FormatCount(deadline_.client_exceeded) +
          " server_rejects=" + FormatCount(deadline_.server_rejects) +
@@ -508,6 +607,9 @@ void RpcMetrics::Reset() {
   server_overloads_ = 0;
   deadline_ = DeadlineStats{};
   breaker_ = BreakerStats{};
+  failover_ = FailoverStats{};
+  stale_ = StaleCatalogStats{};
+  route_ = RouteStats{};
 }
 
 }  // namespace xrpc::net

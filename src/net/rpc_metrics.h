@@ -147,6 +147,31 @@ class RpcMetrics {
   /// A request toward `peer` was refused locally by an open circuit
   /// (no dial happened).
   void RecordBreakerShortCircuit(const std::string& peer);
+  /// Circuit breaker: an admitted half-open probe was abandoned without an
+  /// outcome (e.g. the deadline budget ran out before the dial) and the
+  /// probe slot was released back to the open state.
+  void RecordBreakerProbeAbandoned();
+
+  // -- Shard failover / catalog-fencing counters ---------------------------
+
+  /// Client side: a read-only shard subcall failed retriably at `from_peer`
+  /// and is being re-issued to the next replica.
+  void RecordFailoverAttempt(const std::string& from_peer);
+  /// Client side: a replica answered a subcall its primary could not.
+  void RecordFailoverSuccess();
+  /// Client side: every replica of a shard was exhausted; the subcall
+  /// failed with the last replica's error.
+  void RecordFailoverExhausted();
+  /// Server side: `self` fenced off a shard-routed call whose sender
+  /// decomposed against a different catalog version.
+  void RecordStaleCatalogReject(const std::string& self);
+  /// Client side: a StaleCatalog fault was observed on a subcall.
+  void RecordStaleCatalogObserved();
+  /// Client side: the shard map was refetched and the query re-routed.
+  void RecordStaleCatalogReroute();
+  /// Client side: Catalog::RouteKey could not place a key of `collection`
+  /// and the caller broadcast to every shard instead.
+  void RecordRouteMiss(const std::string& collection);
 
   // -- Aggregate accessors (totals over all peers) ------------------------
   int64_t requests() const;
@@ -186,6 +211,14 @@ class RpcMetrics {
   int64_t breaker_half_opens() const;
   int64_t breaker_closes() const;
   int64_t breaker_short_circuits() const;
+  int64_t breaker_probe_abandoned() const;
+  int64_t failover_attempts() const;
+  int64_t failover_successes() const;
+  int64_t failover_exhausted() const;
+  int64_t stale_catalog_rejects() const;
+  int64_t stale_catalog_observed() const;
+  int64_t stale_catalog_reroutes() const;
+  int64_t route_misses() const;
 
   /// Copy of the latency histogram aggregated over all peers.
   LatencyHistogram latency() const;
@@ -247,8 +280,30 @@ class RpcMetrics {
     int64_t half_opens = 0;
     int64_t closes = 0;
     int64_t short_circuits = 0;
+    int64_t probes_abandoned = 0;
   };
   BreakerStats breaker_;
+
+  struct FailoverStats {
+    int64_t attempts = 0;
+    int64_t successes = 0;
+    int64_t exhausted = 0;
+    std::map<std::string, int64_t> per_failed_peer;  ///< by primary URI
+  };
+  FailoverStats failover_;
+
+  struct StaleCatalogStats {
+    int64_t server_rejects = 0;
+    int64_t observed = 0;
+    int64_t reroutes = 0;
+  };
+  StaleCatalogStats stale_;
+
+  struct RouteStats {
+    int64_t misses = 0;
+    std::map<std::string, int64_t> per_collection;
+  };
+  RouteStats route_;
 
   struct ServerStats {
     int64_t requests = 0;

@@ -72,6 +72,13 @@ void SimulatedNetwork::ResetStats() {
 StatusOr<PostResult> SimulatedNetwork::Post(const std::string& dest_uri,
                                             const std::string& body) {
   XRPC_ASSIGN_OR_RETURN(XrpcUri uri, ParseXrpcUri(dest_uri));
+  if (post_hook_) {
+    // The hook runs before mu_ so it may mutate membership (Disconnect /
+    // RegisterPeer) and have the change observed by this very Post.
+    post_hook_(post_serial_.fetch_add(1, std::memory_order_relaxed) + 1);
+  } else {
+    post_serial_.fetch_add(1, std::memory_order_relaxed);
+  }
   SoapEndpoint* endpoint = nullptr;
   bool truncate_response = false;
   int64_t spike_us = 0;

@@ -1,8 +1,10 @@
 #ifndef XRPC_NET_SIMULATED_NETWORK_H_
 #define XRPC_NET_SIMULATED_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -98,6 +100,15 @@ class SimulatedNetwork : public Transport {
   /// Optional metrics registry receiving RecordInjectedFault() events.
   void set_metrics(RpcMetrics* metrics) { metrics_ = metrics; }
 
+  /// Deterministic membership-chaos hook: invoked at the start of every
+  /// Post() with a monotonically increasing 1-based serial (NOT reset by
+  /// set_fault_profile), before any network lock is taken — so the hook may
+  /// call back into DisconnectPeer / RegisterPeer / set_fault_profile to
+  /// mutate membership at an exact point of the request schedule. The
+  /// mutation takes effect for the very Post carrying the serial.
+  using PostHook = std::function<void(int64_t serial)>;
+  void set_post_hook(PostHook hook) { post_hook_ = std::move(hook); }
+
   StatusOr<PostResult> Post(const std::string& dest_uri,
                             const std::string& body) override;
 
@@ -137,6 +148,8 @@ class SimulatedNetwork : public Transport {
   FaultProfile fault_profile_;
   DeterministicPrng fault_prng_;
   int64_t fault_serial_ = 0;  ///< Post() count since set_fault_profile
+  std::atomic<int64_t> post_serial_{0};  ///< lifetime Post() count (hook arg)
+  PostHook post_hook_;
   int64_t faults_injected_ = 0;
   int parallel_depth_ = 0;        ///< open BeginParallelGroup nesting level
   int64_t group_start_us_ = 0;    ///< clock reading at the outermost Begin

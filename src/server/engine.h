@@ -25,11 +25,21 @@ class BulkRpcChannel {
   struct Destination {
     std::string dest_uri;
     soap::XrpcRequest request;
+    /// Replica peers to try in order when `dest_uri` fails retriably
+    /// (dial failure, per-attempt timeout, open breaker). Populated from
+    /// the catalog's replica lists for shard-routed read-only subcalls;
+    /// updating requests never fail over (at-most-once, Section 4.4).
+    std::vector<std::string> fallback_uris;
   };
 
   /// Executes all requests; result[i] corresponds to destinations[i].
   virtual StatusOr<std::vector<soap::XrpcResponse>> ExecuteBulkAll(
       std::vector<Destination> destinations) = 0;
+
+  /// Observability hook: the caller saw a StaleCatalog reject, refetched
+  /// the shard map, and is re-dispatching. The compiler layer cannot link
+  /// the metrics registry directly (layering), so the channel records it.
+  virtual void NoteStaleReroute() {}
 };
 
 /// Everything an engine needs to execute one XRPC request: the database

@@ -66,6 +66,19 @@ StatusOr<xml::NodePtr> ShardDocumentProvider::GetDocument(
     return doc;
   }
   if (base_ == nullptr) return Status::NotFound("document not found: " + uri);
+  auto pinned = pinned_.find(uri);
+  if (pinned != pinned_.end()) {
+    // The request's xrpc:shard scope names the exact fragment this logical
+    // name must resolve to here (replica peers hold several fragments).
+    auto doc = base_->GetDocument(pinned->second);
+    if (!doc.ok()) {
+      return Status(doc.status().code(),
+                    "pinned fragment " + pinned->second + " of " + uri + ": " +
+                        doc.status().message());
+    }
+    cache_[uri] = doc.value();
+    return doc;
+  }
   auto direct = base_->GetDocument(uri);
   if (direct.ok() || direct.status().code() != StatusCode::kNotFound ||
       catalog_ == nullptr) {

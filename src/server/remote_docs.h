@@ -66,6 +66,15 @@ class ShardDocumentProvider : public xquery::DocumentProvider {
 
   StatusOr<xml::NodePtr> GetDocument(const std::string& uri) override;
 
+  /// Pins the resolution of one logical collection name to one exact
+  /// fragment — the xrpc:shard scope of the request being served. A
+  /// replica peer stores several fragments of the same collection, so
+  /// "resolve the logical name to the local fragment" is ambiguous there;
+  /// the scope says precisely which shard this subcall must read.
+  void PinFragment(const std::string& collection, const std::string& doc_name) {
+    pinned_[collection] = doc_name;
+  }
+
  private:
   /// Fetches the collection's fragments (all, or only those at self_uri_)
   /// and splices them in shard order.
@@ -75,6 +84,7 @@ class ShardDocumentProvider : public xquery::DocumentProvider {
   xquery::DocumentProvider* base_;
   const core::Catalog* catalog_;
   std::string self_uri_;
+  std::map<std::string, std::string> pinned_;  ///< collection -> fragment
   std::map<std::string, xml::NodePtr> cache_;
 };
 

@@ -17,56 +17,90 @@ StatusOr<xdm::Sequence> RpcClient::Execute(const xquery::RpcCall& call) {
 
   // Resolve a logical "shard:<collection>" destination against the peer
   // catalog: prune to the owning shard when the routing parameter is a
-  // singleton, otherwise broadcast to every shard peer and concatenate the
-  // per-shard results in shard order (the interpreter-side counterpart of
-  // the compiler's scatter-gather decomposition).
-  std::string dest_uri = call.dest_uri;
-  if (core::Catalog::IsShardUri(dest_uri)) {
+  // singleton, otherwise broadcast one shard-scoped call per shard and
+  // concatenate the per-shard results in shard order (the interpreter-side
+  // counterpart of the compiler's scatter-gather decomposition). On a
+  // StaleCatalog reject (the catalog changed between decomposition and
+  // admission at a peer) the shard map is refetched and the whole
+  // resolution re-run exactly once.
+  if (core::Catalog::IsShardUri(call.dest_uri)) {
     if (options_.catalog == nullptr) {
       return Status::EvalError("no peer catalog configured for destination " +
-                               dest_uri);
+                               call.dest_uri);
     }
-    const core::ShardedCollection* collection =
-        options_.catalog->Find(core::Catalog::CollectionOf(dest_uri));
-    if (collection == nullptr || collection->shards.empty()) {
-      return Status::EvalError("unknown sharded collection: " + dest_uri);
-    }
-    int routed = -1;
-    if (collection->route_param >= 0 &&
-        collection->route_param < static_cast<int>(call.args.size()) &&
-        call.args[collection->route_param].size() == 1) {
-      auto r = options_.catalog->RouteKey(
-          *collection,
-          call.args[collection->route_param][0].Atomize().ToString());
-      if (r.ok()) routed = r.value();
-    }
-    if (routed >= 0) {
-      dest_uri = collection->shards[routed].peer_uri;
-    } else {
+    StatusOr<xdm::Sequence> result = Status::Internal("shard routing skipped");
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      core::ShardedCollection collection;
+      int64_t version = 0;
+      if (!options_.catalog->Snapshot(
+              core::Catalog::CollectionOf(call.dest_uri), &collection,
+              &version) ||
+          collection.shards.empty()) {
+        return Status::EvalError("unknown sharded collection: " +
+                                 call.dest_uri);
+      }
+      int routed = -1;
+      if (collection.route_param >= 0 &&
+          collection.route_param < static_cast<int>(call.args.size()) &&
+          call.args[collection.route_param].size() == 1) {
+        auto r = options_.catalog->RouteKey(
+            collection,
+            call.args[collection.route_param][0].Atomize().ToString());
+        if (r.ok()) routed = r.value();
+      }
       std::vector<Destination> destinations;
-      std::set<std::string> seen;
-      for (const core::ShardInfo& s : collection->shards) {
-        if (!seen.insert(s.peer_uri).second) continue;
-        destinations.push_back({s.peer_uri, request});
+      auto add_shard = [&](const core::ShardInfo& s) {
+        Destination d;
+        d.dest_uri = s.peer_uri;
+        d.request = request;
+        d.request.shard =
+            soap::XrpcRequest::ShardScope{collection.name, s.index, version};
+        d.fallback_uris = s.replicas;
+        destinations.push_back(std::move(d));
+      };
+      if (routed >= 0) {
+        add_shard(collection.shards[routed]);
+      } else {
+        for (const core::ShardInfo& s : collection.shards) add_shard(s);
       }
-      XRPC_ASSIGN_OR_RETURN(std::vector<soap::XrpcResponse> responses,
-                            ExecuteBulkAll(std::move(destinations)));
-      xdm::Sequence merged;
-      for (soap::XrpcResponse& response : responses) {
-        if (response.results.size() != 1) {
-          return Status::SoapFault("expected 1 result sequence, got " +
-                                   std::to_string(response.results.size()));
+      auto responses = ExecuteBulkAll(std::move(destinations));
+      if (!responses.ok()) {
+        result = responses.status();
+      } else {
+        xdm::Sequence merged;
+        Status merge_status = Status::OK();
+        for (soap::XrpcResponse& response : *responses) {
+          if (response.results.size() != 1) {
+            merge_status = Status::SoapFault(
+                "expected 1 result sequence, got " +
+                std::to_string(response.results.size()));
+            break;
+          }
+          for (xdm::Item& item : response.results[0]) {
+            merged.push_back(std::move(item));
+          }
         }
-        for (xdm::Item& item : response.results[0]) {
-          merged.push_back(std::move(item));
+        if (merge_status.ok()) {
+          result = std::move(merged);
+        } else {
+          result = std::move(merge_status);
         }
       }
-      return merged;
+      if (result.ok() ||
+          result.status().code() != StatusCode::kStaleCatalog ||
+          attempt > 0) {
+        return result;
+      }
+      // Fenced: refetch the shard map (the Snapshot at the top of the next
+      // iteration) and re-route once. Safe even for updating calls — a
+      // StaleCatalog reject happens before the peer executes anything.
+      if (net::RpcMetrics* m = EventMetrics()) m->RecordStaleCatalogReroute();
     }
+    return result;
   }
 
   XRPC_ASSIGN_OR_RETURN(soap::XrpcResponse response,
-                        ExecuteBulk(dest_uri, std::move(request)));
+                        ExecuteBulk(call.dest_uri, std::move(request)));
   if (response.results.size() != 1) {
     return Status::SoapFault("expected 1 result sequence, got " +
                              std::to_string(response.results.size()));
@@ -82,6 +116,49 @@ StatusOr<soap::XrpcResponse> RpcClient::ExecuteBulk(
   return response;
 }
 
+StatusOr<soap::XrpcResponse> RpcClient::ExchangeWithFailover(
+    const Destination& dest, ExchangeStats* stats) const {
+  auto result = ExchangeOnce(dest.dest_uri, dest.request, stats);
+  if (result.ok()) return result;
+  net::RpcMetrics* m = EventMetrics();
+  if (result.status().code() == StatusCode::kStaleCatalog) {
+    // The peer fenced us off: every replica shares the catalog, so trying
+    // the next one would be rejected identically. Surface the fault so the
+    // decomposition layer refetches the shard map and re-routes.
+    if (m != nullptr) m->RecordStaleCatalogObserved();
+    return result;
+  }
+  if (dest.fallback_uris.empty()) return result;
+  if (dest.request.updating) {
+    // At-most-once: an updating envelope may have reached (and changed)
+    // the primary even though no answer came back; re-issuing it to a
+    // replica could apply the update twice. The subcall fails instead.
+    return result;
+  }
+  const std::string* failed_at = &dest.dest_uri;
+  for (const std::string& replica : dest.fallback_uris) {
+    // Only transport-level failures are worth a replica: a dial refusal,
+    // an abandoned timeout, or a breaker-open local refusal. Budget
+    // exhaustion (kDeadlineExceeded) is final — there is no time left to
+    // spend on another candidate — and any answered fault means the shard
+    // itself (not the peer) is the problem.
+    if (result.status().code() != StatusCode::kNetworkError) return result;
+    if (m != nullptr) m->RecordFailoverAttempt(*failed_at);
+    result = ExchangeOnce(replica, dest.request, stats);
+    if (result.ok()) {
+      if (m != nullptr) m->RecordFailoverSuccess();
+      return result;
+    }
+    if (result.status().code() == StatusCode::kStaleCatalog) {
+      if (m != nullptr) m->RecordStaleCatalogObserved();
+      return result;
+    }
+    failed_at = &replica;
+  }
+  if (m != nullptr) m->RecordFailoverExhausted();
+  return result;
+}
+
 StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
     std::vector<Destination> destinations) {
   const size_t n = destinations.size();
@@ -89,12 +166,12 @@ StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
   if (n == 1) {
     // A one-destination "group" has no fan-out to bracket; keep the plain
     // single-exchange path (and its clock semantics) byte-identical.
-    XRPC_ASSIGN_OR_RETURN(
-        soap::XrpcResponse response,
-        ExecuteBulk(destinations[0].dest_uri,
-                    std::move(destinations[0].request)));
+    ExchangeStats stats;
+    auto response = ExchangeWithFailover(destinations[0], &stats);
+    MergeStats(stats, stats.network_micros);
+    if (!response.ok()) return response.status();
     std::vector<soap::XrpcResponse> responses;
-    responses.push_back(std::move(response));
+    responses.push_back(std::move(response).value());
     return responses;
   }
 
@@ -113,9 +190,7 @@ StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
       for (size_t i = 0; i < n; ++i) {
         pool->Submit([this, i, &destinations, &results, &stats, &done_mu,
                       &done_cv, &done] {
-          results[i] = ExchangeOnce(destinations[i].dest_uri,
-                                    std::move(destinations[i].request),
-                                    &stats[i]);
+          results[i] = ExchangeWithFailover(destinations[i], &stats[i]);
           std::lock_guard<std::mutex> lock(done_mu);
           ++done;
           done_cv.notify_one();
@@ -128,9 +203,7 @@ StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
       // fault schedule sees destinations in a fixed order. Every
       // destination is still attempted even after a failure.
       for (size_t i = 0; i < n; ++i) {
-        results[i] = ExchangeOnce(destinations[i].dest_uri,
-                                  std::move(destinations[i].request),
-                                  &stats[i]);
+        results[i] = ExchangeWithFailover(destinations[i], &stats[i]);
       }
     }
   }

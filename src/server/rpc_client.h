@@ -106,6 +106,12 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
   StatusOr<std::vector<soap::XrpcResponse>> ExecuteBulkAll(
       std::vector<Destination> destinations) override;
 
+  /// BulkRpcChannel: counts a refetch-and-re-route after a StaleCatalog
+  /// fence into the shared metrics registry.
+  void NoteStaleReroute() override {
+    if (net::RpcMetrics* m = EventMetrics()) m->RecordStaleCatalogReroute();
+  }
+
   /// Peers that participated in calls made through this client
   /// (transitively, via response piggybacking). Includes direct callees.
   /// Only stable once no ExecuteBulkAll is in flight.
@@ -143,6 +149,24 @@ class RpcClient : public xquery::RpcHandler, public BulkRpcChannel {
   StatusOr<soap::XrpcResponse> ExchangeOnce(const std::string& dest_uri,
                                             soap::XrpcRequest request,
                                             ExchangeStats* stats) const;
+
+  /// ExchangeOnce plus replica failover (DESIGN.md §14): on a retriable
+  /// failure (kNetworkError — dial refusal, abandoned timeout, open
+  /// breaker) of a NON-updating request, re-issues the exchange to the
+  /// next fallback URI, re-stamping the remaining deadline budget per
+  /// candidate. Updating requests never fail over (at-most-once), and a
+  /// StaleCatalog fault is returned immediately — every replica shares the
+  /// catalog, so re-dialing cannot help; the caller re-routes instead.
+  StatusOr<soap::XrpcResponse> ExchangeWithFailover(const Destination& dest,
+                                                    ExchangeStats* stats) const;
+
+  /// Registry for failover / stale-catalog counters: the fan-out registry
+  /// when wired (it aliases the network-wide one), else the per-exchange
+  /// registry, else null.
+  net::RpcMetrics* EventMetrics() const {
+    return options_.dispatch_metrics != nullptr ? options_.dispatch_metrics
+                                                : options_.metrics;
+  }
 
   /// Folds exchange accounting into the client tallies (mu_).
   /// `network_micros` is passed separately: serial callers add the

@@ -117,6 +117,58 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
     cancel_token.ArmDeadline(entry_us + *request.deadline_us, now_us_);
   }
 
+  // Catalog epoch fence (DESIGN.md §14). A shard-routed request carries the
+  // catalog version its sender decomposed by; any difference means the
+  // sender's routing may be wrong, so the call is rejected with the
+  // retriable StaleCatalog fault BEFORE any execution — which is what makes
+  // a re-route safe even for updating calls. On success the scope pins the
+  // logical collection name to the exact fragment this subcall must read
+  // (a replica peer stores several fragments of the same collection).
+  std::optional<std::pair<std::string, std::string>> pinned_fragment;
+  if (request.shard.has_value()) {
+    const soap::XrpcRequest::ShardScope& scope = *request.shard;
+    auto stale_reply = [&](const std::string& why) {
+      if (metrics_ != nullptr) {
+        metrics_->RecordStaleCatalogReject(options_.self_uri);
+      }
+      return fault_reply(Status::StaleCatalog(why));
+    };
+    if (options_.catalog == nullptr) {
+      return fault_reply(Status::InvalidArgument(
+          "shard-scoped request at catalog-less peer " + options_.self_uri));
+    }
+    core::ShardedCollection collection;
+    int64_t version = 0;
+    const bool known =
+        options_.catalog->Snapshot(scope.collection, &collection, &version);
+    if (version != scope.catalog_version) {
+      return stale_reply("peer " + options_.self_uri + " at catalog version " +
+                         std::to_string(version) + ", caller routed by " +
+                         std::to_string(scope.catalog_version));
+    }
+    // Equal versions but an unknown collection / out-of-range shard can
+    // still happen across independent catalogs whose counters coincide;
+    // treat it as the same fence (the caller refetches and re-routes).
+    if (!known || scope.shard_index < 0 ||
+        scope.shard_index >= static_cast<int>(collection.shards.size())) {
+      return stale_reply("shard " + std::to_string(scope.shard_index) +
+                         " of collection " + scope.collection +
+                         " unknown at " + options_.self_uri);
+    }
+    const core::ShardInfo& shard = collection.shards[scope.shard_index];
+    bool serves = shard.peer_uri == options_.self_uri;
+    for (const std::string& replica : shard.replicas) {
+      serves = serves || replica == options_.self_uri;
+    }
+    if (!serves) {
+      return stale_reply("peer " + options_.self_uri +
+                         " holds no replica of shard " +
+                         std::to_string(scope.shard_index) + " of " +
+                         scope.collection);
+    }
+    pinned_fragment.emplace(collection.name, shard.doc_name);
+  }
+
   // Choose the database view per the isolation level of the request.
   QuerySession* session = nullptr;
   std::unique_ptr<xquery::DocumentProvider> provider;
@@ -159,6 +211,9 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
   // module body calls doc("<collection>") and sees its local fragments.
   ShardDocumentProvider sharded(&federated, options_.catalog,
                                 options_.self_uri);
+  if (pinned_fragment.has_value()) {
+    sharded.PinFragment(pinned_fragment->first, pinned_fragment->second);
+  }
 
   CallContext context;
   context.documents = &sharded;

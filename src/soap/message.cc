@@ -137,11 +137,24 @@ std::string SerializeRequest(const XrpcRequest& request) {
     req->AppendChild(std::move(call_elem));
   }
   NodePtr header;
-  if (request.deadline_us.has_value()) {
+  if (request.deadline_us.has_value() || request.shard.has_value()) {
     header = Node::NewElement(EnvName("Header"));
+  }
+  if (request.deadline_us.has_value()) {
     NodePtr deadline = Node::NewElement(XrpcName("deadline"));
     deadline->AppendChild(Node::NewText(std::to_string(*request.deadline_us)));
     header->AppendChild(std::move(deadline));
+  }
+  if (request.shard.has_value()) {
+    const XrpcRequest::ShardScope& scope = *request.shard;
+    NodePtr shard = Node::NewElement(XrpcName("shard"));
+    shard->SetAttribute(
+        Node::NewAttribute(QName("collection"), scope.collection));
+    shard->SetAttribute(
+        Node::NewAttribute(QName("index"), std::to_string(scope.shard_index)));
+    shard->SetAttribute(Node::NewAttribute(
+        QName("catalog-version"), std::to_string(scope.catalog_version)));
+    header->AppendChild(std::move(shard));
   }
   return SerializeEnvelope(NewEnvelope(std::move(req), std::move(header)));
 }
@@ -162,14 +175,41 @@ StatusOr<XrpcRequest> ParseRequest(std::string_view text) {
   if (const Node* header = FindHeader(*doc)) {
     for (const NodePtr& c : header->children()) {
       if (c->kind() != NodeKind::kElement) continue;
-      if (c->name() != XrpcName("deadline")) continue;
-      auto budget = ParseInt64(c->StringValue());
-      if (!budget.ok() || budget.value() < 0) {
-        return Status::InvalidArgument(
-            "SOAP: malformed xrpc:deadline header: \"" + c->StringValue() +
-            "\" (expected non-negative micros)");
+      if (c->name() == XrpcName("deadline")) {
+        auto budget = ParseInt64(c->StringValue());
+        if (!budget.ok() || budget.value() < 0) {
+          return Status::InvalidArgument(
+              "SOAP: malformed xrpc:deadline header: \"" + c->StringValue() +
+              "\" (expected non-negative micros)");
+        }
+        out.deadline_us = budget.value();
+        continue;
       }
-      out.deadline_us = budget.value();
+      if (c->name() == XrpcName("shard")) {
+        XrpcRequest::ShardScope scope;
+        const Node* col = c->FindAttribute(QName("collection"));
+        const Node* idx = c->FindAttribute(QName("index"));
+        const Node* ver = c->FindAttribute(QName("catalog-version"));
+        if (col == nullptr || idx == nullptr || ver == nullptr) {
+          return Status::InvalidArgument(
+              "SOAP: xrpc:shard header lacks collection/index/"
+              "catalog-version");
+        }
+        scope.collection = col->value();
+        auto index = ParseInt64(idx->value());
+        auto version = ParseInt64(ver->value());
+        if (scope.collection.empty() || !index.ok() || index.value() < 0 ||
+            !version.ok() || version.value() < 0) {
+          return Status::InvalidArgument(
+              "SOAP: malformed xrpc:shard header (collection=\"" +
+              scope.collection + "\" index=\"" + idx->value() +
+              "\" catalog-version=\"" + ver->value() + "\")");
+        }
+        scope.shard_index = static_cast<int>(index.value());
+        scope.catalog_version = version.value();
+        out.shard = std::move(scope);
+        continue;
+      }
     }
   }
   if (const Node* a = req->FindAttribute(QName("module"))) {
@@ -288,11 +328,19 @@ Status StatusFromFault(const Fault& fault) {
   // feeds deadline metrics) from a generic application fault.
   constexpr std::string_view kDeadlinePrefix = "DeadlineExceeded: ";
   constexpr std::string_view kCancelledPrefix = "Cancelled: ";
+  constexpr std::string_view kStaleCatalogPrefix = "StaleCatalog: ";
   if (fault.reason.rfind(kDeadlinePrefix, 0) == 0) {
     return Status::DeadlineExceeded(fault.reason.substr(kDeadlinePrefix.size()));
   }
   if (fault.reason.rfind(kCancelledPrefix, 0) == 0) {
     return Status::Cancelled(fault.reason.substr(kCancelledPrefix.size()));
+  }
+  // StaleCatalog is the epoch-fencing reject: the peer refused BEFORE
+  // executing anything, so the caller may refetch the shard map and
+  // re-route the very same call (even an updating one) without violating
+  // at-most-once.
+  if (fault.reason.rfind(kStaleCatalogPrefix, 0) == 0) {
+    return Status::StaleCatalog(fault.reason.substr(kStaleCatalogPrefix.size()));
   }
   return Status::SoapFault(fault.code + ": " + fault.reason);
 }

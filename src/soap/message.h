@@ -47,6 +47,22 @@ struct XrpcRequest {
   /// no deadline (pre-deadline peers interoperate: unknown headers are
   /// ignored on parse, and no header is emitted when unset).
   std::optional<int64_t> deadline_us;
+
+  /// Shard-routing scope (DESIGN.md §14), carried as an env:Header child
+  /// xrpc:shard. Present on every shard-routed subcall; it does two jobs:
+  ///  - epoch fencing: `catalog_version` is the sender's catalog version at
+  ///    decomposition time. A peer at a different version rejects with the
+  ///    retriable StaleCatalog fault instead of answering from a shard map
+  ///    the caller no longer routes by.
+  ///  - fragment pinning: a replica peer holds several fragments of the
+  ///    same collection, so "resolve the logical name to the local
+  ///    fragment" is ambiguous; the scope names the exact shard to serve.
+  struct ShardScope {
+    std::string collection;      ///< logical collection name
+    int shard_index = 0;         ///< which shard this subcall reads
+    int64_t catalog_version = 0; ///< sender's catalog version (fencing token)
+  };
+  std::optional<ShardScope> shard;
 };
 
 /// A SOAP XRPC response: one result sequence per call of the request, plus

@@ -1,5 +1,7 @@
 #include "xmark/shard_loader.h"
 
+#include <algorithm>
+
 #include "core/catalog.h"
 
 namespace xrpc::xmark {
@@ -41,9 +43,26 @@ StatusOr<ShardLoadResult> LoadShardedXmark(core::PeerNetwork* net,
     // document resolution maps the logical name to the local fragment.
     XRPC_RETURN_IF_ERROR(
         peer->RegisterModule(FunctionsBModuleSource(peer->uri())));
-    auctions_map.shards.push_back({k, peer->uri(), auctions_doc, 0, 0});
-    persons_map.shards.push_back({k, peer->uri(), persons_doc, 0, 0});
+    auctions_map.shards.push_back({k, peer->uri(), auctions_doc, 0, 0, {}});
+    persons_map.shards.push_back({k, peer->uri(), persons_doc, 0, 0, {}});
     result.peers.push_back(peer);
+  }
+
+  // Replica placement: copy r of shard k goes to the peer r positions
+  // after the primary in ring order, same fragment names — so a replica
+  // serves a shard-scoped subcall byte-identically to the primary.
+  const int copies =
+      std::min(std::max(options.replication_factor, 1), n);
+  for (int k = 0; k < n; ++k) {
+    for (int r = 1; r < copies; ++r) {
+      core::Peer* replica = result.peers[(k + r) % n];
+      XRPC_RETURN_IF_ERROR(replica->AddDocument(
+          auctions_map.shards[k].doc_name, auctions[k]));
+      XRPC_RETURN_IF_ERROR(replica->AddDocument(
+          persons_map.shards[k].doc_name, persons[k]));
+      auctions_map.shards[k].replicas.push_back(replica->uri());
+      persons_map.shards[k].replicas.push_back(replica->uri());
+    }
   }
 
   XRPC_RETURN_IF_ERROR(

@@ -18,6 +18,13 @@ struct ShardLoadOptions {
   core::EngineKind engine = core::EngineKind::kInterpreter;
   /// Shard peers are named "<peer_prefix>0" .. "<peer_prefix>N-1".
   std::string peer_prefix = "shard";
+  /// Total copies of every fragment, primary included. Copy r of shard k
+  /// (r = 1 .. replication_factor-1) is materialized at peer (k+r) mod
+  /// num_shards under the SAME fragment name and listed in the catalog's
+  /// replica set, so read-only subcalls can fail over to it when the
+  /// primary is unreachable (DESIGN.md §14). Clamped to num_shards;
+  /// 1 = no replication (the previous behavior).
+  int replication_factor = 1;
 };
 
 /// Handles to the loaded deployment.

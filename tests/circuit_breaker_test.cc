@@ -1,0 +1,147 @@
+// Regression tests of the per-peer circuit breaker's half-open probe
+// discipline (DESIGN.md §14): exactly one in-flight probe no matter how
+// many callers race Allow(), and no way to wedge the probe slot — neither
+// by abandoning a probe explicitly nor by exhausting a deadline budget
+// between Allow() and the dial (the RetryingTransport ordering bug this
+// file pins down).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/circuit_breaker.h"
+#include "net/retrying_transport.h"
+#include "net/transport.h"
+
+namespace xrpc::net {
+namespace {
+
+constexpr char kPeer[] = "xrpc://victim";
+
+/// Opens the circuit for kPeer by feeding `threshold` consecutive failures.
+void OpenCircuit(CircuitBreaker* breaker, int threshold) {
+  for (int i = 0; i < threshold; ++i) {
+    ASSERT_TRUE(breaker->Allow(kPeer));
+    breaker->RecordFailure(kPeer);
+  }
+  ASSERT_EQ(breaker->GetState(kPeer), CircuitBreaker::State::kOpen);
+  ASSERT_FALSE(breaker->Allow(kPeer));
+}
+
+TEST(CircuitBreakerTest, RacingAllowAdmitsExactlyOneProbe) {
+  // After the cooldown, many threads race Allow() against the open
+  // circuit. Half-open means ONE probe: exactly one caller may dial, the
+  // rest stay short-circuited until the probe reports back.
+  std::atomic<int64_t> now{0};
+  CircuitBreaker breaker({/*failure_threshold=*/2, /*cooldown_us=*/1000},
+                         [&now] { return now.load(); });
+  OpenCircuit(&breaker, 2);
+  now = 2000;  // past the cooldown: the next Allow() opens the probe window
+
+  constexpr int kThreads = 16;
+  std::atomic<int> admitted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      while (!go.load()) {
+      }
+      if (breaker.Allow(kPeer)) admitted.fetch_add(1);
+    });
+  }
+  go = true;
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kHalfOpen);
+
+  // The probe succeeds: the circuit closes and everyone is admitted again.
+  breaker.RecordSuccess(kPeer);
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(kPeer));
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeReleasesTheSlotWithoutCooldownReset) {
+  std::atomic<int64_t> now{0};
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown_us=*/1000},
+                         [&now] { return now.load(); });
+  OpenCircuit(&breaker, 1);
+  now = 1500;
+  ASSERT_TRUE(breaker.Allow(kPeer));          // admitted as the probe
+  ASSERT_FALSE(breaker.Allow(kPeer));         // slot occupied
+
+  // The probe never dials (caller bailed out): abandoning it must free the
+  // slot, and — because the original opened_at is kept — the already
+  // elapsed cooldown still counts, so the very next caller probes.
+  breaker.OnProbeAbandoned(kPeer);
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.Allow(kPeer));
+  breaker.RecordSuccess(kPeer);
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, AbandonIsANoOpOutsideHalfOpen) {
+  std::atomic<int64_t> now{0};
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown_us=*/1000},
+                         [&now] { return now.load(); });
+  breaker.OnProbeAbandoned(kPeer);  // closed: nothing to release
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(kPeer));
+  breaker.RecordFailure(kPeer);
+  breaker.OnProbeAbandoned(kPeer);  // open, no probe in flight: still a no-op
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kOpen);
+}
+
+/// Inner transport that always refuses the dial, counting attempts.
+class RefusingTransport : public Transport {
+ public:
+  StatusOr<PostResult> Post(const std::string&, const std::string&) override {
+    ++dials;
+    return Status::NetworkError("connection refused");
+  }
+  int dials = 0;
+};
+
+TEST(CircuitBreakerTest, BudgetExhaustedPostDoesNotWedgeHalfOpenProbe) {
+  // The regression this file exists for: RetryingTransport used to consult
+  // the breaker BEFORE checking the deadline budget. A request arriving
+  // with an exhausted budget was admitted as the half-open probe, then
+  // returned kDeadlineExceeded without dialing — and without reporting any
+  // outcome, leaving probe_in_flight set forever. The peer stayed
+  // short-circuited even after recovering.
+  std::atomic<int64_t> now{0};
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown_us=*/1000},
+                         [&now] { return now.load(); });
+  RefusingTransport inner;
+  RetryingTransport transport(&inner, RetryPolicy{.max_attempts = 1},
+                              /*metrics=*/nullptr, /*sleep=*/nullptr,
+                              /*jitter_seed=*/1, [&now] { return now.load(); });
+  transport.set_circuit_breaker(&breaker);
+
+  // One failed dial opens the circuit.
+  auto first = transport.Post(kPeer, "<q/>");
+  EXPECT_FALSE(first.ok());
+  ASSERT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kOpen);
+  now = 1500;  // cooldown elapsed: the next admitted caller is the probe
+
+  // A request whose end-to-end budget is already spent must be rejected
+  // WITHOUT consuming the probe slot (and without dialing).
+  const int dials_before = inner.dials;
+  auto spent = transport.Post(
+      kPeer, "<env><xrpc:deadline>0</xrpc:deadline></env>");
+  ASSERT_FALSE(spent.ok());
+  EXPECT_EQ(spent.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(inner.dials, dials_before);
+
+  // The probe slot is still free: a healthy follow-up request is admitted
+  // as the probe and (the peer having recovered) closes the circuit.
+  EXPECT_TRUE(breaker.Allow(kPeer));
+  breaker.RecordSuccess(kPeer);
+  EXPECT_EQ(breaker.GetState(kPeer), CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace xrpc::net

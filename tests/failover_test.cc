@@ -1,0 +1,256 @@
+// Integration tests of shard replica failover and catalog epoch fencing
+// (DESIGN.md §14). The central contracts: a read-only shard subcall whose
+// primary is unreachable re-issues to a replica and returns a result
+// byte-identical to the healthy run; an updating subcall NEVER fails over
+// (at-most-once); when no replica survives, the query fails with one clean
+// retriable-class fault within the deadline budget instead of hanging; and
+// a mid-flight catalog version bump fences every stamped request, causing
+// exactly one shard-map refetch + re-route.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/peer_network.h"
+#include "xdm/item.h"
+#include "xmark/shard_loader.h"
+#include "xmark/xmark.h"
+
+namespace xrpc::core {
+namespace {
+
+constexpr char kImportB[] =
+    "import module namespace b=\"functions_b\" at \"b.xq\";\n";
+
+// Key-less call: broadcasts one shard-scoped subcall per shard, so a dead
+// primary anywhere in the ring is on the query's critical path.
+const char kBroadcast[] = R"(execute at {"shard:auctions.xml"} {b:Q_B1()})";
+
+// Updating module used to prove at-most-once: each shard peer resolves
+// doc("auctions.xml") to its own fragment, so the insert lands locally.
+constexpr char kUpdModule[] = R"(
+  module namespace u = "upd_shard";
+  declare updating function u:stamp()
+  { insert nodes <stamp/> into doc("auctions.xml")/site };
+)";
+
+constexpr int kNumShards = 3;
+constexpr int64_t kDeadlineUs = 5'000'000;
+
+xmark::XmarkConfig SmallConfig() {
+  xmark::XmarkConfig cfg;
+  cfg.num_persons = 24;
+  cfg.num_closed_auctions = 40;
+  cfg.num_matches = 6;
+  cfg.annotation_bytes = 16;
+  return cfg;
+}
+
+struct Deployment {
+  std::unique_ptr<PeerNetwork> net;
+  Peer* p0 = nullptr;
+  std::vector<Peer*> shards;  ///< shard k's primary peer at index k
+};
+
+// Replicated ring deployment: `replication_factor` copies of every
+// fragment (copy r of shard k at peer (k+r) mod kNumShards), plus a p0
+// originator of the given engine.
+Deployment MakeDeployment(int replication_factor, EngineKind p0_engine) {
+  Deployment d;
+  d.net = std::make_unique<PeerNetwork>();
+  xmark::ShardLoadOptions opts;
+  opts.num_shards = kNumShards;
+  opts.replication_factor = replication_factor;
+  auto loaded = xmark::LoadShardedXmark(d.net.get(), SmallConfig(), opts);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  d.shards = loaded->peers;
+  d.p0 = d.net->AddPeer("p0", p0_engine);
+  EXPECT_TRUE(
+      d.p0->AddDocument("persons.xml", xmark::GeneratePersons(SmallConfig()))
+          .ok());
+  EXPECT_TRUE(d.p0
+                  ->RegisterModule(xmark::FunctionsBModuleSource(d.p0->uri()),
+                                   "b.xq")
+                  .ok());
+  return d;
+}
+
+std::string RunBroadcast(Deployment& d) {
+  ExecuteOptions opts;
+  opts.deadline_us = kDeadlineUs;
+  auto report = d.net->Execute("p0", std::string(kImportB) + kBroadcast, opts);
+  if (!report.ok()) return "ERROR: " + report.status().ToString();
+  return xdm::SequenceToString(report->result);
+}
+
+// The healthy-run result every surviving chaos run must reproduce byte for
+// byte. Computed once per engine from a fresh un-replicated deployment —
+// replica answers must be indistinguishable from primary answers.
+std::string HealthyBaseline(EngineKind engine) {
+  Deployment d = MakeDeployment(/*replication_factor=*/1, engine);
+  std::string out = RunBroadcast(d);
+  EXPECT_EQ(out.find("ERROR"), std::string::npos) << out;
+  EXPECT_FALSE(out.empty());
+  return out;
+}
+
+TEST(FailoverTest, DeadPrimaryFailsOverToReplicaByteIdentically) {
+  for (EngineKind engine :
+       {EngineKind::kRelational, EngineKind::kInterpreter}) {
+    const std::string baseline = HealthyBaseline(engine);
+    Deployment d = MakeDeployment(/*replication_factor=*/2, engine);
+    // Shard 0's primary goes dark; its replica (ring: peer 1) answers.
+    d.shards[0]->Disconnect();
+    EXPECT_EQ(RunBroadcast(d), baseline) << EngineKindToString(engine);
+    const net::RpcMetrics& m = d.net->metrics();
+    EXPECT_GE(m.failover_attempts(), 1) << EngineKindToString(engine);
+    EXPECT_GE(m.failover_successes(), 1) << EngineKindToString(engine);
+    EXPECT_EQ(m.failover_exhausted(), 0) << EngineKindToString(engine);
+    // The observability contract the soak harness greps for.
+    EXPECT_NE(m.Report().find("failover:"), std::string::npos);
+  }
+}
+
+TEST(FailoverTest, MidScatterKillFailsOverWithinDeadline) {
+  // The acceptance scenario: a replica-covered shard peer dies WHILE the
+  // scatter is in flight (after the first post went out), and the query
+  // still returns the byte-identical result within the deadline budget.
+  for (EngineKind engine :
+       {EngineKind::kRelational, EngineKind::kInterpreter}) {
+    const std::string baseline = HealthyBaseline(engine);
+    Deployment d = MakeDeployment(/*replication_factor=*/2, engine);
+    bool killed = false;
+    d.net->network().set_post_hook([&](int64_t serial) {
+      if (serial >= 2 && !killed) {
+        killed = true;
+        d.shards[2]->Disconnect();  // replica lives at peer (2+1) mod 3 = 0
+      }
+    });
+    const int64_t start_us = d.net->network().clock().NowMicros();
+    EXPECT_EQ(RunBroadcast(d), baseline) << EngineKindToString(engine);
+    const int64_t elapsed_us = d.net->network().clock().NowMicros() - start_us;
+    EXPECT_LE(elapsed_us, kDeadlineUs) << EngineKindToString(engine);
+    EXPECT_TRUE(killed);
+    EXPECT_GE(d.net->metrics().failover_successes(), 1)
+        << EngineKindToString(engine);
+  }
+}
+
+TEST(FailoverTest, AllReplicasDeadYieldsOneCleanFaultWithinBudget) {
+  // Shard 0 lives at peers 0 (primary) and 1 (replica); killing both
+  // leaves it uncovered. The query must fail — with a single retriable-
+  // class fault, inside the deadline budget, never a hang or a partial
+  // merge.
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kRelational);
+  d.shards[0]->Disconnect();
+  d.shards[1]->Disconnect();
+  ExecuteOptions opts;
+  opts.deadline_us = kDeadlineUs;
+  const int64_t start_us = d.net->network().clock().NowMicros();
+  auto report = d.net->Execute("p0", std::string(kImportB) + kBroadcast, opts);
+  const int64_t elapsed_us = d.net->network().clock().NowMicros() - start_us;
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().code() == StatusCode::kNetworkError ||
+              report.status().code() == StatusCode::kDeadlineExceeded)
+      << report.status();
+  EXPECT_LE(elapsed_us, kDeadlineUs + 1000);
+  // Shard 0 exhausted its candidate list. (Shard 1 — whose primary, peer 1,
+  // is also down — legitimately fails over to its live replica at peer 2;
+  // the query still fails on shard 0's fault.)
+  EXPECT_GE(d.net->metrics().failover_exhausted(), 1);
+}
+
+TEST(FailoverTest, UpdatingCallNeverFailsOver) {
+  // At-most-once: the updating envelope toward the dead primary may have
+  // reached it before the partition; re-issuing it to the replica could
+  // apply the insert twice. The subcall must fail — with ZERO failover
+  // attempts — even though a live replica holds the fragment.
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kInterpreter);
+  for (Peer* p : d.shards) {
+    ASSERT_TRUE(p->RegisterModule(kUpdModule, "u.xq").ok());
+  }
+  ASSERT_TRUE(d.p0->RegisterModule(kUpdModule, "u.xq").ok());
+  d.shards[0]->Disconnect();
+  ExecuteOptions opts;
+  opts.deadline_us = kDeadlineUs;
+  auto report = d.net->Execute(
+      "p0",
+      "import module namespace u=\"upd_shard\" at \"u.xq\";\n"
+      R"(execute at {"shard:auctions.xml"} {u:stamp()})",
+      opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNetworkError)
+      << report.status();
+  EXPECT_EQ(d.net->metrics().failover_attempts(), 0);
+  EXPECT_EQ(d.net->metrics().failover_successes(), 0);
+}
+
+TEST(FailoverTest, StaleEpochRejectReroutesExactlyOnce) {
+  // The catalog version bumps after the scatter was stamped but before the
+  // first request is admitted: every stamped request hits the epoch fence
+  // (retriable StaleCatalog), the client refetches the shard map and
+  // re-dispatches ONCE with the new version, and the result is still
+  // byte-identical.
+  for (EngineKind engine :
+       {EngineKind::kRelational, EngineKind::kInterpreter}) {
+    const std::string baseline = HealthyBaseline(engine);
+    Deployment d = MakeDeployment(/*replication_factor=*/2, engine);
+    bool bumped = false;
+    d.net->network().set_post_hook([&](int64_t) {
+      if (bumped) return;
+      bumped = true;
+      // An identical re-registration: only the version changes, so the
+      // single re-route must succeed.
+      ShardedCollection c;
+      int64_t version = 0;
+      ASSERT_TRUE(d.net->catalog().Snapshot("persons.xml", &c, &version));
+      ASSERT_TRUE(d.net->catalog().RegisterCollection(c).ok());
+    });
+    EXPECT_EQ(RunBroadcast(d), baseline) << EngineKindToString(engine);
+    EXPECT_TRUE(bumped);
+    const net::RpcMetrics& m = d.net->metrics();
+    EXPECT_GE(m.stale_catalog_rejects(), 1) << EngineKindToString(engine);
+    EXPECT_GE(m.stale_catalog_observed(), 1) << EngineKindToString(engine);
+    EXPECT_EQ(m.stale_catalog_reroutes(), 1) << EngineKindToString(engine);
+  }
+}
+
+TEST(FailoverTest, OpenBreakerSkipsStraightToReplica) {
+  // With a per-peer circuit breaker, the second query toward a dead
+  // primary never dials it: the breaker short-circuits locally and the
+  // failover path goes straight to the replica.
+  const std::string baseline = HealthyBaseline(EngineKind::kRelational);
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kRelational);
+  d.net->EnableCircuitBreaker(
+      {/*failure_threshold=*/1, /*cooldown_us=*/3'600'000'000});
+  d.shards[0]->Disconnect();
+  EXPECT_EQ(RunBroadcast(d), baseline);  // dial fails, opens the circuit
+  const int64_t short_circuits_before = d.net->metrics().breaker_short_circuits();
+  EXPECT_EQ(RunBroadcast(d), baseline);  // no dial: local refusal + failover
+  const net::RpcMetrics& m = d.net->metrics();
+  EXPECT_GE(m.breaker_opens(), 1);
+  EXPECT_GT(m.breaker_short_circuits(), short_circuits_before);
+  EXPECT_GE(m.failover_successes(), 2);
+}
+
+TEST(FailoverTest, RevivedPrimaryServesAgain) {
+  // Disconnect models a partition, not a crash: after Reconnect the
+  // primary answers again with its untouched state, no failover needed.
+  const std::string baseline = HealthyBaseline(EngineKind::kRelational);
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kRelational);
+  d.shards[0]->Disconnect();
+  EXPECT_EQ(RunBroadcast(d), baseline);
+  const int64_t attempts_after_failover = d.net->metrics().failover_attempts();
+  d.shards[0]->Reconnect();
+  EXPECT_EQ(RunBroadcast(d), baseline);
+  EXPECT_EQ(d.net->metrics().failover_attempts(), attempts_after_failover);
+}
+
+}  // namespace
+}  // namespace xrpc::core

@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 
+#include "fuzz/chaos.h"
 #include "fuzz/differential.h"
 #include "fuzz/generator.h"
 #include "fuzz/schedule.h"
@@ -139,6 +140,67 @@ TEST(FuzzScheduleSmokeTest, ScheduleReproRoundTripsAndReplays) {
   EXPECT_EQ(second.delta_z, first.delta_z);
   EXPECT_EQ(second.committed_known, first.committed_known);
   EXPECT_EQ(second.committed, first.committed);
+}
+
+TEST(ChaosSmokeTest, GridSliceHoldsAllInvariants) {
+  ChaosConfig config;
+  config.seed = 20260809;
+  ChaosExplorer explorer(config);
+  // A grid slice plus a sampled tail; the full soak runs through
+  // fuzz_schedules --chaos (EXPERIMENTS.md).
+  const int grid = explorer.GridSize();
+  int survived_with_failover = 0;
+  for (int i = 0; i < 48 && i < grid; ++i) {
+    ChaosResult r = explorer.RunSchedule(explorer.MakeSchedule(i));
+    EXPECT_TRUE(r.ok) << r.schedule.Describe() << "\n  "
+                      << (r.violations.empty() ? "" : r.violations[0]);
+    if (r.query_ok && r.failover_successes > 0) ++survived_with_failover;
+  }
+  for (int i = grid; i < grid + 16; ++i) {
+    ChaosResult r = explorer.RunSchedule(explorer.MakeSchedule(i));
+    EXPECT_TRUE(r.ok) << r.schedule.Describe() << "\n  "
+                      << (r.violations.empty() ? "" : r.violations[0]);
+  }
+  EXPECT_EQ(explorer.stats().violations, 0);
+  EXPECT_GT(explorer.stats().survived, 0);
+  // The slice must actually exercise failover, not only healthy runs.
+  EXPECT_GT(survived_with_failover, 0);
+}
+
+TEST(ChaosSmokeTest, SabotageSelfTestTripsByteIdentity) {
+  // A corrupted shard-0 primary fragment makes every surviving run diverge
+  // from the baseline; the byte-identity invariant must flag it (the
+  // detector is not vacuous). Schedule 0 is the chaos-free run.
+  ChaosConfig config;
+  config.seed = 1;
+  config.sabotage_divergence = true;
+  ChaosExplorer explorer(config);
+  ChaosResult r = explorer.RunSchedule(explorer.MakeSchedule(0));
+  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].substr(0, r.violations[0].find(':')),
+            "byte-identity");
+}
+
+TEST(ChaosSmokeTest, ChaosReproRoundTripsAndReplays) {
+  ChaosConfig config;
+  config.seed = 9;
+  ChaosExplorer explorer(config);
+  const int index = 33;
+  ChaosResult first = explorer.RunSchedule(explorer.MakeSchedule(index));
+
+  auto parsed = ParseChaosRepro(FormatChaosRepro(first));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().seed, 9u);
+  EXPECT_EQ(parsed.value().index, index);
+
+  ChaosSchedule again = explorer.MakeSchedule(parsed.value().index);
+  EXPECT_EQ(again.Describe(), first.schedule.Describe());
+  ChaosResult second = explorer.RunSchedule(again);
+  EXPECT_EQ(second.ok, first.ok);
+  EXPECT_EQ(second.query_ok, first.query_ok);
+  EXPECT_EQ(second.outcome, first.outcome);
+  EXPECT_EQ(second.elapsed_us, first.elapsed_us);
 }
 
 }  // namespace

@@ -3,9 +3,10 @@
 # tests under ThreadSanitizer (or the sanitizer given as $1) in a side
 # build directory and runs the suites that exercise the HttpServer
 # worker-pool / keep-alive threading paths, the parallel Bulk RPC
-# dispatch paths, the concurrent WAL / 2PC crash-recovery paths, plus the
+# dispatch paths, the concurrent WAL / 2PC crash-recovery paths, the
 # sharded-collection scatter-gather paths (whose per-shard Bulk RPCs ride
-# the parallel dispatch pool).
+# the parallel dispatch pool), plus the `failover` lane (replica failover,
+# catalog epoch fencing, circuit-breaker probe races; DESIGN.md §14).
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -20,4 +21,7 @@ cmake --build "$BUILD" -j
 cd "$BUILD"
 ctest --output-on-failure -j"$(nproc)" \
       -R 'HttpServer|HttpTransport|HttpPost|HttpIntegrationTest|Retry|FaultInjection|SimulatedNetwork|RpcMetrics|LatencyHistogram|Uri|BulkRetry|TxnLog|PulSerialization|TxnRecovery|ThreadPool|ParallelGroup|ParallelDispatch|RetryJitter|CancellationToken|CircuitBreaker|RetryingTransportDeadline|RetryingTransportBreaker|DeadlineChain|CatalogTest|ShardExecTest'
+# The failover lane by label: replica failover + epoch fencing
+# (failover_test) and the half-open probe races (circuit_breaker_test).
+ctest --output-on-failure -j"$(nproc)" -L failover
 echo "sanitize($SANITIZER): OK"

@@ -9,6 +9,14 @@
 //   fuzz_schedules --seed 7 --count 400 --wal-dir /tmp/walfuzz
 //   fuzz_schedules --replay sched-7-42.repro
 //
+// --chaos switches to the membership-chaos axis (DESIGN.md §14): the
+// read-only broadcast workload over a replicated sharded deployment,
+// under kill/revive/catalog-bump schedules, asserting byte-identity when
+// surviving replicas cover every shard and one clean fault when not.
+//
+//   fuzz_schedules --chaos --seed 7 --count 500
+//   fuzz_schedules --chaos --replay chaos-7-42.repro
+//
 // Exit status: 0 = every schedule satisfied all invariants; 1 = at least
 // one violation (repro file written); 2 = usage / replay input error.
 
@@ -18,10 +26,14 @@
 #include <sstream>
 #include <string>
 
+#include "fuzz/chaos.h"
 #include "fuzz/schedule.h"
 
 namespace {
 
+using xrpc::fuzz::ChaosConfig;
+using xrpc::fuzz::ChaosExplorer;
+using xrpc::fuzz::ChaosResult;
 using xrpc::fuzz::Schedule;
 using xrpc::fuzz::ScheduleConfig;
 using xrpc::fuzz::ScheduleExplorer;
@@ -29,11 +41,83 @@ using xrpc::fuzz::ScheduleResult;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: fuzz_schedules [--seed N] [--count N]\n"
+               "usage: fuzz_schedules [--chaos] [--seed N] [--count N]\n"
                "                      [--wal-dir DIR] [--out-dir DIR]\n"
                "                      [--sabotage] [--verbose]\n"
-               "       fuzz_schedules --replay FILE [--wal-dir DIR]\n");
+               "       fuzz_schedules [--chaos] --replay FILE [--wal-dir DIR]\n");
   return 2;
+}
+
+void PrintChaosResult(const ChaosResult& r) {
+  std::printf("chaos %d: %s\n", r.schedule.index,
+              r.schedule.Describe().c_str());
+  std::printf("  %s elapsed=%lldus failover=%lld reroutes=%lld\n",
+              r.query_ok ? "survived" : "faulted",
+              static_cast<long long>(r.elapsed_us),
+              static_cast<long long>(r.failover_successes),
+              static_cast<long long>(r.stale_reroutes));
+  for (const std::string& v : r.violations) {
+    std::printf("  VIOLATION %s\n", v.c_str());
+  }
+}
+
+int RunChaos(const ChaosConfig& config, int count, bool verbose,
+             const std::string& out_dir, const std::string& replay_path) {
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "fuzz_schedules: cannot open %s\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = xrpc::fuzz::ParseChaosRepro(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fuzz_schedules: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    ChaosConfig replay_config = config;
+    replay_config.seed = parsed.value().seed;
+    ChaosExplorer explorer(replay_config);
+    ChaosResult r =
+        explorer.RunSchedule(explorer.MakeSchedule(parsed.value().index));
+    PrintChaosResult(r);
+    return r.ok ? 0 : 1;
+  }
+
+  ChaosExplorer explorer(config);
+  int violations = 0;
+  std::printf("fuzz_schedules --chaos: seed=%llu grid=%d count=%d\n",
+              static_cast<unsigned long long>(config.seed),
+              explorer.GridSize(), count);
+  for (int i = 0; i < count; ++i) {
+    ChaosResult r = explorer.RunSchedule(explorer.MakeSchedule(i));
+    if (verbose) PrintChaosResult(r);
+    if (r.ok) continue;
+    ++violations;
+    if (!verbose) PrintChaosResult(r);
+    const std::string path = out_dir + "/chaos-" +
+                             std::to_string(r.schedule.seed) + "-" +
+                             std::to_string(r.schedule.index) + ".repro";
+    std::ofstream out(path);
+    out << xrpc::fuzz::FormatChaosRepro(r);
+    std::printf("  repro: %s\n", path.c_str());
+  }
+  const auto& s = explorer.stats();
+  std::printf(
+      "fuzz_schedules --chaos: explored=%lld survived=%lld clean_faults=%lld "
+      "failover=%lld reroutes=%lld violations=%lld\n",
+      static_cast<long long>(s.explored), static_cast<long long>(s.survived),
+      static_cast<long long>(s.clean_faults),
+      static_cast<long long>(s.failover_successes),
+      static_cast<long long>(s.stale_reroutes),
+      static_cast<long long>(s.violations));
+  if (config.sabotage_divergence) {
+    return violations > 0 ? 0 : 1;
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 void PrintResult(const ScheduleResult& r) {
@@ -54,6 +138,7 @@ int main(int argc, char** argv) {
   ScheduleConfig config;
   int count = 1000;
   bool verbose = false;
+  bool chaos = false;
   std::string out_dir = ".";
   std::string replay_path;
 
@@ -62,7 +147,9 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--seed") {
+    if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return Usage();
       config.seed = std::strtoull(v, nullptr, 10);
@@ -89,6 +176,13 @@ int main(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+
+  if (chaos) {
+    ChaosConfig chaos_config;
+    chaos_config.seed = config.seed;
+    chaos_config.sabotage_divergence = config.sabotage_double_apply;
+    return RunChaos(chaos_config, count, verbose, out_dir, replay_path);
   }
 
   if (!replay_path.empty()) {
