@@ -1,0 +1,228 @@
+// Morsel-parallel executor speedup curve (DESIGN.md §15): large-document
+// path + filter + join queries evaluated by the loop-lifted engine at
+// exec_threads ∈ {1, 2, 4, 8}, reporting
+//
+//   - byte-identity: the rendered result at every worker count must equal
+//     the serial result exactly (the executor's core contract);
+//   - measured wall clock per worker count (honest, host-bound: on a
+//     single-core container the measured curve is flat or worse — threads
+//     time-share one CPU);
+//   - a modeled speedup curve: with exec sampling on, RpcMetrics retains
+//     the per-morsel busy times of every operator invocation; a greedy
+//     earliest-free-worker schedule over those times yields the k-worker
+//     makespan, i.e. the speedup of the parallelizable portion on a host
+//     with k real cores (EXPERIMENTS.md documents the methodology).
+//
+// Results land in BENCH_parallel_exec.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+#include "bench/bench_util.h"
+#include "compiler/loop_lift.h"
+#include "net/rpc_metrics.h"
+#include "server/database.h"
+#include "shred/shredded_doc.h"
+#include "xdm/item.h"
+#include "xmark/xmark.h"
+#include "xquery/parser.h"
+
+namespace {
+
+using xrpc::StopWatch;
+
+// FLWOR-shaped so every binding is its own loop iteration: iter-aligned
+// morsel splitting needs many iter groups, and a bare path over one
+// document is a single group (stays one morsel by design).
+struct BenchQuery {
+  const char* name;
+  const char* text;
+};
+
+const BenchQuery kQueries[] = {
+    // path steps + per-iteration string extraction over every auction
+    {"path",
+     "for $ca in doc(\"auctions.xml\")//closed_auction "
+     "return string($ca/annotation)"},
+    // comparison predicate filtering the large side
+    {"filter",
+     "for $ca in doc(\"auctions.xml\")//closed_auction "
+     "where $ca/price > 100 return string($ca/buyer/@person)"},
+    // equality join of persons against the large auction side
+    {"join",
+     "for $p in doc(\"persons.xml\")//person, "
+     "$ca in doc(\"auctions.xml\")//closed_auction "
+     "where $p/@id = $ca/buyer/@person "
+     "return string($ca/annotation)"},
+};
+
+constexpr int kWorkers[] = {1, 2, 4, 8};
+constexpr size_t kMorselRows = 128;
+constexpr int kReps = 3;
+
+struct RunResult {
+  int64_t wall_us = 0;  ///< best-of-reps measured wall clock
+  std::string result;   ///< rendered sequence
+  std::vector<std::vector<int64_t>> batches;  ///< per-morsel times (sampled)
+};
+
+// Greedy earliest-free-worker makespan of one operator invocation's
+// morsels on k workers — morsels are issued in order, exactly as the
+// executor submits them to the pool's FIFO queue.
+int64_t Makespan(const std::vector<int64_t>& morsel_us, int k) {
+  std::vector<int64_t> free_at(static_cast<size_t>(k), 0);
+  for (int64_t t : morsel_us) {
+    auto it = std::min_element(free_at.begin(), free_at.end());
+    *it += t;
+  }
+  return *std::max_element(free_at.begin(), free_at.end());
+}
+
+}  // namespace
+
+int main() {
+  // Large-document fixture: the auctions side dominates (the paper's
+  // 50 MB auctions.xml scaled to keep an in-process run in seconds).
+  xrpc::xmark::XmarkConfig cfg;
+  cfg.num_persons = 500;
+  cfg.num_closed_auctions = 6000;
+  cfg.num_matches = 300;
+  cfg.annotation_bytes = 96;
+
+  xrpc::server::Database db;
+  if (!db.PutDocumentText("persons.xml", xrpc::xmark::GeneratePersons(cfg))
+           .ok() ||
+      !db.PutDocumentText("auctions.xml", xrpc::xmark::GenerateAuctions(cfg))
+           .ok()) {
+    std::fprintf(stderr, "bench_parallel_exec: fixture generation failed\n");
+    return 1;
+  }
+  xrpc::server::LiveDocumentProvider docs(&db);
+  xrpc::shred::ShredCache shreds;  // shared: shredding amortizes across runs
+
+  auto run = [&](const BenchQuery& q, int threads,
+                 bool sample) -> RunResult {
+    RunResult r;
+    auto parsed = xrpc::xquery::ParseMainModule(q.text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_parallel_exec: parse %s: %s\n", q.name,
+                   parsed.status().ToString().c_str());
+      return r;
+    }
+    xrpc::net::RpcMetrics metrics;
+    metrics.set_exec_sampling(sample);
+    r.wall_us = -1;
+    for (int rep = 0; rep < kReps; ++rep) {
+      xrpc::compiler::LoopLiftConfig config;
+      config.documents = &docs;
+      config.shreds = &shreds;
+      config.exec_threads = threads;
+      config.morsel_rows = kMorselRows;
+      config.metrics = &metrics;
+      xrpc::compiler::LoopLiftedEvaluator evaluator(config);
+      StopWatch wall;
+      auto result = evaluator.EvaluateQuery(parsed.value());
+      int64_t us = wall.ElapsedMicros();
+      if (!result.ok()) {
+        std::fprintf(stderr, "bench_parallel_exec: %s: %s\n", q.name,
+                     result.status().ToString().c_str());
+        return r;
+      }
+      if (r.wall_us < 0 || us < r.wall_us) r.wall_us = us;
+      r.result = xrpc::xdm::SequenceToString(result.value());
+    }
+    if (sample) r.batches = metrics.exec_morsel_batches();
+    return r;
+  };
+
+  std::FILE* json = std::fopen("BENCH_parallel_exec.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_parallel_exec: cannot open json output\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"morsel_rows\": %zu,\n  \"queries\": [\n",
+               kMorselRows);
+
+  std::printf(
+      "Morsel-parallel executor — %d closed auctions, %d persons,\n"
+      "morsel target %zu rows. Modeled speedup = greedy k-worker makespan\n"
+      "over sampled per-morsel busy times (see EXPERIMENTS.md: measured\n"
+      "wall clock on this host is bounded by its physical cores).\n\n",
+      cfg.num_closed_auctions, cfg.num_persons, kMorselRows);
+
+  bool all_identical = true;
+  bool speedup_ok = true;
+  bool first_query = true;
+  for (const BenchQuery& q : kQueries) {
+    // Warm the shred cache so document shredding (one-time, cached) does
+    // not pollute the first measured run.
+    (void)run(q, 1, false);
+    RunResult serial = run(q, 1, false);
+    // Sample morsel times from an instrumented parallel run: serial
+    // execution never splits morsels, so the sampling run must be the
+    // widest configuration (morsel count is worker-independent).
+    RunResult sampled = run(q, 8, true);
+
+    int64_t busy_total = 0;
+    size_t total_morsels = 0;
+    for (const auto& batch : sampled.batches) {
+      for (int64_t t : batch) busy_total += t;
+      total_morsels += batch.size();
+    }
+
+    xrpc::bench::TablePrinter table(
+        {"workers", "wall", "modeled", "speedup(modeled)", "identical"});
+    if (!first_query) std::fprintf(json, ",\n");
+    first_query = false;
+    std::fprintf(json,
+                 "    {\"query\": \"%s\", \"ops_sampled\": %zu,\n"
+                 "     \"morsels\": %zu, \"busy_us\": %lld,\n"
+                 "     \"runs\": [",
+                 q.name, sampled.batches.size(), total_morsels,
+                 static_cast<long long>(busy_total));
+
+    double speedup8 = 0.0;
+    for (size_t wi = 0; wi < sizeof(kWorkers) / sizeof(kWorkers[0]); ++wi) {
+      int k = kWorkers[wi];
+      RunResult r = k == 1 ? serial : run(q, k, false);
+      bool identical = r.result == serial.result;
+      all_identical = all_identical && identical;
+      int64_t modeled = 0;
+      for (const auto& batch : sampled.batches) modeled += Makespan(batch, k);
+      double speedup =
+          modeled > 0 ? static_cast<double>(busy_total) / modeled : 0.0;
+      if (k == 8) speedup8 = speedup;
+      char sbuf[32];
+      std::snprintf(sbuf, sizeof(sbuf), "%.2fx", speedup);
+      table.AddRow({std::to_string(k), xrpc::bench::Ms(r.wall_us),
+                    xrpc::bench::Ms(modeled), sbuf,
+                    identical ? "yes" : "NO"});
+      std::fprintf(json,
+                   "%s\n      {\"workers\": %d, \"wall_us\": %lld, "
+                   "\"modeled_makespan_us\": %lld, "
+                   "\"modeled_speedup\": %.3f, \"identical\": %s}",
+                   wi == 0 ? "" : ",", k, static_cast<long long>(r.wall_us),
+                   static_cast<long long>(modeled), speedup,
+                   identical ? "true" : "false");
+    }
+    std::fprintf(json, "\n    ]}");
+    std::printf("query: %s (%zu exec ops, %zu morsels sampled)\n", q.name,
+                sampled.batches.size(), total_morsels);
+    table.Print();
+    std::printf("\n");
+    if (speedup8 < 4.0) speedup_ok = false;
+  }
+  std::fprintf(json, "\n  ],\n  \"all_identical\": %s\n}\n",
+               all_identical ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("byte-identity at every worker count: %s\n",
+              all_identical ? "OK" : "FAILED");
+  std::printf("modeled speedup >= 4x at 8 workers for every query: %s\n",
+              speedup_ok ? "OK" : "FAILED");
+  std::printf("wrote BENCH_parallel_exec.json\n");
+  return all_identical && speedup_ok ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+#include "algebra/morsel.h"
+
+#include <algorithm>
+
+namespace xrpc::algebra {
+
+std::vector<Morsel> SplitRows(size_t num_rows, size_t target_rows) {
+  std::vector<Morsel> out;
+  if (num_rows == 0) return out;
+  if (target_rows == 0) {
+    out.push_back({0, num_rows});
+    return out;
+  }
+  for (size_t begin = 0; begin < num_rows; begin += target_rows) {
+    out.push_back({begin, std::min(num_rows, begin + target_rows)});
+  }
+  return out;
+}
+
+std::vector<Morsel> SplitIterAligned(const Table& t, size_t target_rows) {
+  const size_t n = t.NumRows();
+  std::vector<Morsel> out;
+  if (n == 0) return out;
+  if (target_rows == 0) {
+    out.push_back({0, n});
+    return out;
+  }
+  size_t begin = 0;
+  size_t i = 0;
+  while (i < n) {
+    // Extend to the end of the current iter group.
+    const int64_t iter = t.Iter(i);
+    do {
+      ++i;
+    } while (i < n && t.Iter(i) == iter);
+    if (i - begin >= target_rows) {
+      out.push_back({begin, i});
+      begin = i;
+    }
+  }
+  if (begin < n) out.push_back({begin, n});
+  return out;
+}
+
+}  // namespace xrpc::algebra

@@ -1,0 +1,38 @@
+#ifndef XRPC_ALGEBRA_MORSEL_H_
+#define XRPC_ALGEBRA_MORSEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "algebra/table.h"
+
+namespace xrpc::algebra {
+
+/// A half-open row range [begin, end) of a table — the unit of work the
+/// morsel-parallel executor schedules onto pool workers.
+struct Morsel {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits `num_rows` rows into chunks of at most `target_rows` rows.
+/// target_rows <= 0 yields a single morsel. Covers every row exactly once,
+/// in order.
+std::vector<Morsel> SplitRows(size_t num_rows, size_t target_rows);
+
+/// Splits a loop-lifted table into morsels of roughly `target_rows` rows
+/// WITHOUT ever splitting an `iter` group: a morsel boundary is only
+/// placed where the iter column changes value, so every loop iteration is
+/// evaluated by exactly one worker and per-iteration state (position
+/// numbering, predicate verdicts, document-order runs) never straddles
+/// workers. Requires only that equal iters are contiguous (the canonical
+/// sorted-by-iter invariant); a single iter group larger than target_rows
+/// becomes one oversized morsel. Covers every row exactly once, in order —
+/// concatenating per-morsel outputs in morsel order therefore reproduces
+/// the serial output byte for byte.
+std::vector<Morsel> SplitIterAligned(const Table& t, size_t target_rows);
+
+}  // namespace xrpc::algebra
+
+#endif  // XRPC_ALGEBRA_MORSEL_H_

@@ -36,7 +36,65 @@ int Table::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
-void Table::AppendRow(std::vector<Cell> row) { rows_.push_back(std::move(row)); }
+void Table::AppendRow(std::vector<Cell> row) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].push_back(std::move(row[c]));
+  }
+  ++num_rows_;
+}
+
+std::vector<Cell> Table::Row(size_t i) const {
+  std::vector<Cell> row;
+  row.reserve(cols_.size());
+  for (const auto& col : cols_) row.push_back(col[i]);
+  return row;
+}
+
+void Table::AppendRowsFrom(const Table& other) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].insert(cols_[c].end(), other.cols_[c].begin(),
+                    other.cols_[c].end());
+  }
+  num_rows_ += other.num_rows_;
+}
+
+void Table::AppendRowsFrom(Table&& other) {
+  if (num_rows_ == 0 && cols_.size() == other.cols_.size()) {
+    cols_ = std::move(other.cols_);
+    num_rows_ = other.num_rows_;
+  } else {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].insert(cols_[c].end(),
+                      std::make_move_iterator(other.cols_[c].begin()),
+                      std::make_move_iterator(other.cols_[c].end()));
+    }
+    num_rows_ += other.num_rows_;
+  }
+  other.cols_.assign(other.names_.size(), {});
+  other.num_rows_ = 0;
+}
+
+Table Table::CopyColumns(const std::vector<int>& sources,
+                         std::vector<std::string> new_names) const {
+  Table out(std::move(new_names));
+  for (size_t k = 0; k < sources.size(); ++k) {
+    out.cols_[k] = cols_[sources[k]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Table Table::GatherRows(const std::vector<size_t>& idx) const {
+  Table out(names_);
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    const std::vector<Cell>& src = cols_[c];
+    std::vector<Cell>& dst = out.cols_[c];
+    dst.reserve(idx.size());
+    for (size_t i : idx) dst.push_back(src[i]);
+  }
+  out.num_rows_ = idx.size();
+  return out;
+}
 
 std::string Table::ToString() const {
   std::ostringstream os;
@@ -44,15 +102,16 @@ std::string Table::ToString() const {
     os << (i ? " | " : "") << names_[i];
   }
   os << "\n";
-  for (const auto& row : rows_) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      os << (i ? " | " : "");
-      if (row[i].kind == Cell::Kind::kInt) {
-        os << row[i].num;
-      } else if (row[i].item.IsNode()) {
-        os << "<" << row[i].item.node()->name().Lexical() << ">";
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      os << (c ? " | " : "");
+      const Cell& cell = cols_[c][r];
+      if (cell.kind == Cell::Kind::kInt) {
+        os << cell.num;
+      } else if (cell.item.IsNode()) {
+        os << "<" << cell.item.node()->name().Lexical() << ">";
       } else {
-        os << "\"" << row[i].item.atomic().ToString() << "\"";
+        os << "\"" << cell.item.atomic().ToString() << "\"";
       }
     }
     os << "\n";
@@ -64,21 +123,23 @@ Table Select(const Table& in, const std::string& column) {
   int c = in.ColumnIndex(column);
   Table out(in.column_names());
   if (c < 0) return out;
-  for (size_t i = 0; i < in.NumRows(); ++i) {
-    if (in.At(i, c).kind == Cell::Kind::kInt && in.At(i, c).num != 0) {
-      out.AppendRow(in.Row(i));
-    }
+  // One pass over the predicate column to build the selection vector, then
+  // a per-column gather — the other columns are never inspected.
+  const std::vector<Cell>& col = in.Column(static_cast<size_t>(c));
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col[i].kind == Cell::Kind::kInt && col[i].num != 0) idx.push_back(i);
   }
-  return out;
+  return in.GatherRows(idx);
 }
 
 Table SelectWhere(const Table& in,
                   const std::function<bool(const std::vector<Cell>&)>& pred) {
-  Table out(in.column_names());
+  std::vector<size_t> idx;
   for (size_t i = 0; i < in.NumRows(); ++i) {
-    if (pred(in.Row(i))) out.AppendRow(in.Row(i));
+    if (pred(in.Row(i))) idx.push_back(i);
   }
-  return out;
+  return in.GatherRows(idx);
 }
 
 StatusOr<Table> Project(
@@ -94,28 +155,22 @@ StatusOr<Table> Project(
     names.push_back(new_name);
     sources.push_back(c);
   }
-  Table out(std::move(names));
-  for (size_t i = 0; i < in.NumRows(); ++i) {
-    std::vector<Cell> row;
-    row.reserve(sources.size());
-    for (int c : sources) row.push_back(in.At(i, static_cast<size_t>(c)));
-    out.AppendRow(std::move(row));
-  }
-  return out;
+  // Columnar projection is a whole-column copy per kept column.
+  return in.CopyColumns(sources, std::move(names));
 }
 
 Table Distinct(const Table& in) {
-  Table out(in.column_names());
   std::set<std::string> seen;
+  std::vector<size_t> idx;
   for (size_t i = 0; i < in.NumRows(); ++i) {
     std::string key;
-    for (const Cell& c : in.Row(i)) {
-      key += c.Key();
+    for (size_t c = 0; c < in.NumColumns(); ++c) {
+      key += in.At(i, static_cast<int>(c)).Key();
       key += '\x1f';
     }
-    if (seen.insert(key).second) out.AppendRow(in.Row(i));
+    if (seen.insert(std::move(key)).second) idx.push_back(i);
   }
-  return out;
+  return in.GatherRows(idx);
 }
 
 StatusOr<Table> DisjointUnion(const Table& a, const Table& b) {
@@ -123,8 +178,8 @@ StatusOr<Table> DisjointUnion(const Table& a, const Table& b) {
     return Status::Internal("disjoint union: schema mismatch");
   }
   Table out(a.column_names());
-  for (size_t i = 0; i < a.NumRows(); ++i) out.AppendRow(a.Row(i));
-  for (size_t i = 0; i < b.NumRows(); ++i) out.AppendRow(b.Row(i));
+  out.AppendRowsFrom(a);
+  out.AppendRowsFrom(b);
   return out;
 }
 
@@ -146,21 +201,31 @@ StatusOr<Table> EquiJoin(const Table& a, const Table& b,
     names.push_back(name);
     b_cols.push_back(static_cast<int>(i));
   }
-  // Hash join: build on b.
+  // Hash join: build on b's key column, probe a's, collect the matching
+  // (a_row, b_row) index pairs, then gather each side column-at-a-time.
   std::multimap<std::string, size_t> build;
   for (size_t i = 0; i < b.NumRows(); ++i) {
     build.emplace(b.At(i, cb).Key(), i);
   }
-  Table out(std::move(names));
+  std::vector<size_t> a_idx;
+  std::vector<size_t> b_idx;
   for (size_t i = 0; i < a.NumRows(); ++i) {
     auto [lo, hi] = build.equal_range(a.At(i, ca).Key());
     for (auto it = lo; it != hi; ++it) {
-      std::vector<Cell> row = a.Row(i);
-      for (int c : b_cols) {
-        row.push_back(b.At(it->second, static_cast<size_t>(c)));
-      }
-      out.AppendRow(std::move(row));
+      a_idx.push_back(i);
+      b_idx.push_back(it->second);
     }
+  }
+  Table out(std::move(names));
+  out.Reserve(a_idx.size());
+  std::vector<Cell> row(a.NumColumns() + b_cols.size());
+  for (size_t k = 0; k < a_idx.size(); ++k) {
+    size_t w = 0;
+    for (size_t c = 0; c < a.NumColumns(); ++c) {
+      row[w++] = a.At(a_idx[k], static_cast<int>(c));
+    }
+    for (int c : b_cols) row[w++] = b.At(b_idx[k], c);
+    out.AppendRow(row);
   }
   return out;
 }
@@ -216,6 +281,7 @@ StatusOr<Table> RowNumber(const Table& in, const std::string& new_column,
     rank = new_partition ? 1 : rank + 1;
     ranks[idx[k]] = rank;
   }
+  out.Reserve(in.NumRows());
   for (size_t i = 0; i < in.NumRows(); ++i) {
     std::vector<Cell> row = in.Row(i);
     row.push_back(Cell::Int(ranks[i]));
@@ -239,19 +305,29 @@ StatusOr<Table> SortBy(const Table& in,
     if (idx < 0) return Status::Internal("sort: no column " + c);
     cols.push_back(idx);
   }
-  std::vector<size_t> idx(in.NumRows());
-  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::stable_sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+  // Loop-lifted intermediates are usually already (iter, pos)-sorted; one
+  // branch-light scan over the key columns detects that and skips the
+  // argsort + gather entirely.
+  auto row_less = [&](size_t x, size_t y) {
     for (int c : cols) {
       int64_t vx = in.At(x, c).num;
       int64_t vy = in.At(y, c).num;
       if (vx != vy) return vx < vy;
     }
     return false;
-  });
-  Table out(in.column_names());
-  for (size_t i : idx) out.AppendRow(in.Row(i));
-  return out;
+  };
+  bool sorted = true;
+  for (size_t i = 1; i < in.NumRows(); ++i) {
+    if (row_less(i, i - 1)) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) return in;
+  std::vector<size_t> idx(in.NumRows());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), row_less);
+  return in.GatherRows(idx);
 }
 
 Table ScatterGatherMerge(const std::vector<Table>& sources) {
@@ -280,6 +356,7 @@ Table ScatterGatherMerge(const std::vector<Table>& sources) {
                      return a.pos < b.pos;
                    });
   Table out = Table::IterPosItem();
+  out.Reserve(rows.size());
   int64_t current_iter = 0;
   int64_t next_pos = 1;
   bool have_iter = false;

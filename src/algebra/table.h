@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/statusor.h"
@@ -44,43 +45,74 @@ bool CellEquals(const Cell& a, const Cell& b);
 /// A relational table in the Pathfinder style: named columns over rows.
 /// The canonical XQuery value representation is the iter|pos|item schema
 /// of Section 3.1.
+///
+/// Storage is COLUMNAR (one contiguous Cell vector per column), matching
+/// MonetDB's BAT layout: the hot loop-lifted kernels (step expansion,
+/// sort, merge, join) scan and gather single columns without touching the
+/// others, and appending a row costs no per-row heap allocation.
 class Table {
  public:
   Table() = default;
   explicit Table(std::vector<std::string> column_names)
-      : names_(std::move(column_names)) {}
+      : names_(std::move(column_names)), cols_(names_.size()) {}
 
   /// Creates the canonical empty iter|pos|item table.
   static Table IterPosItem();
 
-  size_t NumRows() const { return rows_.size(); }
+  size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return names_.size(); }
   const std::vector<std::string>& column_names() const { return names_; }
 
   /// Index of a column; -1 if absent.
   int ColumnIndex(const std::string& name) const;
 
-  void AppendRow(std::vector<Cell> row);
-  const std::vector<Cell>& Row(size_t i) const { return rows_[i]; }
-  std::vector<Cell>& MutableRow(size_t i) { return rows_[i]; }
+  /// Reserves capacity in every column (append-heavy kernels).
+  void Reserve(size_t rows) {
+    for (auto& col : cols_) col.reserve(rows);
+  }
 
-  const Cell& At(size_t row, int col) const { return rows_[row][col]; }
+  void AppendRow(std::vector<Cell> row);
+  /// Materializes row `i` (a gather across columns).
+  std::vector<Cell> Row(size_t i) const;
+
+  const Cell& At(size_t row, int col) const { return cols_[col][row]; }
+
+  /// Whole-column access for branch-light kernels.
+  const std::vector<Cell>& Column(size_t col) const { return cols_[col]; }
 
   /// Convenience accessors for the canonical schema.
-  int64_t Iter(size_t row) const { return rows_[row][0].num; }
-  int64_t Pos(size_t row) const { return rows_[row][1].num; }
-  const xdm::Item& ItemAt(size_t row) const { return rows_[row][2].item; }
+  int64_t Iter(size_t row) const { return cols_[0][row].num; }
+  int64_t Pos(size_t row) const { return cols_[1][row].num; }
+  const xdm::Item& ItemAt(size_t row) const { return cols_[2][row].item; }
   void AppendIPI(int64_t iter, int64_t pos, xdm::Item item) {
-    rows_.push_back(
-        {Cell::Int(iter), Cell::Int(pos), Cell::OfItem(std::move(item))});
+    cols_[0].push_back(Cell::Int(iter));
+    cols_[1].push_back(Cell::Int(pos));
+    cols_[2].push_back(Cell::OfItem(std::move(item)));
+    ++num_rows_;
   }
+
+  /// Appends every row of `other` (schemas must match positionally) —
+  /// per-column bulk append, the morsel-merge concatenation primitive.
+  void AppendRowsFrom(const Table& other);
+  /// Move flavor: steals `other`'s cells (clears it). When this table is
+  /// still empty the columns are adopted wholesale (no per-cell work).
+  void AppendRowsFrom(Table&& other);
+
+  /// New table holding rows `idx` in the given order (per-column gather).
+  Table GatherRows(const std::vector<size_t>& idx) const;
+
+  /// New table holding (renamed) copies of the given columns — the
+  /// columnar π kernel: whole-column copies, no per-row work.
+  Table CopyColumns(const std::vector<int>& sources,
+                    std::vector<std::string> new_names) const;
 
   /// Renders the table for debugging and the Figure 1 demonstration.
   std::string ToString() const;
 
  private:
   std::vector<std::string> names_;
-  std::vector<std::vector<Cell>> rows_;
+  std::vector<std::vector<Cell>> cols_;  ///< cols_[c].size() == num_rows_
+  size_t num_rows_ = 0;
 };
 
 // ------------------------- Table 1 operators -------------------------
@@ -122,7 +154,8 @@ Table LiteralTable(std::vector<std::string> names,
                    std::vector<std::vector<Cell>> rows);
 
 /// Sorts by the given int columns ascending (executor helper; MonetDB
-/// realizes this through ρ + positional access).
+/// realizes this through ρ + positional access). Already-sorted input is
+/// detected in one column scan and returned without the gather.
 StatusOr<Table> SortBy(const Table& in,
                        const std::vector<std::string>& columns);
 

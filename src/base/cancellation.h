@@ -95,6 +95,40 @@ class CancellationToken {
   NowFn now_;
 };
 
+/// Amortized cancellation polling for tight per-row loops: Tick() consults
+/// the token only every `stride` calls, keeping the poll (an atomic load
+/// plus, for armed deadlines, a clock read through std::function) off the
+/// per-row fast path. Morsel boundaries poll the token directly; kernels
+/// iterating WITHIN a morsel or a serial operator tick a gate instead.
+///
+/// Null-token tolerant, so call sites need no guard. Not thread-safe —
+/// each worker owns its gate.
+class PollGate {
+ public:
+  explicit PollGate(const CancellationToken* token, uint32_t stride = 256)
+      : token_(token), stride_(stride == 0 ? 1 : stride) {}
+
+  /// True once the token tripped (checked every `stride` ticks).
+  bool Tick() {
+    if (token_ == nullptr) return false;
+    if (tripped_) return true;
+    if (++count_ % stride_ != 0) return false;
+    tripped_ = token_->cancelled();
+    return tripped_;
+  }
+
+  /// The trip status after Tick() returned true (OK before that).
+  Status status() const {
+    return token_ == nullptr ? Status::OK() : token_->CheckCancelled();
+  }
+
+ private:
+  const CancellationToken* token_;
+  const uint32_t stride_;
+  uint32_t count_ = 0;
+  bool tripped_ = false;
+};
+
 }  // namespace xrpc
 
 #endif  // XRPC_BASE_CANCELLATION_H_

@@ -1,0 +1,86 @@
+#include "compiler/morsel_exec.h"
+
+#include <exception>
+#include <string>
+
+#include "base/clock.h"
+
+namespace xrpc::compiler {
+
+Status MorselExecutor::Run(const char* op, size_t num_morsels,
+                           const std::function<Status(size_t)>& body) {
+  if (num_morsels == 0) return Status::OK();
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return cancel_->CheckCancelled();
+  }
+
+  const bool go_parallel = parallel_capable() && num_morsels > 1;
+  StopWatch wall;
+  std::vector<int64_t> morsel_us(num_morsels, 0);
+  Status result = Status::OK();
+  int64_t wait_us = 0;
+
+  if (!go_parallel) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      // Morsel boundary: the cancellation contract's poll point.
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        result = cancel_->CheckCancelled();
+        break;
+      }
+      StopWatch task;
+      Status s = body(m);
+      morsel_us[m] = task.ElapsedMicros();
+      if (!s.ok()) {
+        result = std::move(s);
+        break;
+      }
+    }
+  } else {
+    // Every morsel gets a status slot; the earliest non-OK wins, matching
+    // the serial engine's first-failure semantics because morsels cover
+    // rows in order. Workers poll the token at their morsel boundary and
+    // park a trip status instead of running the body.
+    std::vector<Status> statuses(num_morsels, Status::OK());
+    net::TaskGroup group(pool_);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      group.Run([this, m, &body, &statuses, &morsel_us] {
+        if (cancel_ != nullptr && cancel_->cancelled()) {
+          statuses[m] = cancel_->CheckCancelled();
+          return;
+        }
+        StopWatch task;
+        statuses[m] = body(m);
+        morsel_us[m] = task.ElapsedMicros();
+      });
+    }
+    StopWatch waiting;
+    std::exception_ptr thrown = group.Wait();
+    wait_us = waiting.ElapsedMicros();
+    if (thrown != nullptr) {
+      try {
+        std::rethrow_exception(thrown);
+      } catch (const std::exception& e) {
+        result = Status::Internal(std::string("morsel task threw: ") + e.what());
+      } catch (...) {
+        result = Status::Internal("morsel task threw a non-std exception");
+      }
+    }
+    if (result.ok()) {
+      for (Status& s : statuses) {
+        if (!s.ok()) {
+          result = std::move(s);
+          break;
+        }
+      }
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->RecordExecOp(op, static_cast<int64_t>(num_morsels),
+                           wall.ElapsedMicros(), wait_us, go_parallel);
+    metrics_->RecordExecMorselTimes(morsel_us);
+  }
+  return result;
+}
+
+}  // namespace xrpc::compiler

@@ -1,0 +1,55 @@
+#ifndef XRPC_COMPILER_MORSEL_EXEC_H_
+#define XRPC_COMPILER_MORSEL_EXEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/cancellation.h"
+#include "base/status.h"
+#include "net/rpc_metrics.h"
+#include "net/thread_pool.h"
+
+namespace xrpc::compiler {
+
+/// The operator-level execution interface of the morsel-parallel executor
+/// (DESIGN.md §15). A per-iteration-independent operator presents its work
+/// as `num_morsels` independent chunks plus a body callable writing into a
+/// per-morsel output slot; the executor decides serial vs parallel, polls
+/// the CancellationToken at EVERY morsel boundary (in both modes), and
+/// reports failures deterministically: the lowest-index non-OK status —
+/// which, with in-order morsels, is exactly the failure serial execution
+/// would have hit first.
+///
+/// Bodies scheduled onto the pool must not block on the same pool
+/// (ThreadPool re-entrancy rule); the loop-lifted evaluator guarantees
+/// this by giving its morsel-worker clones no pool, so nested operators
+/// inside a worker degrade to serial.
+class MorselExecutor {
+ public:
+  /// `pool`: null = always serial. `cancel`: polled at morsel boundaries
+  /// (null = never cancelled). `metrics`: receives one RecordExecOp per
+  /// Run plus per-morsel times (null = no recording).
+  MorselExecutor(net::ThreadPool* pool, const CancellationToken* cancel,
+                 net::RpcMetrics* metrics)
+      : pool_(pool), cancel_(cancel), metrics_(metrics) {}
+
+  /// True when Run() may actually fan out.
+  bool parallel_capable() const { return pool_ != nullptr && pool_->size() > 1; }
+
+  /// Runs body(m) for every m in [0, num_morsels), on the pool when one is
+  /// attached and there is more than one morsel, serially otherwise.
+  /// Returns the lowest-index non-OK status, or the cancellation trip
+  /// status if the token fired. `op` tags the exec metrics line.
+  Status Run(const char* op, size_t num_morsels,
+             const std::function<Status(size_t)>& body);
+
+ private:
+  net::ThreadPool* pool_;
+  const CancellationToken* cancel_;
+  net::RpcMetrics* metrics_;
+};
+
+}  // namespace xrpc::compiler
+
+#endif  // XRPC_COMPILER_MORSEL_EXEC_H_

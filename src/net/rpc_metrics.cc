@@ -286,6 +286,30 @@ void RpcMetrics::RecordRouteMiss(const std::string& collection) {
   ++route_.per_collection[collection];
 }
 
+void RpcMetrics::RecordExecOp(const std::string& op, int64_t morsels,
+                              int64_t wall_us, int64_t wait_us,
+                              bool parallel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExecOpStats& s = exec_ops_[op];
+  ++s.ops;
+  if (parallel) ++s.parallel_ops;
+  s.morsels += morsels;
+  s.wall_micros += wall_us;
+  s.wait_micros += wait_us;
+}
+
+void RpcMetrics::RecordExecMorselTimes(const std::vector<int64_t>& micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!exec_sampling_) return;
+  exec_batches_.push_back(micros);
+}
+
+void RpcMetrics::set_exec_sampling(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exec_sampling_ = on;
+  if (!on) exec_batches_.clear();
+}
+
 #define XRPC_METRICS_SUM(field)                          \
   std::lock_guard<std::mutex> lock(mu_);                 \
   int64_t total = 0;                                     \
@@ -497,6 +521,33 @@ int64_t RpcMetrics::route_misses() const {
   return route_.misses;
 }
 
+std::map<std::string, RpcMetrics::ExecOpStats> RpcMetrics::exec_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exec_ops_;
+}
+
+#define XRPC_METRICS_EXEC_SUM(field)                        \
+  std::lock_guard<std::mutex> lock(mu_);                    \
+  int64_t total = 0;                                        \
+  for (const auto& [op, s] : exec_ops_) total += s.field;   \
+  return total
+
+int64_t RpcMetrics::exec_ops_total() const { XRPC_METRICS_EXEC_SUM(ops); }
+int64_t RpcMetrics::exec_parallel_ops() const {
+  XRPC_METRICS_EXEC_SUM(parallel_ops);
+}
+int64_t RpcMetrics::exec_morsels() const { XRPC_METRICS_EXEC_SUM(morsels); }
+int64_t RpcMetrics::exec_wait_micros() const {
+  XRPC_METRICS_EXEC_SUM(wait_micros);
+}
+
+#undef XRPC_METRICS_EXEC_SUM
+
+std::vector<std::vector<int64_t>> RpcMetrics::exec_morsel_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exec_batches_;
+}
+
 LatencyHistogram RpcMetrics::latency() const {
   std::lock_guard<std::mutex> lock(mu_);
   LatencyHistogram merged;
@@ -591,6 +642,26 @@ std::string RpcMetrics::Report() const {
          " cancellations=" + FormatCount(deadline_.cancellations) +
          " sessions_released=" + FormatCount(deadline_.sessions_released) +
          "\n";
+  if (!exec_ops_.empty()) {
+    int64_t ops = 0, par = 0, morsels = 0, wait_us = 0;
+    for (const auto& [op, s] : exec_ops_) {
+      ops += s.ops;
+      par += s.parallel_ops;
+      morsels += s.morsels;
+      wait_us += s.wait_micros;
+    }
+    out += "  exec: ops=" + FormatCount(ops) +
+           " parallel_ops=" + FormatCount(par) +
+           " morsels=" + FormatCount(morsels) +
+           " wait_us=" + FormatCount(wait_us) + "\n";
+    for (const auto& [op, s] : exec_ops_) {
+      out += "  exec-op " + op + ": ops=" + FormatCount(s.ops) +
+             " parallel_ops=" + FormatCount(s.parallel_ops) +
+             " morsels=" + FormatCount(s.morsels) +
+             " wall_us=" + FormatCount(s.wall_micros) +
+             " wait_us=" + FormatCount(s.wait_micros) + "\n";
+    }
+  }
   return out;
 }
 
@@ -610,6 +681,8 @@ void RpcMetrics::Reset() {
   failover_ = FailoverStats{};
   stale_ = StaleCatalogStats{};
   route_ = RouteStats{};
+  exec_ops_.clear();
+  exec_batches_.clear();
 }
 
 }  // namespace xrpc::net

@@ -118,6 +118,9 @@ int32_t ShreddedDoc::PreOf(const xml::Node* node) const {
 }
 
 std::shared_ptr<ShreddedDoc> ShredCache::GetOrShred(const xml::NodePtr& doc) {
+  // One lock over lookup AND shred: concurrent workers missing on the
+  // same document wait for the first shred instead of duplicating it.
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t stamp = doc->Root()->mutation_stamp();
   auto it = cache_.find(doc.get());
   if (it != cache_.end() && it->second.stamp == stamp) return it->second.doc;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,17 +83,26 @@ class ShreddedDoc {
 /// queries against the same version of a document shred once. Entries are
 /// invalidated when the tree's mutation stamp changes (XQUF updates mutate
 /// trees in place).
+/// Thread-safe: morsel workers shred and look up concurrently (a shredded
+/// doc itself is immutable after Shred()).
 class ShredCache {
  public:
   std::shared_ptr<ShreddedDoc> GetOrShred(const xml::NodePtr& doc);
-  size_t size() const { return cache_.size(); }
-  void Clear() { cache_.clear(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
   struct Entry {
     uint64_t stamp = 0;
     std::shared_ptr<ShreddedDoc> doc;
   };
+  mutable std::mutex mu_;
   std::map<const xml::Node*, Entry> cache_;
 };
 

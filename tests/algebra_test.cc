@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "algebra/morsel.h"
 #include "algebra/table.h"
 
 namespace xrpc::algebra {
@@ -220,6 +221,97 @@ TEST(ScatterGatherMergeTest, SparsePosRenumbersDensely) {
   s1.AppendIPI(1, 3, Item(AtomicValue::String("y")));
   Table merged = ScatterGatherMerge({s0, s1});
   EXPECT_EQ(Render(merged), "1.1:x 1.2:y");
+}
+
+// Builds an iter|pos|item table from a list of iter values (pos dense per
+// iter, item = the row index as a string).
+Table TableWithIters(const std::vector<int64_t>& iters) {
+  Table t = Table::IterPosItem();
+  int64_t pos = 0, prev = -1;
+  for (size_t i = 0; i < iters.size(); ++i) {
+    pos = iters[i] == prev ? pos + 1 : 1;
+    prev = iters[i];
+    t.AppendIPI(iters[i], pos,
+                Item(AtomicValue::String(std::to_string(i))));
+  }
+  return t;
+}
+
+// Asserts morsels cover [0, num_rows) exactly once, in order.
+void ExpectCovers(const std::vector<Morsel>& morsels, size_t num_rows) {
+  size_t at = 0;
+  for (const Morsel& m : morsels) {
+    EXPECT_EQ(m.begin, at);
+    EXPECT_LT(m.begin, m.end);
+    at = m.end;
+  }
+  EXPECT_EQ(at, num_rows);
+}
+
+TEST(MorselTest, SplitRowsCoversExactlyOnce) {
+  EXPECT_TRUE(SplitRows(0, 4).empty());
+  auto one = SplitRows(10, 0);  // non-positive target: single morsel
+  ASSERT_EQ(one.size(), 1u);
+  ExpectCovers(one, 10);
+  auto even = SplitRows(8, 4);
+  EXPECT_EQ(even.size(), 2u);
+  ExpectCovers(even, 8);
+  auto ragged = SplitRows(10, 4);  // 4 + 4 + 2
+  ASSERT_EQ(ragged.size(), 3u);
+  EXPECT_EQ(ragged[2].size(), 2u);
+  ExpectCovers(ragged, 10);
+}
+
+TEST(MorselTest, SplitIterAlignedNeverSplitsAnIterGroup) {
+  Table t = TableWithIters({1, 1, 1, 2, 2, 3, 4, 4, 4, 4});
+  auto morsels = SplitIterAligned(t, 4);
+  ExpectCovers(morsels, t.NumRows());
+  for (const Morsel& m : morsels) {
+    // No boundary inside an iter group: the first row of every morsel
+    // must start a new iter.
+    if (m.begin > 0) EXPECT_NE(t.Iter(m.begin), t.Iter(m.begin - 1));
+  }
+}
+
+TEST(MorselTest, OversizedIterGroupStaysOneMorsel) {
+  Table t = TableWithIters({7, 7, 7, 7, 7, 7, 8});
+  auto morsels = SplitIterAligned(t, 2);
+  ExpectCovers(morsels, t.NumRows());
+  ASSERT_EQ(morsels.size(), 2u);
+  EXPECT_EQ(morsels[0].size(), 6u);  // the iter-7 group, unsplit
+  EXPECT_EQ(morsels[1].size(), 1u);
+}
+
+TEST(TableTest, AppendRowsFromConcatenatesCopyAndMove) {
+  Table a = TableWithIters({1, 1});
+  Table b = TableWithIters({2});
+  a.AppendRowsFrom(b);  // copy flavor leaves the source intact
+  EXPECT_EQ(a.NumRows(), 3u);
+  EXPECT_EQ(b.NumRows(), 1u);
+  EXPECT_EQ(a.Iter(2), 2);
+  EXPECT_EQ(a.ItemAt(2).atomic().ToString(), "0");
+
+  Table c = Table::IterPosItem();
+  c.AppendRowsFrom(std::move(a));  // empty dest adopts columns wholesale
+  EXPECT_EQ(c.NumRows(), 3u);
+  EXPECT_EQ(a.NumRows(), 0u);
+  c.AppendRowsFrom(std::move(b));  // non-empty dest steals cells
+  EXPECT_EQ(c.NumRows(), 4u);
+  EXPECT_EQ(c.Iter(3), 2);
+}
+
+TEST(TableTest, GatherRowsAndCopyColumns) {
+  Table t = TableWithIters({1, 2, 3});
+  Table g = t.GatherRows({2, 0});
+  ASSERT_EQ(g.NumRows(), 2u);
+  EXPECT_EQ(g.Iter(0), 3);
+  EXPECT_EQ(g.Iter(1), 1);
+
+  Table p = t.CopyColumns({0, 0}, {"outer", "inner"});
+  EXPECT_EQ(p.NumRows(), 3u);
+  EXPECT_EQ(p.ColumnIndex("outer"), 0);
+  EXPECT_EQ(p.ColumnIndex("inner"), 1);
+  EXPECT_EQ(p.At(1, 1).num, 2);
 }
 
 }  // namespace

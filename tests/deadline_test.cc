@@ -488,6 +488,51 @@ TEST_F(DeadlineChainTest, HungPeerTripsMidChainWithinBudgetAndReleasesSession) {
             1);
 }
 
+TEST_F(DeadlineChainTest, ParallelExecCancelsPromptlyAndReleasesSession) {
+  // Same hung-C topology, but p0 runs the loop-lifted relational engine
+  // with the morsel-parallel executor ON: the cancellation token is
+  // threaded through every morsel boundary (DESIGN.md §15), so a tripped
+  // deadline must still fail the query within its budget and release B's
+  // repeatable-read session immediately — no worker may keep evaluating.
+  Peer* r = net_.AddPeer("r.example.org", EngineKind::kRelational);
+  ASSERT_TRUE(
+      r->RegisterModule(kFilmModule, "http://x.example.org/film.xq").ok());
+  ASSERT_TRUE(
+      r->RegisterModule(kForwardModule, "http://b.example.org/fwd.xq").ok());
+  net_.EnableParallelExec(8);
+
+  net::FaultProfile faults;
+  faults.latency_spike_every_nth = 1;
+  faults.latency_spike_us = 20'000;
+  net_.network().set_fault_profile(faults);
+
+  // Control: without a deadline the chain completes on the relational
+  // engine (no interpreter fallback — the parallel paths really ran).
+  auto control = net_.Execute("r.example.org", kChainQuery);
+  ASSERT_TRUE(control.ok()) << control.status();
+  EXPECT_TRUE(control->used_relational);
+  EXPECT_FALSE(control->fell_back);
+  EXPECT_EQ(xdm::SequenceToString(control->result), "40");
+  const size_t sessions_before = b_->service().isolation().active_sessions();
+
+  constexpr int64_t kBudgetUs = 100'000;
+  ExecuteOptions opts;
+  opts.deadline_us = kBudgetUs;
+  const int64_t start = net_.network().clock().NowMicros();
+  auto report = net_.Execute("r.example.org", kChainQuery, opts);
+  const int64_t elapsed = net_.network().clock().NowMicros() - start;
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded)
+      << report.status();
+  EXPECT_LE(elapsed, kBudgetUs + 100'000);
+  // B released the cancelled run's snapshot session instead of letting it
+  // linger to expiry.
+  EXPECT_EQ(b_->service().isolation().active_sessions(), sessions_before);
+  EXPECT_GE(net_.metrics().cancellations(), 1);
+  EXPECT_GE(net_.metrics().sessions_released(), 1);
+}
+
 TEST_F(DeadlineChainTest, DeadPeerFailsFastWithinBudget) {
   net_.network().DisconnectPeer(
       net::ParseXrpcUri("xrpc://c.example.org").value());

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <thread>
 
 #include "net/http.h"
 #include "net/simulated_network.h"
+#include "net/thread_pool.h"
 #include "net/uri.h"
 
 namespace xrpc::net {
@@ -535,6 +538,68 @@ TEST(HttpServer, RequestPathIsPercentDecodedForTheEndpoint) {
       "POST /bad%zz HTTP/1.1\r\nContent-Length: 4\r\n\r\nping");
   EXPECT_EQ(reply.rfind("HTTP/1.1 400 Bad Request", 0), 0u) << reply;
   server.Stop();
+}
+
+TEST(ThreadPool, SurvivesThrowingTasksAndRetainsTheException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  // The pool must keep serving tasks after the throw — if the worker died,
+  // a 2-thread pool could not finish 8 more tasks.
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  while (ran.load() < 8) std::this_thread::yield();
+  while (pool.uncaught_exceptions() < 1) std::this_thread::yield();
+  EXPECT_EQ(pool.uncaught_exceptions(), 1);
+  std::exception_ptr ep = pool.TakeUncaughtException();
+  ASSERT_TRUE(ep != nullptr);
+  try {
+    std::rethrow_exception(ep);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  EXPECT_TRUE(pool.TakeUncaughtException() == nullptr);
+}
+
+TEST(ThreadPool, TaskGroupReportsFirstExceptionBySubmissionOrder) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    TaskGroup group(&pool);
+    group.Run([] { throw std::runtime_error("first"); });
+    group.Run([] { std::this_thread::yield(); });
+    group.Run([] { throw std::runtime_error("third"); });
+    std::exception_ptr ep = group.Wait();
+    ASSERT_TRUE(ep != nullptr);
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::runtime_error& e) {
+      // Deterministic regardless of which task finished (or threw) first.
+      EXPECT_STREQ(e.what(), "first");
+    }
+  }
+  // Group-captured exceptions never land in the pool's raw-Submit tally.
+  EXPECT_EQ(pool.uncaught_exceptions(), 0);
+}
+
+TEST(ThreadPool, TaskGroupWithNullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  std::thread::id caller = std::this_thread::get_id();
+  int ran = 0;
+  group.Run([&] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;
+  });
+  group.Run([] { throw std::runtime_error("inline boom"); });
+  group.Run([&] { ++ran; });
+  EXPECT_EQ(ran, 2);  // inline mode runs every task, even after a throw
+  std::exception_ptr ep = group.Wait();
+  ASSERT_TRUE(ep != nullptr);
+  // Wait() resets the group for reuse.
+  group.Run([&] { ++ran; });
+  EXPECT_TRUE(group.Wait() == nullptr);
+  EXPECT_EQ(ran, 3);
 }
 
 }  // namespace

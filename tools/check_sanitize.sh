@@ -6,7 +6,10 @@
 # dispatch paths, the concurrent WAL / 2PC crash-recovery paths, the
 # sharded-collection scatter-gather paths (whose per-shard Bulk RPCs ride
 # the parallel dispatch pool), plus the `failover` lane (replica failover,
-# catalog epoch fencing, circuit-breaker probe races; DESIGN.md §14).
+# catalog epoch fencing, circuit-breaker probe races; DESIGN.md §14) and
+# the `parallel` lane (the morsel-parallel executor's determinism tests at
+# exec_threads in {1,2,8} — corpus, seeded-random, sharded scatter-gather
+# and cancellation-under-parallelism; DESIGN.md §15).
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -24,4 +27,8 @@ ctest --output-on-failure -j"$(nproc)" \
 # The failover lane by label: replica failover + epoch fencing
 # (failover_test) and the half-open probe races (circuit_breaker_test).
 ctest --output-on-failure -j"$(nproc)" -L failover
+# The parallel lane by label: morsel-executor byte-identity at multiple
+# worker counts, the pool/TaskGroup exception paths, and prompt
+# cancellation under parallel execution (DESIGN.md §15).
+ctest --output-on-failure -j"$(nproc)" -L parallel
 echo "sanitize($SANITIZER): OK"
