@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "xmark/shard_loader.h"
 #include "xmark/xmark.h"
@@ -126,13 +127,17 @@ int main() {
       {"dead-primary+breaker", true, true},
   };
 
+  xrpc::bench::BenchJson json("failover");
+  json.config()
+      .Set("query", "broadcast execute at shard:auctions.xml (Q_B1)")
+      .Set("queries", kQueries)
+      .Set("shards", kNumShards)
+      .Set("replication_factor", 2)
+      .Set("deadline_us", kDeadlineUs);
+
   TablePrinter table({"scenario", "ok", "failed", "p50 ms", "p95 ms", "max ms",
                       "primary0 dials", "failovers", "short-circuits"});
-  struct JsonRow {
-    const char* name;
-    Outcome out;
-  };
-  std::vector<JsonRow> json_rows;
+  std::string last_report;
   for (const Row& row : rows) {
     Outcome out = Run(row.kill, row.breaker);
     table.AddRow({row.name, std::to_string(out.ok), std::to_string(out.failed),
@@ -142,43 +147,24 @@ int main() {
                   std::to_string(out.dead_dials),
                   std::to_string(out.failover_successes),
                   std::to_string(out.short_circuits)});
-    json_rows.push_back({row.name, std::move(out)});
+    json.AddRow()
+        .Set("scenario", row.name)
+        .Set("ok", out.ok)
+        .Set("failed", out.failed)
+        .Set("p50_us", Percentile(out.latencies_us, 0.50))
+        .Set("p95_us", Percentile(out.latencies_us, 0.95))
+        .Set("max_us", Percentile(out.latencies_us, 1.0))
+        .Set("primary0_dials", out.dead_dials)
+        .Set("failover_attempts", out.failover_attempts)
+        .Set("failover_successes", out.failover_successes)
+        .Set("short_circuits", out.short_circuits);
+    last_report = std::move(out.report);
   }
   table.Print();
   std::printf("\nmetrics of the dead-primary+breaker run:\n%s",
-              json_rows.back().out.report.c_str());
+              last_report.c_str());
 
-  FILE* json = std::fopen("BENCH_failover.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"failover\",\n"
-                 "  \"query\": \"broadcast execute at shard:auctions.xml "
-                 "(Q_B1) x %d\",\n"
-                 "  \"config\": {\"shards\": %d, \"replication_factor\": 2, "
-                 "\"deadline_us\": %lld},\n"
-                 "  \"runs\": [\n",
-                 kQueries, kNumShards, static_cast<long long>(kDeadlineUs));
-    for (size_t i = 0; i < json_rows.size(); ++i) {
-      const Outcome& o = json_rows[i].out;
-      std::fprintf(
-          json,
-          "    {\"scenario\": \"%s\", \"ok\": %d, \"failed\": %d, "
-          "\"p50_us\": %lld, \"p95_us\": %lld, \"max_us\": %lld, "
-          "\"primary0_dials\": %lld, \"failover_attempts\": %lld, "
-          "\"failover_successes\": %lld, \"short_circuits\": %lld}%s\n",
-          json_rows[i].name, o.ok, o.failed,
-          static_cast<long long>(Percentile(o.latencies_us, 0.50)),
-          static_cast<long long>(Percentile(o.latencies_us, 0.95)),
-          static_cast<long long>(Percentile(o.latencies_us, 1.0)),
-          static_cast<long long>(o.dead_dials),
-          static_cast<long long>(o.failover_attempts),
-          static_cast<long long>(o.failover_successes),
-          static_cast<long long>(o.short_circuits),
-          i + 1 < json_rows.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+  if (json.WriteFile("BENCH_failover.json")) {
     std::printf("wrote BENCH_failover.json\n");
   }
   return 0;

@@ -1,0 +1,174 @@
+// Shared BENCH_*.json writer so every benchmark emits the same uniformly
+// parseable schema:
+//
+//   {
+//     "bench": "<name>",
+//     "git_rev": "<short rev or 'unknown'>",
+//     "config": { ...flat key/value pairs... },
+//     "series": [ { ...one row per measured point... }, ... ]
+//   }
+//
+// The writer preserves insertion order (so identical runs render
+// byte-identically), renders integers exactly, and formats doubles with
+// a fixed "%.6g" so a given value always serializes the same way.
+// Header-only on purpose: bench binaries are one-file programs.
+
+#ifndef XRPC_BENCH_BENCH_JSON_H_
+#define XRPC_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xrpc {
+namespace bench {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One JSON object with insertion-ordered fields. Values are rendered at
+/// Set() time so heterogeneous types need no variant machinery.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + JsonEscape(v) + "\"");
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonObject& Set(const std::string& key, int64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+  JsonObject& Set(const std::string& key, size_t v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+
+  /// Renders `{ "k": v, ... }`; `indent` is the column of the opening brace.
+  std::string Render(int indent) const {
+    std::string pad(static_cast<size_t>(indent), ' ');
+    if (fields_.empty()) return "{}";
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += pad + "  \"" + JsonEscape(fields_[i].first) +
+             "\": " + fields_[i].second;
+      out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += pad + "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Best-effort short git revision of the working tree; "unknown" when git
+/// is unavailable (e.g. running from an exported tarball).
+inline std::string GitRev() {
+  std::string rev;
+#if !defined(_WIN32)
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p != nullptr) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) rev = buf;
+    ::pclose(p);
+  }
+#endif
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+/// Accumulates one benchmark's config and series rows, then writes the
+/// canonical file. Typical use:
+///
+///   BenchJson out("workload");
+///   out.config().Set("seed", 42).Set("fleet", 8);
+///   out.AddRow().Set("offered_qps", 100.0).Set("p99_us", 4200);
+///   out.WriteFile("BENCH_workload.json");
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_(std::move(bench_name)), git_rev_(GitRev()) {}
+
+  /// Overrides the auto-detected revision (tests use this to pin output).
+  void set_git_rev(std::string rev) { git_rev_ = std::move(rev); }
+
+  JsonObject& config() { return config_; }
+  JsonObject& AddRow() {
+    series_.emplace_back();
+    return series_.back();
+  }
+
+  std::string Render() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + JsonEscape(bench_) + "\",\n";
+    out += "  \"git_rev\": \"" + JsonEscape(git_rev_) + "\",\n";
+    out += "  \"config\": " + config_.Render(2) + ",\n";
+    out += "  \"series\": [";
+    for (size_t i = 0; i < series_.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      out += series_[i].Render(4);
+    }
+    out += series_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string text = Render();
+    size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    int rc = std::fclose(f);
+    return wrote == text.size() && rc == 0;
+  }
+
+ private:
+  std::string bench_;
+  std::string git_rev_;
+  JsonObject config_;
+  std::vector<JsonObject> series_;
+};
+
+}  // namespace bench
+}  // namespace xrpc
+
+#endif  // XRPC_BENCH_BENCH_JSON_H_

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "base/clock.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "compiler/loop_lift.h"
 #include "net/rpc_metrics.h"
@@ -138,13 +139,12 @@ int main() {
     return r;
   };
 
-  std::FILE* json = std::fopen("BENCH_parallel_exec.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "bench_parallel_exec: cannot open json output\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n  \"morsel_rows\": %zu,\n  \"queries\": [\n",
-               kMorselRows);
+  xrpc::bench::BenchJson json("parallel_exec");
+  json.config()
+      .Set("morsel_rows", kMorselRows)
+      .Set("num_closed_auctions", cfg.num_closed_auctions)
+      .Set("num_persons", cfg.num_persons)
+      .Set("reps", kReps);
 
   std::printf(
       "Morsel-parallel executor — %d closed auctions, %d persons,\n"
@@ -155,7 +155,6 @@ int main() {
 
   bool all_identical = true;
   bool speedup_ok = true;
-  bool first_query = true;
   for (const BenchQuery& q : kQueries) {
     // Warm the shred cache so document shredding (one-time, cached) does
     // not pollute the first measured run.
@@ -175,14 +174,6 @@ int main() {
 
     xrpc::bench::TablePrinter table(
         {"workers", "wall", "modeled", "speedup(modeled)", "identical"});
-    if (!first_query) std::fprintf(json, ",\n");
-    first_query = false;
-    std::fprintf(json,
-                 "    {\"query\": \"%s\", \"ops_sampled\": %zu,\n"
-                 "     \"morsels\": %zu, \"busy_us\": %lld,\n"
-                 "     \"runs\": [",
-                 q.name, sampled.batches.size(), total_morsels,
-                 static_cast<long long>(busy_total));
 
     double speedup8 = 0.0;
     for (size_t wi = 0; wi < sizeof(kWorkers) / sizeof(kWorkers[0]); ++wi) {
@@ -200,24 +191,28 @@ int main() {
       table.AddRow({std::to_string(k), xrpc::bench::Ms(r.wall_us),
                     xrpc::bench::Ms(modeled), sbuf,
                     identical ? "yes" : "NO"});
-      std::fprintf(json,
-                   "%s\n      {\"workers\": %d, \"wall_us\": %lld, "
-                   "\"modeled_makespan_us\": %lld, "
-                   "\"modeled_speedup\": %.3f, \"identical\": %s}",
-                   wi == 0 ? "" : ",", k, static_cast<long long>(r.wall_us),
-                   static_cast<long long>(modeled), speedup,
-                   identical ? "true" : "false");
+      json.AddRow()
+          .Set("query", q.name)
+          .Set("workers", k)
+          .Set("ops_sampled", sampled.batches.size())
+          .Set("morsels", total_morsels)
+          .Set("busy_us", busy_total)
+          .Set("wall_us", r.wall_us)
+          .Set("modeled_makespan_us", modeled)
+          .Set("modeled_speedup", speedup)
+          .Set("identical", identical);
     }
-    std::fprintf(json, "\n    ]}");
     std::printf("query: %s (%zu exec ops, %zu morsels sampled)\n", q.name,
                 sampled.batches.size(), total_morsels);
     table.Print();
     std::printf("\n");
     if (speedup8 < 4.0) speedup_ok = false;
   }
-  std::fprintf(json, "\n  ],\n  \"all_identical\": %s\n}\n",
-               all_identical ? "true" : "false");
-  std::fclose(json);
+  json.config().Set("all_identical", all_identical);
+  if (!json.WriteFile("BENCH_parallel_exec.json")) {
+    std::fprintf(stderr, "bench_parallel_exec: cannot write json output\n");
+    return 1;
+  }
 
   std::printf("byte-identity at every worker count: %s\n",
               all_identical ? "OK" : "FAILED");

@@ -5,10 +5,24 @@
 // not network-bound, on a fast LAN. The reproduced claims are (i)
 // throughput is far below the 125 MB/s wire speed (CPU-bound) and (ii)
 // responses are cheaper than requests (serialization beats shredding).
+//
+// A second section measures connection-setup amortization over real
+// loopback sockets with the keep-alive pool. Both the client pool's idle
+// timeout and the server's keep-alive idle timeout are raised far above
+// the run length, so neither side can expire a connection mid-run: the
+// accepted-connection and pool-hit counts are exact functions of the
+// request count (1 dial + N-1 hits with keep-alive, N dials without),
+// not of host scheduling.
+//
+// Results land in BENCH_throughput.json.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "net/http.h"
+#include "soap/message.h"
 #include "xmark/xmark.h"
 
 namespace {
@@ -80,9 +94,87 @@ std::string Fmt(double v) {
   return buf;
 }
 
+// Minimal SOAP peer: answers every call in the request with one integer.
+class OnePeer : public xrpc::net::SoapEndpoint {
+ public:
+  xrpc::StatusOr<std::string> Handle(const std::string& /*path*/,
+                                     const std::string& body) override {
+    XRPC_ASSIGN_OR_RETURN(xrpc::soap::XrpcRequest req,
+                          xrpc::soap::ParseRequest(body));
+    xrpc::soap::XrpcResponse resp;
+    resp.module_ns = req.module_ns;
+    resp.method = req.method;
+    for (size_t c = 0; c < req.calls.size(); ++c) {
+      resp.results.push_back(xrpc::xdm::Sequence{
+          xrpc::xdm::Item(xrpc::xdm::AtomicValue::Integer(42))});
+    }
+    return xrpc::soap::SerializeResponse(resp);
+  }
+};
+
+struct ConnStats {
+  int ok = 0;
+  int failed = 0;
+  int64_t connections = 0;
+  int64_t pool_hits = 0;
+  bool deterministic = false;  ///< counts match the exact expectation
+};
+
+// Real-socket keep-alive run with all idle expiry pushed past the run
+// length; the connection count is then exact, not timing-dependent.
+ConnStats MeasureConnections(bool keep_alive, int requests) {
+  ConnStats stats;
+  OnePeer peer;
+  xrpc::net::HttpServer::Options server_opts;
+  server_opts.keep_alive_idle_millis = 600'000;
+  xrpc::net::HttpServer server(&peer, server_opts);
+  auto port = server.Start(0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 port.status().ToString().c_str());
+    return stats;
+  }
+  xrpc::net::HttpConnectionPool::Options pool_opts;
+  pool_opts.idle_timeout_millis = 600'000;
+  xrpc::net::HttpTransport transport(pool_opts);
+  transport.set_keep_alive(keep_alive);
+
+  xrpc::soap::XrpcRequest req;
+  req.module_ns = "m";
+  req.method = "f";
+  req.arity = 1;
+  req.calls.push_back({xrpc::xdm::Sequence{
+      xrpc::xdm::Item(xrpc::xdm::AtomicValue::String("arg"))}});
+  const std::string uri =
+      "xrpc://127.0.0.1:" + std::to_string(port.value());
+  const std::string body = xrpc::soap::SerializeRequest(req);
+  for (int i = 0; i < requests; ++i) {
+    if (transport.Post(uri, body).ok()) {
+      ++stats.ok;
+    } else {
+      ++stats.failed;
+    }
+  }
+  stats.connections = server.connections_accepted();
+  stats.pool_hits = transport.pool().hits();
+  const int64_t expect_conns = keep_alive ? 1 : requests;
+  const int64_t expect_hits = keep_alive ? requests - 1 : 0;
+  stats.deterministic = stats.failed == 0 &&
+                        stats.connections == expect_conns &&
+                        stats.pool_hits == expect_hits;
+  server.Stop();
+  return stats;
+}
+
 }  // namespace
 
 int main() {
+  xrpc::bench::BenchJson json("throughput");
+  json.config()
+      .Set("wire_mb_s", 125)
+      .Set("paper_request_mb_s", 8)
+      .Set("paper_response_mb_s", 14);
+
   std::printf(
       "Throughput (Section 3.3) — SOAP XRPC data throughput on the\n"
       "simulated 1 Gb/s LAN (125 MB/s wire speed). Paper: ~8 MB/s for\n"
@@ -95,10 +187,52 @@ int main() {
     Throughput t = Measure(kb * 1024);
     table.AddRow({std::to_string(kb) + " KiB", Fmt(t.request_mb_s),
                   Fmt(t.response_mb_s)});
+    json.AddRow()
+        .Set("section", "payload_sweep")
+        .Set("payload_kib", kb)
+        .Set("request_mb_s", t.request_mb_s)
+        .Set("response_mb_s", t.response_mb_s);
   }
   table.Print();
   std::printf(
       "\nShape checks: throughput well below wire speed (CPU-bound on\n"
       "parse/shred/serialize); responses faster than requests.\n");
-  return 0;
+
+  const int kRequests = 200;
+  std::printf(
+      "\nConnection amortization (real loopback sockets, %d POSTs) with\n"
+      "idle expiry disabled for the run: counts are exact (keep-alive =\n"
+      "1 connection + %d pool hits; close-per-request = %d connections).\n\n",
+      kRequests, kRequests - 1, kRequests);
+  xrpc::bench::TablePrinter conn_table(
+      {"transport", "ok", "connections", "pool hits", "deterministic"});
+  bool conn_ok = true;
+  for (bool keep_alive : {false, true}) {
+    ConnStats stats = MeasureConnections(keep_alive, kRequests);
+    conn_ok = conn_ok && stats.deterministic;
+    conn_table.AddRow({keep_alive ? "keep-alive" : "close-per-request",
+                       std::to_string(stats.ok),
+                       std::to_string(stats.connections),
+                       std::to_string(stats.pool_hits),
+                       stats.deterministic ? "yes" : "NO"});
+    json.AddRow()
+        .Set("section", "connections")
+        .Set("keep_alive", keep_alive)
+        .Set("requests", kRequests)
+        .Set("ok", stats.ok)
+        .Set("failed", stats.failed)
+        .Set("connections", stats.connections)
+        .Set("pool_hits", stats.pool_hits)
+        .Set("deterministic", stats.deterministic);
+  }
+  conn_table.Print();
+  std::printf("connection counts deterministic: %s\n",
+              conn_ok ? "OK" : "FAILED");
+
+  if (!json.WriteFile("BENCH_throughput.json")) {
+    std::fprintf(stderr, "bench_throughput: cannot write json output\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_throughput.json\n");
+  return conn_ok ? 0 : 1;
 }

@@ -1,0 +1,129 @@
+// Offered-load sweep of the open-loop multi-tenant workload driver
+// (DESIGN.md §16): an interactive read tenant swept across offered loads
+// while a fixed batch tenant issues 2PC updates, at two fleet sizes, with
+// membership chaos off and on. All latency/goodput numbers are virtual-
+// clock (modeled wire time), so the series is deterministic by seed and
+// byte-reproducible across runs — the trajectory baseline future PRs
+// must not regress (EXPERIMENTS.md documents the methodology).
+//
+// Results land in BENCH_workload.json.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "load/workload.h"
+
+namespace {
+
+constexpr int kFleets[] = {8, 16};
+constexpr double kOfferedQps[] = {50.0, 200.0, 800.0};
+constexpr int64_t kDurationUs = 500'000;
+constexpr uint64_t kSeed = 42;
+
+xrpc::load::WorkloadConfig MakeConfig(int fleet, double offered_qps,
+                                      bool chaos) {
+  xrpc::load::WorkloadConfig config;
+  config.seed = kSeed;
+  config.num_shards = fleet;
+  config.replication_factor = 2;  // chaos kills must leave a live copy
+  config.duration_us = kDurationUs;
+  config.chaos = chaos;
+
+  xrpc::load::TenantSpec interactive;
+  interactive.name = "interactive";
+  interactive.arrival_qps = offered_qps;
+  interactive.update_fraction = 0.0;
+  interactive.point_fraction = 0.9;
+  interactive.zipf_s = 1.0;
+  interactive.deadline_us = 500'000;
+  interactive.slo_latency_us = 100'000;
+
+  xrpc::load::TenantSpec batch;
+  batch.name = "batch";
+  batch.arrival_qps = 20.0;
+  batch.update_fraction = 0.5;
+  batch.point_fraction = 0.2;
+  batch.zipf_s = 0.5;
+  batch.deadline_us = 1'000'000;
+  batch.slo_latency_us = 400'000;
+
+  config.tenants.push_back(interactive);
+  config.tenants.push_back(batch);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  xrpc::bench::BenchJson out("workload");
+  out.config()
+      .Set("seed", static_cast<int64_t>(kSeed))
+      .Set("duration_us", kDurationUs)
+      .Set("replication_factor", 2)
+      .Set("tenants", "interactive(sweep,reads,zipf1.0)+batch(20qps,50%upd)");
+
+  std::printf(
+      "Open-loop workload sweep — offered load x fleet size x chaos.\n"
+      "Latency/goodput are virtual-clock (modeled wire time): deterministic\n"
+      "by seed, host-independent (see EXPERIMENTS.md).\n\n");
+
+  bool all_ok = true;
+  for (int fleet : kFleets) {
+    for (bool chaos : {false, true}) {
+      xrpc::bench::TablePrinter table({"offered_qps", "tenant", "ok", "rej",
+                                       "ddl", "fail", "p50", "p99",
+                                       "goodput_qps"});
+      for (double qps : kOfferedQps) {
+        auto report =
+            xrpc::load::RunWorkload(MakeConfig(fleet, qps, chaos));
+        if (!report.ok()) {
+          std::fprintf(stderr, "bench_workload: fleet=%d qps=%.0f: %s\n",
+                       fleet, qps, report.status().ToString().c_str());
+          all_ok = false;
+          continue;
+        }
+        for (const xrpc::load::TenantReport& t : report->tenants) {
+          char qbuf[32], gbuf[32];
+          std::snprintf(qbuf, sizeof(qbuf), "%.0f", qps);
+          std::snprintf(gbuf, sizeof(gbuf), "%.1f", t.goodput_qps);
+          table.AddRow({qbuf, t.name, std::to_string(t.ok),
+                        std::to_string(t.rejected),
+                        std::to_string(t.deadline_exceeded),
+                        std::to_string(t.failed),
+                        xrpc::bench::Ms(t.p50_us),
+                        xrpc::bench::Ms(t.p99_us), gbuf});
+          out.AddRow()
+              .Set("fleet", fleet)
+              .Set("chaos", chaos)
+              .Set("offered_qps", qps)
+              .Set("tenant", t.name)
+              .Set("offered", t.offered)
+              .Set("ok", t.ok)
+              .Set("rejected", t.rejected)
+              .Set("deadline_exceeded", t.deadline_exceeded)
+              .Set("failed", t.failed)
+              .Set("slo_met", t.slo_met)
+              .Set("p50_us", t.p50_us)
+              .Set("p95_us", t.p95_us)
+              .Set("p99_us", t.p99_us)
+              .Set("max_us", t.max_us)
+              .Set("goodput_qps", t.goodput_qps)
+              .Set("chaos_events", report->chaos_events_fired);
+        }
+      }
+      std::printf("fleet=%d chaos=%s\n", fleet, chaos ? "on" : "off");
+      table.Print();
+      std::printf("\n");
+    }
+  }
+
+  if (!out.WriteFile("BENCH_workload.json")) {
+    std::fprintf(stderr, "bench_workload: cannot write json output\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_workload.json\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,7 +1,10 @@
 #include "fuzz/chaos.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "base/prng.h"
@@ -288,6 +291,580 @@ std::string FormatChaosRepro(const ChaosResult& r) {
   out += "--- violations ---\n";
   for (const std::string& v : r.violations) out += v + "\n";
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership chaos (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kElasticShards = 4;  ///< base fleet size
+constexpr int kElasticSpares = 2;  ///< joinable spare slots
+
+std::string PointQuery(int key) {
+  return "import module namespace b=\"functions_b\" at \"b.xq\";\n"
+         "execute at {\"shard:auctions.xml\"} {b:Q_B3(\"person" +
+         std::to_string(key) + "\")}";
+}
+
+constexpr char kPersonsProbe[] =
+    "count(doc(\"shard:persons.xml\")//person)";
+
+const char* ElasticKindName(ElasticEvent::Kind kind) {
+  switch (kind) {
+    case ElasticEvent::kKill: return "kill";
+    case ElasticEvent::kRevive: return "revive";
+    case ElasticEvent::kJoin: return "join";
+    case ElasticEvent::kRebalance: return "rebalance";
+    case ElasticEvent::kBump: return "bump";
+  }
+  return "?";
+}
+
+}  // namespace
+
+/// The chaos-free reference deployment: the same 4-shard layout with no
+/// replication and no membership events, so every scatter-gather /
+/// point-read result under chaos must equal what this network answers
+/// (the scatter-gather merge is shard-ordered — a different shard count
+/// would order the broadcast differently). Kept alive across runs to
+/// cache point baselines.
+class ElasticBaseline {
+ public:
+  ElasticBaseline() {
+    xmark::ShardLoadOptions opts;
+    opts.num_shards = kElasticShards;
+    auto loaded = xmark::LoadShardedXmark(&net_, ChaosXmarkConfig(), opts);
+    if (!loaded.ok()) {
+      status_ = loaded.status();
+      return;
+    }
+    core::Peer* p0 = net_.AddPeer("p0", core::EngineKind::kRelational);
+    status_ =
+        p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()), "b.xq");
+  }
+
+  const Status& status() const { return status_; }
+
+  std::string Run(const std::string& query) {
+    auto report = net_.Execute("p0", query);
+    return report.ok() ? xdm::SequenceToString(report->result)
+                       : std::string();
+  }
+
+  std::string PointRead(int key) {
+    auto it = point_cache_.find(key);
+    if (it != point_cache_.end()) return it->second;
+    std::string result = Run(PointQuery(key));
+    point_cache_[key] = result;
+    return result;
+  }
+
+ private:
+  core::PeerNetwork net_;
+  Status status_ = Status::OK();
+  std::map<int, std::string> point_cache_;
+};
+
+namespace {
+
+/// The live elastic deployment: 4 base shard peers (slots 0..3), 2 spare
+/// slots (4..5) that exist only after a join, and the p0 frontend.
+/// Fragment texts are regenerated (deterministic) so rebalance can
+/// materialize a shard at its new home.
+struct ElasticFixture {
+  core::PeerNetwork net;
+  std::vector<core::Peer*> peers;  ///< slot -> peer; null = not joined yet
+  std::vector<bool> connected;     ///< slot partition state
+  std::vector<std::string> auction_frags;
+  std::vector<std::string> person_frags;
+  core::Peer* p0 = nullptr;
+  Status status = Status::OK();
+  int catalog_mutations = 0;  ///< joins + rebalances + bumps applied
+
+  explicit ElasticFixture(int replication_factor) {
+    xmark::ShardLoadOptions opts;
+    opts.num_shards = kElasticShards;
+    opts.replication_factor = replication_factor;
+    auto loaded = xmark::LoadShardedXmark(&net, ChaosXmarkConfig(), opts);
+    if (!loaded.ok()) {
+      status = loaded.status();
+      return;
+    }
+    peers = loaded->peers;
+    peers.resize(kElasticShards + kElasticSpares, nullptr);
+    connected.assign(peers.size(), true);
+    auction_frags =
+        xmark::GenerateAuctionsFragments(ChaosXmarkConfig(), kElasticShards);
+    person_frags =
+        xmark::GeneratePersonsFragments(ChaosXmarkConfig(), kElasticShards);
+    p0 = net.AddPeer("p0", core::EngineKind::kRelational);
+    status = p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()),
+                                "b.xq");
+  }
+
+  int SlotOf(const std::string& uri) const {
+    for (size_t s = 0; s < peers.size(); ++s) {
+      if (peers[s] != nullptr && peers[s]->uri() == uri) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  /// Moves `shard`'s primary to the peer at `slot`: materializes both
+  /// fragments there, rotates the old primary into the replica set, and
+  /// re-registers BOTH collections back-to-back — the double version
+  /// bump lands atomically between posts (the hook runs synchronously),
+  /// so an in-flight query fences once and refetches the final map.
+  void Rebalance(int shard, int slot) {
+    core::Peer* target = peers[static_cast<size_t>(slot)];
+    if (target == nullptr) return;
+    for (const char* name : {"auctions.xml", "persons.xml"}) {
+      const std::vector<std::string>& frags =
+          name[0] == 'a' ? auction_frags : person_frags;
+      (void)target->AddDocument(
+          std::string(name) + "." + std::to_string(shard),
+          frags[static_cast<size_t>(shard)]);
+      core::ShardedCollection c;
+      int64_t version = 0;
+      if (!net.catalog().Snapshot(name, &c, &version)) continue;
+      core::ShardInfo& sh = c.shards[static_cast<size_t>(shard)];
+      if (sh.peer_uri != target->uri()) {
+        std::string old_primary = sh.peer_uri;
+        sh.peer_uri = target->uri();
+        auto& reps = sh.replicas;
+        reps.erase(std::remove(reps.begin(), reps.end(), target->uri()),
+                   reps.end());
+        if (std::find(reps.begin(), reps.end(), old_primary) == reps.end()) {
+          reps.push_back(old_primary);
+        }
+      }
+      (void)net.catalog().RegisterCollection(std::move(c));
+    }
+    ++catalog_mutations;
+  }
+
+  /// Applies one event; returns whether it had any effect (events aimed
+  /// at absent/mismatched slots are defined no-ops).
+  bool Apply(const ElasticEvent& e) {
+    const size_t slot = static_cast<size_t>(e.peer);
+    switch (e.kind) {
+      case ElasticEvent::kKill:
+        if (slot >= peers.size() || peers[slot] == nullptr ||
+            !connected[slot]) {
+          return false;
+        }
+        peers[slot]->Disconnect();
+        connected[slot] = false;
+        return true;
+      case ElasticEvent::kRevive: {
+        if (slot < peers.size() && peers[slot] != nullptr &&
+            !connected[slot]) {
+          peers[slot]->Reconnect();
+          connected[slot] = true;
+          return true;
+        }
+        // Heal the first open partition instead — revives stay useful
+        // whatever the kill targets were.
+        for (size_t s = 0; s < peers.size(); ++s) {
+          if (peers[s] != nullptr && !connected[s]) {
+            peers[s]->Reconnect();
+            connected[s] = true;
+            return true;
+          }
+        }
+        return false;
+      }
+      case ElasticEvent::kJoin: {
+        if (slot < static_cast<size_t>(kElasticShards) ||
+            slot >= peers.size()) {
+          return false;
+        }
+        if (peers[slot] == nullptr) {
+          core::Peer* spare = net.AddPeer(
+              "spare" +
+                  std::to_string(slot - static_cast<size_t>(kElasticShards)),
+              core::EngineKind::kInterpreter);
+          (void)spare->RegisterModule(
+              xmark::FunctionsBModuleSource(spare->uri()));
+          peers[slot] = spare;
+          connected[slot] = true;
+        }
+        Rebalance(e.shard, static_cast<int>(slot));
+        return true;
+      }
+      case ElasticEvent::kRebalance:
+        if (slot >= peers.size() || peers[slot] == nullptr ||
+            !connected[slot]) {
+          return false;
+        }
+        Rebalance(e.shard, static_cast<int>(slot));
+        return true;
+      case ElasticEvent::kBump: {
+        core::ShardedCollection c;
+        int64_t version = 0;
+        if (net.catalog().Snapshot("persons.xml", &c, &version)) {
+          (void)net.catalog().RegisterCollection(std::move(c));
+          ++catalog_mutations;
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::string ElasticSchedule::Describe() const {
+  std::string out = "rf=" + std::to_string(replication_factor) + " events=[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ElasticEvent& e = events[i];
+    if (i > 0) out += ", ";
+    out += std::string(ElasticKindName(e.kind)) + "(p" +
+           std::to_string(e.peer);
+    if (e.kind == ElasticEvent::kJoin ||
+        e.kind == ElasticEvent::kRebalance) {
+      out += "<-shard" + std::to_string(e.shard);
+    }
+    out += ")@" + std::to_string(e.serial);
+  }
+  out += "]";
+  return out;
+}
+
+ElasticChaosExplorer::ElasticChaosExplorer(const ElasticConfig& config)
+    : config_(config), baseline_(std::make_unique<ElasticBaseline>()) {
+  if (baseline_->status().ok()) {
+    baseline_broadcast_ = baseline_->Run(kChaosQuery);
+    baseline_persons_ = baseline_->Run(kPersonsProbe);
+  }
+}
+
+ElasticChaosExplorer::~ElasticChaosExplorer() = default;
+
+ElasticSchedule ElasticChaosExplorer::MakeSchedule(int index) const {
+  ElasticSchedule s;
+  s.seed = config_.seed;
+  s.index = index;
+  // Distinct stream constant from ChaosExplorer's sampler so the two
+  // explorers never correlate under a shared seed.
+  DeterministicPrng prng(MixSeed(config_.seed ^ 0xe1a57100ull, index));
+  auto below = [&prng](uint64_t n) {
+    return static_cast<int>(prng.NextUint64() % n);
+  };
+  s.replication_factor = 1 + below(2);
+  const int num_events = 2 + below(4);  // 2..5 events
+  int serial = 0;
+  int next_spare = 0;
+  for (int e = 0; e < num_events; ++e) {
+    serial += 1 + below(4);  // spaced over the first queries' posts
+    ElasticEvent ev;
+    ev.serial = serial;
+    const int roll = below(100);
+    if (roll < 25) {
+      ev.kind = ElasticEvent::kKill;
+      ev.peer = below(kElasticShards + kElasticSpares);
+    } else if (roll < 45) {
+      ev.kind = ElasticEvent::kRevive;
+      ev.peer = below(kElasticShards + kElasticSpares);
+    } else if (roll < 65 && next_spare < kElasticSpares) {
+      ev.kind = ElasticEvent::kJoin;
+      ev.peer = kElasticShards + next_spare++;
+      ev.shard = below(kElasticShards);
+    } else if (roll < 85) {
+      ev.kind = ElasticEvent::kRebalance;
+      ev.peer = below(kElasticShards + kElasticSpares);
+      ev.shard = below(kElasticShards);
+    } else {
+      ev.kind = ElasticEvent::kBump;
+    }
+    s.events.push_back(ev);
+  }
+  return s;
+}
+
+ElasticResult ElasticChaosExplorer::RunSchedule(
+    const ElasticSchedule& schedule) {
+  ElasticResult r;
+  r.schedule = schedule;
+  ++stats_.explored;
+
+  auto fail = [&r](const std::string& invariant, const std::string& detail) {
+    r.ok = false;
+    r.violations.push_back(invariant + ": " + detail);
+  };
+
+  ElasticFixture fx(schedule.replication_factor);
+  if (!fx.status.ok() || !baseline_->status().ok()) {
+    fail("fixture", (!fx.status.ok() ? fx.status : baseline_->status())
+                        .ToString());
+    ++stats_.violations;
+    return r;
+  }
+
+  size_t next_event = 0;
+  std::vector<ElasticEvent> events = schedule.events;  // sorted by serial
+  std::sort(events.begin(), events.end(),
+            [](const ElasticEvent& a, const ElasticEvent& b) {
+              return a.serial < b.serial;
+            });
+  fx.net.network().set_post_hook([&](int64_t serial) {
+    while (next_event < events.size() &&
+           events[next_event].serial <= serial) {
+      if (fx.Apply(events[next_event])) ++r.events_fired;
+      ++next_event;
+    }
+  });
+
+  // Conservative must-survive test at query start: every shard of the
+  // auctions snapshot keeps a serving peer (primary or replica) that is
+  // live now and never a kill target anywhere in the schedule.
+  auto must_survive = [&]() {
+    std::set<std::string> doomed;
+    for (const ElasticEvent& e : schedule.events) {
+      if (e.kind != ElasticEvent::kKill) continue;
+      const size_t slot = static_cast<size_t>(e.peer);
+      if (slot < fx.peers.size() && fx.peers[slot] != nullptr) {
+        doomed.insert(fx.peers[slot]->uri());
+      }
+    }
+    core::ShardedCollection c;
+    int64_t version = 0;
+    if (!fx.net.catalog().Snapshot("auctions.xml", &c, &version)) {
+      return false;
+    }
+    for (const core::ShardInfo& sh : c.shards) {
+      std::vector<std::string> serving{sh.peer_uri};
+      serving.insert(serving.end(), sh.replicas.begin(), sh.replicas.end());
+      bool alive = false;
+      for (const std::string& uri : serving) {
+        const int slot = fx.SlotOf(uri);
+        if (slot >= 0 && fx.connected[static_cast<size_t>(slot)] &&
+            doomed.count(uri) == 0) {
+          alive = true;
+          break;
+        }
+      }
+      if (!alive) return false;
+    }
+    return true;
+  };
+
+  // The workload: broadcasts interleaved with routed point reads, point
+  // keys drawn from a per-(seed,index) stream.
+  DeterministicPrng qprng(
+      MixSeed(schedule.seed ^ 0x517cc1b7ull, schedule.index));
+  const int num_persons = ChaosXmarkConfig().num_persons;
+  const int64_t run_start_us = fx.net.network().clock().NowMicros();
+  constexpr int kQueries = 5;
+  for (int qi = 0; qi < kQueries; ++qi) {
+    const bool is_point = (qi % 2) == 1;
+    const int key =
+        is_point ? static_cast<int>(qprng.NextUint64() %
+                                    static_cast<uint64_t>(num_persons))
+                 : 0;
+    const std::string query = is_point ? PointQuery(key) : kChaosQuery;
+    const std::string expected =
+        is_point ? baseline_->PointRead(key) : baseline_broadcast_;
+
+    const bool covered = must_survive();
+    const int mutations_before = fx.catalog_mutations;
+    const int64_t reroutes_before =
+        fx.net.metrics().stale_catalog_reroutes();
+    const int64_t q_start = fx.net.network().clock().NowMicros();
+    core::ExecuteOptions exec_options;
+    exec_options.deadline_us = kDeadlineBudgetUs;
+    auto report = fx.net.Execute("p0", query, exec_options);
+    const int64_t q_elapsed =
+        fx.net.network().clock().NowMicros() - q_start;
+    const int mutations_during = fx.catalog_mutations - mutations_before;
+    const int64_t reroutes =
+        fx.net.metrics().stale_catalog_reroutes() - reroutes_before;
+
+    if (report.ok()) {
+      ++r.queries_ok;
+      // 1. Byte-identity against the chaos-free baseline, whatever mix of
+      //    primaries, replicas, and freshly joined peers answered.
+      const std::string got = xdm::SequenceToString(report->result);
+      if (got != expected) {
+        fail("byte-identity",
+             std::string(is_point ? "point" : "broadcast") + " query " +
+                 std::to_string(qi) + " diverges from the chaos-free "
+                 "baseline (got " + std::to_string(got.size()) +
+                 " bytes, want " + std::to_string(expected.size()) + ")");
+      }
+    } else {
+      ++r.queries_failed;
+      const StatusCode code = report.status().code();
+      const std::string text = report.status().ToString();
+      // 2. Replica-coverage: a fully covered query with at most one racing
+      //    catalog mutation has no excuse to fail.
+      if (covered && mutations_during <= 1) {
+        fail("replica-coverage",
+             "query " + std::to_string(qi) +
+                 " failed although live never-killed replicas cover every "
+                 "shard: " + text);
+      }
+      // 3. Clean-fault: elastic churn may legitimately surface a second
+      //    fence (kStaleCatalog) — but nothing internal or half-merged.
+      if (code != StatusCode::kNetworkError &&
+          code != StatusCode::kDeadlineExceeded &&
+          code != StatusCode::kStaleCatalog) {
+        fail("clean-fault", "query " + std::to_string(qi) +
+                                ": unexpected fault class: " + text);
+      } else if (r.ok) {
+        ++stats_.clean_faults;
+      }
+    }
+    // 4. No-hang, per query.
+    if (q_elapsed > kDeadlineBudgetUs + kDeadlineSlackUs) {
+      fail("no-hang", "query " + std::to_string(qi) + " consumed " +
+                          std::to_string(q_elapsed) + "us of a " +
+                          std::to_string(kDeadlineBudgetUs) + "us budget");
+    }
+    // 5. Single-reroute, conditional on at most one racing mutation (two
+    //    mutations legitimately fence a query twice — the second fence
+    //    fails cleanly instead of re-routing again).
+    if (mutations_during <= 1 && reroutes > 1) {
+      fail("single-reroute",
+           "query " + std::to_string(qi) + " re-routed " +
+               std::to_string(reroutes) + " times under " +
+               std::to_string(mutations_during) + " catalog mutation(s)");
+    }
+  }
+
+  // 6. No-lost-shard, after quiesce: stop firing events, heal every
+  //    partition, and require (a) every shard of every collection keeps a
+  //    live serving peer and (b) scatter-gather probes over BOTH
+  //    collections are byte-identical to the chaos-free baseline.
+  fx.net.network().set_post_hook(nullptr);
+  std::set<std::string> sabotaged;
+  if (config_.sabotage_lost_shard) {
+    // Self-test: permanently partition every server of auctions shard 0 —
+    // the detector below must fire, or it is vacuous.
+    core::ShardedCollection c;
+    int64_t version = 0;
+    if (fx.net.catalog().Snapshot("auctions.xml", &c, &version)) {
+      sabotaged.insert(c.shards[0].peer_uri);
+      for (const std::string& uri : c.shards[0].replicas) {
+        sabotaged.insert(uri);
+      }
+    }
+    for (size_t s = 0; s < fx.peers.size(); ++s) {
+      if (fx.peers[s] != nullptr && sabotaged.count(fx.peers[s]->uri())) {
+        if (fx.connected[s]) fx.peers[s]->Disconnect();
+        fx.connected[s] = false;
+      }
+    }
+  }
+  for (size_t s = 0; s < fx.peers.size(); ++s) {
+    if (fx.peers[s] != nullptr && !fx.connected[s] &&
+        sabotaged.count(fx.peers[s]->uri()) == 0) {
+      fx.peers[s]->Reconnect();
+      fx.connected[s] = true;
+    }
+  }
+  for (const char* name : {"auctions.xml", "persons.xml"}) {
+    core::ShardedCollection c;
+    int64_t version = 0;
+    if (!fx.net.catalog().Snapshot(name, &c, &version)) {
+      fail("no-lost-shard", std::string(name) + " vanished from the catalog");
+      continue;
+    }
+    for (const core::ShardInfo& sh : c.shards) {
+      std::vector<std::string> serving{sh.peer_uri};
+      serving.insert(serving.end(), sh.replicas.begin(), sh.replicas.end());
+      bool alive = false;
+      for (const std::string& uri : serving) {
+        const int slot = fx.SlotOf(uri);
+        if (slot >= 0 && fx.connected[static_cast<size_t>(slot)]) {
+          alive = true;
+          break;
+        }
+      }
+      if (!alive) {
+        fail("no-lost-shard", std::string(name) + " shard " +
+                                  std::to_string(sh.index) +
+                                  " has no live serving peer after quiesce");
+      }
+    }
+  }
+  struct Probe {
+    const char* what;
+    const char* query;
+    const std::string* want;
+  };
+  const Probe probes[] = {
+      {"auctions broadcast", kChaosQuery, &baseline_broadcast_},
+      {"persons scatter-gather", kPersonsProbe, &baseline_persons_},
+  };
+  for (const Probe& probe : probes) {
+    core::ExecuteOptions exec_options;
+    exec_options.deadline_us = kDeadlineBudgetUs;
+    auto report = fx.net.Execute("p0", probe.query, exec_options);
+    if (!report.ok()) {
+      fail("no-lost-shard", std::string(probe.what) +
+                                " probe failed after quiesce: " +
+                                report.status().ToString());
+    } else if (xdm::SequenceToString(report->result) != *probe.want) {
+      fail("no-lost-shard", std::string(probe.what) +
+                                " probe diverges from the chaos-free "
+                                "baseline after quiesce");
+    }
+  }
+
+  r.elapsed_us = fx.net.network().clock().NowMicros() - run_start_us;
+  r.failover_successes = fx.net.metrics().failover_successes();
+  r.stale_reroutes = fx.net.metrics().stale_catalog_reroutes();
+  stats_.queries_ok += r.queries_ok;
+  stats_.events_fired += r.events_fired;
+  stats_.failover_successes += r.failover_successes;
+  stats_.stale_reroutes += r.stale_reroutes;
+  if (!r.ok) ++stats_.violations;
+  return r;
+}
+
+std::string FormatElasticRepro(const ElasticResult& r) {
+  std::string out;
+  out += "# xrpc-fuzz elastic repro\n";
+  out += "seed: " + std::to_string(r.schedule.seed) + "\n";
+  out += "index: " + std::to_string(r.schedule.index) + "\n";
+  out += "schedule: " + r.schedule.Describe() + "\n";
+  out += "queries_ok: " + std::to_string(r.queries_ok) + "\n";
+  out += "queries_failed: " + std::to_string(r.queries_failed) + "\n";
+  out += "elapsed_us: " + std::to_string(r.elapsed_us) + "\n";
+  out += "--- violations ---\n";
+  for (const std::string& v : r.violations) out += v + "\n";
+  return out;
+}
+
+StatusOr<ElasticSchedule> ParseElasticRepro(const std::string& content) {
+  ElasticSchedule s;
+  bool saw_seed = false, saw_index = false;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("seed: ", 0) == 0) {
+      s.seed = std::strtoull(line.c_str() + 6, nullptr, 10);
+      saw_seed = true;
+    } else if (line.rfind("index: ", 0) == 0) {
+      s.index = std::atoi(line.c_str() + 7);
+      saw_index = true;
+    }
+  }
+  if (!saw_seed || !saw_index) {
+    return Status::InvalidArgument("elastic repro needs seed: and index:");
+  }
+  // The event dimensions are re-derived: MakeSchedule(index) under the
+  // same seed reproduces them exactly.
+  return s;
 }
 
 StatusOr<ChaosSchedule> ParseChaosRepro(const std::string& content) {

@@ -2,6 +2,7 @@
 #define XRPC_FUZZ_CHAOS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,123 @@ class ChaosExplorer {
 /// fuzz_schedules --chaos --replay (the file carries seed + index).
 std::string FormatChaosRepro(const ChaosResult& r);
 StatusOr<ChaosSchedule> ParseChaosRepro(const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Elastic membership chaos (DESIGN.md §16): beyond the fixed kill-mask grid,
+// peers JOIN the fleet mid-run, shards REBALANCE to other peers through
+// catalog version bumps, and partitions heal — all while a read workload is
+// in flight. Events fire at post serials through the simulated network's
+// hook, so a run is a pure function of (seed, index).
+// ---------------------------------------------------------------------------
+
+/// One elastic-membership event. Peer slots: 0..3 are the base shard
+/// peers, 4..5 are spares that exist only after a kJoin targets them.
+/// Events aimed at a slot that does not exist yet are no-ops — the
+/// sampler stays simple and every schedule is valid by construction.
+struct ElasticEvent {
+  enum Kind {
+    kKill,       ///< disconnect the peer (partition, dials refused)
+    kRevive,     ///< reconnect it (partition heals)
+    kJoin,       ///< add spare `peer` to the fleet and rebalance `shard`
+                 ///< onto it (catalog bump)
+    kRebalance,  ///< move `shard`'s primary to existing peer `peer`
+    kBump,       ///< identical catalog re-registration (version only)
+  };
+  Kind kind = kBump;
+  int serial = 0;  ///< 1-based post serial at which the event fires
+  int peer = 0;    ///< target peer slot
+  int shard = 0;   ///< shard index (kJoin / kRebalance)
+};
+
+/// A sampled elastic schedule — pure function of (seed, index), like
+/// ChaosSchedule.
+struct ElasticSchedule {
+  uint64_t seed = 0;
+  int index = 0;
+  int replication_factor = 1;
+  std::vector<ElasticEvent> events;
+
+  std::string Describe() const;
+};
+
+/// Outcome of one elastic run (several queries under one event schedule).
+struct ElasticResult {
+  ElasticSchedule schedule;
+  bool ok = true;                       ///< all invariants held
+  std::vector<std::string> violations;  ///< "invariant: detail" lines
+
+  int queries_ok = 0;
+  int queries_failed = 0;
+  int events_fired = 0;
+  int64_t failover_successes = 0;
+  int64_t stale_reroutes = 0;
+  int64_t elapsed_us = 0;  ///< virtual time of the whole run
+};
+
+struct ElasticStats {
+  int64_t explored = 0;
+  int64_t queries_ok = 0;
+  int64_t clean_faults = 0;
+  int64_t violations = 0;
+  int64_t events_fired = 0;
+  int64_t failover_successes = 0;
+  int64_t stale_reroutes = 0;
+};
+
+struct ElasticConfig {
+  uint64_t seed = 1;
+  /// Self-test mode: at quiesce, instead of healing, permanently
+  /// disconnect every peer serving shard 0 of the auctions collection.
+  /// The no-lost-shard detector must fire — proving it non-vacuous.
+  bool sabotage_lost_shard = false;
+};
+
+/// Elastic-membership exploration over a 4-shard replicated XMark fleet
+/// plus two joinable spares. Every run replays a fixed read workload
+/// (broadcast scatter-gathers interleaved with routed point reads) while
+/// the sampled event schedule fires, then asserts six invariants:
+///   1. byte-identity  — every surviving query result equals the
+///      chaos-free baseline exactly;
+///   2. replica-coverage — when every shard keeps a live, never-killed
+///      serving peer and at most one catalog mutation raced the query,
+///      the query MUST survive;
+///   3. clean-fault — a failing query fails with one retriable-class
+///      fault (network / deadline / stale-catalog), never half-merged;
+///   4. no-hang — each query consumes at most the deadline budget plus
+///      one message of slack;
+///   5. single-reroute — at most one catalog refetch + re-dispatch per
+///      query when at most one mutation raced it;
+///   6. no-lost-shard — after quiesce (partitions healed), every shard
+///      of every collection is served by some live peer, and
+///      scatter-gather probes over both collections are byte-identical
+///      to the chaos-free baseline.
+class ElasticChaosExplorer {
+ public:
+  explicit ElasticChaosExplorer(const ElasticConfig& config = {});
+  ~ElasticChaosExplorer();
+
+  /// Deterministically derives sampled schedule `index` under this
+  /// explorer's seed (no systematic grid — the space is combinatorial).
+  ElasticSchedule MakeSchedule(int index) const;
+
+  ElasticResult RunSchedule(const ElasticSchedule& schedule);
+
+  const ElasticStats& stats() const { return stats_; }
+
+ private:
+  ElasticConfig config_;
+  ElasticStats stats_;
+  std::string baseline_broadcast_;  ///< chaos-free Q_B1 result
+  std::string baseline_persons_;    ///< chaos-free persons-count probe
+  /// Unsharded reference network, kept alive to answer point-read
+  /// baselines on demand (cached by person key).
+  std::unique_ptr<class ElasticBaseline> baseline_;
+};
+
+/// Repro file for an elastic invariant violation; replay with
+/// fuzz_schedules --chaos-elastic --replay (carries seed + index).
+std::string FormatElasticRepro(const ElasticResult& r);
+StatusOr<ElasticSchedule> ParseElasticRepro(const std::string& content);
 
 }  // namespace xrpc::fuzz
 

@@ -1,0 +1,141 @@
+// Open-loop multi-tenant workload driver (DESIGN.md §16).
+//
+// Arrivals are a merged Poisson process per tenant, precomputed on the
+// VirtualClock — no wall clock anywhere, so a (seed, config) pair pins the
+// exact arrival schedule, query mix, key skew, chaos event times, and
+// therefore the entire SLO report byte-for-byte. Open-loop means the
+// driver never waits for a response before honoring the next arrival:
+// when the fleet falls behind, waiting time accumulates into measured
+// latency (completion − arrival) instead of silently throttling offered
+// load — saturation shows up as a latency blow-up and deadline/admission
+// losses, exactly like a production front door.
+
+#ifndef XRPC_LOAD_WORKLOAD_H_
+#define XRPC_LOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/peer_network.h"
+#include "xmark/xmark.h"
+
+namespace xrpc::load {
+
+/// What one arrival asks the fleet to do.
+enum class QueryKind {
+  kPointRead,  ///< Q_B3(person-key): routed, prunes to the owning shard
+  kJoinRead,   ///< Q_B1 broadcast: scatter-gather over every shard
+  kUpdate,     ///< XQUF insert at two peers through repeatable-read 2PC
+};
+
+const char* QueryKindToString(QueryKind kind);
+
+/// One tenant's traffic contract.
+struct TenantSpec {
+  std::string name = "tenant";
+  /// Offered load in queries per virtual second (Poisson arrival rate).
+  double arrival_qps = 100.0;
+  /// Fraction of arrivals that are XQUF updates (through 2PC).
+  double update_fraction = 0.0;
+  /// Of the read arrivals, fraction that are routed point reads (the rest
+  /// are broadcast joins).
+  double point_fraction = 0.8;
+  /// Zipf skew of key targeting: 0 = uniform, 1 ≈ classic hot-key skew.
+  /// Point reads draw a person key (whose shard is the hash of the key);
+  /// updates draw the first destination shard directly.
+  double zipf_s = 1.0;
+  /// End-to-end budget per query; an arrival whose queueing delay already
+  /// exceeds it is admission-rejected without dispatching.
+  int64_t deadline_us = 2'000'000;
+  /// Latency SLO on arrival→completion; `goodput` counts only queries
+  /// that completed ok within this.
+  int64_t slo_latency_us = 100'000;
+};
+
+/// Driver-applied membership chaos while load is running: derived
+/// deterministically from the seed when `chaos` is on (kill → revive →
+/// catalog bump → second kill → revive, spread over the run).
+struct WorkloadConfig {
+  uint64_t seed = 1;
+  /// Fleet size: shard peers "shard0" .. "shardN-1" plus the p0 frontend.
+  int num_shards = 8;
+  int replication_factor = 1;
+  /// Virtual-time horizon of the arrival schedule.
+  int64_t duration_us = 1'000'000;
+  std::vector<TenantSpec> tenants;
+  /// XMark fixture size (modest default keeps a sweep in seconds).
+  xmark::XmarkConfig data;
+  /// Apply the deterministic kill/revive/bump sequence mid-run.
+  bool chaos = false;
+
+  WorkloadConfig() {
+    data.num_persons = 24;
+    data.num_closed_auctions = 32;
+    data.num_matches = 6;
+    data.annotation_bytes = 8;
+  }
+};
+
+/// One precomputed arrival. The schedule is a pure function of the
+/// config — tests compare two BuildArrivals() calls for identity.
+struct Arrival {
+  int64_t time_us = 0;  ///< virtual arrival instant
+  int tenant = 0;       ///< index into WorkloadConfig::tenants
+  int64_t seq = 0;      ///< per-tenant sequence number (tie-break)
+  QueryKind kind = QueryKind::kJoinRead;
+  int key = 0;  ///< person rank (point reads) / first shard (updates)
+};
+
+/// Precomputes the merged multi-tenant Poisson schedule over
+/// [0, duration_us). Sorted by (time_us, tenant, seq).
+std::vector<Arrival> BuildArrivals(const WorkloadConfig& config);
+
+/// Per-tenant accounting of one run.
+struct TenantReport {
+  std::string name;
+  int64_t offered = 0;
+  int64_t ok = 0;
+  int64_t rejected = 0;           ///< admission-rejected (never dispatched)
+  int64_t deadline_exceeded = 0;  ///< dispatched but died past its budget
+  int64_t failed = 0;             ///< any other terminal error / 2PC abort
+  int64_t slo_met = 0;            ///< ok AND within slo_latency_us
+  int64_t point_reads = 0;
+  int64_t join_reads = 0;
+  int64_t updates = 0;
+  /// Exact percentiles of arrival→completion latency over admitted
+  /// queries (virtual micros); 0 when nothing was admitted.
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  int64_t max_us = 0;
+  double offered_qps = 0.0;  ///< offered / configured duration
+  double goodput_qps = 0.0;  ///< slo_met / measured span
+};
+
+struct WorkloadReport {
+  uint64_t seed = 0;
+  int num_shards = 0;
+  int replication_factor = 0;
+  bool chaos = false;
+  int64_t arrivals = 0;
+  int64_t span_us = 0;  ///< virtual time from start to last completion
+  int64_t chaos_events_fired = 0;
+  std::vector<TenantReport> tenants;
+  /// RpcMetrics::Report() of the run's PeerNetwork (all-modeled, hence
+  /// deterministic) — carries the tenant:/slo: observability lines.
+  std::string metrics_report;
+
+  /// Deterministic multi-line rendering; identical seeds must produce
+  /// identical text byte-for-byte.
+  std::string Format() const;
+};
+
+/// Builds the sharded fleet, replays the arrival schedule open-loop, and
+/// returns the SLO report. Dispatch is serial (arrival order) so chaos
+/// event interleavings stay deterministic.
+StatusOr<WorkloadReport> RunWorkload(const WorkloadConfig& config);
+
+}  // namespace xrpc::load
+
+#endif  // XRPC_LOAD_WORKLOAD_H_

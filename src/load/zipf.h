@@ -1,0 +1,48 @@
+// Deterministic Zipfian sampler for hot-key skew in the workload driver
+// (DESIGN.md §16). Rank 0 is the hottest item; P(rank i) ∝ 1/(i+1)^s.
+// s = 0 degenerates to uniform. The CDF is precomputed once so sampling
+// is a binary search — O(log n) per draw, no rejection loop, and the
+// draw consumes exactly one PRNG value (keeps arrival schedules
+// reproducible when mixes change).
+
+#ifndef XRPC_LOAD_ZIPF_H_
+#define XRPC_LOAD_ZIPF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/prng.h"
+
+namespace xrpc::load {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) {
+    if (n < 1) n = 1;
+    cdf_.resize(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+  /// Draws a 0-based rank; consumes exactly one value from `prng`.
+  int Sample(DeterministicPrng& prng) const {
+    double u = prng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[i] = P(rank <= i), ends at 1.0
+};
+
+}  // namespace xrpc::load
+
+#endif  // XRPC_LOAD_ZIPF_H_

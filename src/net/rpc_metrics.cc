@@ -286,6 +286,28 @@ void RpcMetrics::RecordRouteMiss(const std::string& collection) {
   ++route_.per_collection[collection];
 }
 
+void RpcMetrics::RecordTenantQuery(const std::string& tenant,
+                                   TenantOutcome outcome, int64_t latency_us,
+                                   bool slo_met) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantStats& s = per_tenant_[tenant];
+  ++s.offered;
+  switch (outcome) {
+    case TenantOutcome::kOk: ++s.ok; break;
+    case TenantOutcome::kRejected: ++s.rejected; break;
+    case TenantOutcome::kDeadlineExceeded: ++s.deadline_exceeded; break;
+    case TenantOutcome::kFailed: ++s.failed; break;
+  }
+  if (slo_met) ++s.slo_met;
+  if (outcome != TenantOutcome::kRejected) s.latency.Record(latency_us);
+}
+
+std::map<std::string, RpcMetrics::TenantStats> RpcMetrics::tenant_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_tenant_;
+}
+
 void RpcMetrics::RecordExecOp(const std::string& op, int64_t morsels,
                               int64_t wall_us, int64_t wait_us,
                               bool parallel) {
@@ -642,6 +664,15 @@ std::string RpcMetrics::Report() const {
          " cancellations=" + FormatCount(deadline_.cancellations) +
          " sessions_released=" + FormatCount(deadline_.sessions_released) +
          "\n";
+  for (const auto& [tenant, s] : per_tenant_) {
+    out += "  tenant " + tenant + ": offered=" + FormatCount(s.offered) +
+           " ok=" + FormatCount(s.ok) +
+           " rejected=" + FormatCount(s.rejected) +
+           " deadline_exceeded=" + FormatCount(s.deadline_exceeded) +
+           " failed=" + FormatCount(s.failed) +
+           " slo_met=" + FormatCount(s.slo_met) + "\n";
+    out += "  slo " + tenant + ": " + s.latency.Summary() + "\n";
+  }
   if (!exec_ops_.empty()) {
     int64_t ops = 0, par = 0, morsels = 0, wait_us = 0;
     for (const auto& [op, s] : exec_ops_) {
@@ -669,6 +700,7 @@ void RpcMetrics::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   per_peer_.clear();
   per_server_.clear();
+  per_tenant_.clear();
   backoff_micros_ = 0;
   injected_faults_ = 0;
   txn_ = TxnStats{};

@@ -196,6 +196,32 @@ class RpcMetrics {
   /// and the caller broadcast to every shard instead.
   void RecordRouteMiss(const std::string& collection);
 
+  // -- Multi-tenant workload counters (DESIGN.md §16) ----------------------
+
+  /// Terminal outcome of one tenant query as classified by the workload
+  /// driver (src/load): admitted+ok, rejected at admission (arrival already
+  /// past its deadline), deadline exceeded mid-flight, or failed outright.
+  enum class TenantOutcome { kOk, kRejected, kDeadlineExceeded, kFailed };
+
+  /// One tenant query finished with `outcome`; `latency_us` is
+  /// completion − arrival (open-loop: includes queueing delay) and
+  /// `slo_met` whether it completed ok within the tenant's SLO target.
+  /// Rejected queries carry no latency sample (they never ran).
+  void RecordTenantQuery(const std::string& tenant, TenantOutcome outcome,
+                         int64_t latency_us, bool slo_met);
+
+  /// Aggregated per-tenant workload stats.
+  struct TenantStats {
+    int64_t offered = 0;            ///< arrivals (all outcomes)
+    int64_t ok = 0;                 ///< completed successfully
+    int64_t rejected = 0;           ///< admission-rejected (never dispatched)
+    int64_t deadline_exceeded = 0;  ///< gave up past the deadline budget
+    int64_t failed = 0;             ///< any other terminal error
+    int64_t slo_met = 0;            ///< ok AND within the latency SLO
+    LatencyHistogram latency;       ///< arrival→completion, admitted only
+  };
+  std::map<std::string, TenantStats> tenant_stats() const;
+
   // -- Aggregate accessors (totals over all peers) ------------------------
   int64_t requests() const;
   int64_t failures() const;
@@ -351,6 +377,8 @@ class RpcMetrics {
     int64_t faults = 0;
   };
   std::map<std::string, ServerStats> per_server_;  // server side, by self URI
+
+  std::map<std::string, TenantStats> per_tenant_;  // workload driver, by name
 
   std::map<std::string, ExecOpStats> exec_ops_;  // morsel executor, by op
   bool exec_sampling_ = false;

@@ -203,5 +203,77 @@ TEST(ChaosSmokeTest, ChaosReproRoundTripsAndReplays) {
   EXPECT_EQ(second.elapsed_us, first.elapsed_us);
 }
 
+TEST(ElasticChaosSmokeTest, SampledSliceHoldsAllSixInvariants) {
+  ElasticConfig config;
+  config.seed = 20260809;
+  ElasticChaosExplorer explorer(config);
+  // A sampled slice of elastic-membership schedules; the 500-schedule
+  // soak runs through fuzz_schedules --chaos-elastic (EXPERIMENTS.md).
+  int with_membership_change = 0;
+  for (int i = 0; i < 24; ++i) {
+    ElasticResult r = explorer.RunSchedule(explorer.MakeSchedule(i));
+    EXPECT_TRUE(r.ok) << r.schedule.Describe() << "\n  "
+                      << (r.violations.empty() ? "" : r.violations[0]);
+    if (r.events_fired > 0) ++with_membership_change;
+  }
+  EXPECT_EQ(explorer.stats().violations, 0);
+  EXPECT_GT(explorer.stats().queries_ok, 0);
+  // The slice must actually change membership mid-run, not only no-op.
+  EXPECT_GT(with_membership_change, 0);
+}
+
+TEST(ElasticChaosSmokeTest, SchedulesAreDeterministicAndVaried) {
+  ElasticConfig config;
+  config.seed = 4;
+  ElasticChaosExplorer a(config);
+  ElasticChaosExplorer b(config);
+  std::set<std::string> distinct;
+  for (int i = 0; i < 40; ++i) {
+    ElasticSchedule sa = a.MakeSchedule(i);
+    EXPECT_EQ(sa.Describe(), b.MakeSchedule(i).Describe()) << i;
+    distinct.insert(sa.Describe());
+  }
+  EXPECT_GE(distinct.size(), 30u);
+}
+
+TEST(ElasticChaosSmokeTest, SabotageSelfTestTripsNoLostShard) {
+  // Sabotage permanently disconnects every peer serving auctions shard 0
+  // at quiesce: the no-lost-shard invariant must flag it (the detector is
+  // not vacuous).
+  ElasticConfig config;
+  config.seed = 1;
+  config.sabotage_lost_shard = true;
+  ElasticChaosExplorer explorer(config);
+  ElasticResult r = explorer.RunSchedule(explorer.MakeSchedule(0));
+  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  bool hit = false;
+  for (const std::string& v : r.violations) {
+    if (v.substr(0, v.find(':')) == "no-lost-shard") hit = true;
+  }
+  EXPECT_TRUE(hit) << r.violations[0];
+}
+
+TEST(ElasticChaosSmokeTest, ElasticReproRoundTripsAndReplays) {
+  ElasticConfig config;
+  config.seed = 9;
+  ElasticChaosExplorer explorer(config);
+  const int index = 17;
+  ElasticResult first = explorer.RunSchedule(explorer.MakeSchedule(index));
+
+  auto parsed = ParseElasticRepro(FormatElasticRepro(first));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().seed, 9u);
+  EXPECT_EQ(parsed.value().index, index);
+
+  ElasticSchedule again = explorer.MakeSchedule(parsed.value().index);
+  EXPECT_EQ(again.Describe(), first.schedule.Describe());
+  ElasticResult second = explorer.RunSchedule(again);
+  EXPECT_EQ(second.ok, first.ok);
+  EXPECT_EQ(second.queries_ok, first.queries_ok);
+  EXPECT_EQ(second.events_fired, first.events_fired);
+  EXPECT_EQ(second.elapsed_us, first.elapsed_us);
+}
+
 }  // namespace
 }  // namespace xrpc::fuzz

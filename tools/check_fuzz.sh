@@ -8,7 +8,10 @@
 #     (fails on any unexplained divergence; repro files land in $OUT);
 #  3. a fixed-seed 400-schedule fault exploration asserting the four 2PC
 #     invariants (at-most-once, all-or-nothing, no in-doubt leaks,
-#     serial equivalence).
+#     serial equivalence);
+#  4. an elastic-membership chaos smoke at seeds 1-3 (peers joining and
+#     leaving mid-run, shard rebalances, partitions healing) asserting
+#     the six chaos invariants including no-lost-shard.
 #
 # Long soak campaigns (thousands of queries/schedules, many seeds) run the
 # same binaries by hand — see EXPERIMENTS.md.
@@ -31,5 +34,9 @@ cmake --build "$BUILD" -j --target \
 "$BUILD/tools/fuzz_differential" --seed 1 --count 200 --out-dir "$OUT"
 "$BUILD/tools/fuzz_schedules" --seed 1 --count 400 --out-dir "$OUT" \
     --wal-dir "$OUT"
+for seed in 1 2 3; do
+  "$BUILD/tools/fuzz_schedules" --chaos-elastic --seed "$seed" --count 60 \
+      --out-dir "$OUT"
+done
 
 echo "fuzz smoke: OK"

@@ -9,7 +9,9 @@
 # catalog epoch fencing, circuit-breaker probe races; DESIGN.md §14) and
 # the `parallel` lane (the morsel-parallel executor's determinism tests at
 # exec_threads in {1,2,8} — corpus, seeded-random, sharded scatter-gather
-# and cancellation-under-parallelism; DESIGN.md §15).
+# and cancellation-under-parallelism; DESIGN.md §15), and the `workload`
+# lane (the open-loop multi-tenant driver and the elastic-membership
+# chaos invariants; DESIGN.md §16).
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -31,4 +33,8 @@ ctest --output-on-failure -j"$(nproc)" -L failover
 # worker counts, the pool/TaskGroup exception paths, and prompt
 # cancellation under parallel execution (DESIGN.md §15).
 ctest --output-on-failure -j"$(nproc)" -L parallel
+# The workload lane by label: open-loop driver determinism (the SLO
+# report must stay byte-identical under TSan's scheduling perturbation)
+# and the elastic no-lost-shard sabotage self-test (DESIGN.md §16).
+ctest --output-on-failure -j"$(nproc)" -L workload
 echo "sanitize($SANITIZER): OK"

@@ -17,6 +17,14 @@
 //   fuzz_schedules --chaos --seed 7 --count 500
 //   fuzz_schedules --chaos --replay chaos-7-42.repro
 //
+// --chaos-elastic switches to the elastic-membership axis (DESIGN.md §16):
+// peers joining/leaving mid-run, shard rebalance through catalog bumps,
+// and partitions healing, asserting six invariants including no-lost-shard
+// after quiesce. --sabotage here self-tests the no-lost-shard detector.
+//
+//   fuzz_schedules --chaos-elastic --seed 7 --count 500
+//   fuzz_schedules --chaos-elastic --replay elastic-7-42.repro
+//
 // Exit status: 0 = every schedule satisfied all invariants; 1 = at least
 // one violation (repro file written); 2 = usage / replay input error.
 
@@ -34,18 +42,101 @@ namespace {
 using xrpc::fuzz::ChaosConfig;
 using xrpc::fuzz::ChaosExplorer;
 using xrpc::fuzz::ChaosResult;
+using xrpc::fuzz::ElasticChaosExplorer;
+using xrpc::fuzz::ElasticConfig;
+using xrpc::fuzz::ElasticResult;
 using xrpc::fuzz::Schedule;
 using xrpc::fuzz::ScheduleConfig;
 using xrpc::fuzz::ScheduleExplorer;
 using xrpc::fuzz::ScheduleResult;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: fuzz_schedules [--chaos] [--seed N] [--count N]\n"
-               "                      [--wal-dir DIR] [--out-dir DIR]\n"
-               "                      [--sabotage] [--verbose]\n"
-               "       fuzz_schedules [--chaos] --replay FILE [--wal-dir DIR]\n");
+  std::fprintf(
+      stderr,
+      "usage: fuzz_schedules [--chaos|--chaos-elastic] [--seed N] [--count N]\n"
+      "                      [--wal-dir DIR] [--out-dir DIR]\n"
+      "                      [--sabotage] [--verbose]\n"
+      "       fuzz_schedules [--chaos|--chaos-elastic] --replay FILE\n"
+      "                      [--wal-dir DIR]\n");
   return 2;
+}
+
+void PrintElasticResult(const ElasticResult& r) {
+  std::printf("elastic %d: %s\n", r.schedule.index,
+              r.schedule.Describe().c_str());
+  std::printf(
+      "  queries_ok=%d queries_failed=%d events_fired=%d elapsed=%lldus "
+      "failover=%lld reroutes=%lld\n",
+      r.queries_ok, r.queries_failed, r.events_fired,
+      static_cast<long long>(r.elapsed_us),
+      static_cast<long long>(r.failover_successes),
+      static_cast<long long>(r.stale_reroutes));
+  for (const std::string& v : r.violations) {
+    std::printf("  VIOLATION %s\n", v.c_str());
+  }
+}
+
+int RunElastic(const ElasticConfig& config, int count, bool verbose,
+               const std::string& out_dir, const std::string& replay_path) {
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "fuzz_schedules: cannot open %s\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = xrpc::fuzz::ParseElasticRepro(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fuzz_schedules: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    ElasticConfig replay_config = config;
+    replay_config.seed = parsed.value().seed;
+    ElasticChaosExplorer explorer(replay_config);
+    ElasticResult r =
+        explorer.RunSchedule(explorer.MakeSchedule(parsed.value().index));
+    PrintElasticResult(r);
+    return r.ok ? 0 : 1;
+  }
+
+  ElasticChaosExplorer explorer(config);
+  int violations = 0;
+  std::printf("fuzz_schedules --chaos-elastic: seed=%llu count=%d\n",
+              static_cast<unsigned long long>(config.seed), count);
+  for (int i = 0; i < count; ++i) {
+    ElasticResult r = explorer.RunSchedule(explorer.MakeSchedule(i));
+    if (verbose) PrintElasticResult(r);
+    if (r.ok) continue;
+    ++violations;
+    if (!verbose) PrintElasticResult(r);
+    const std::string path = out_dir + "/elastic-" +
+                             std::to_string(r.schedule.seed) + "-" +
+                             std::to_string(r.schedule.index) + ".repro";
+    std::ofstream out(path);
+    out << xrpc::fuzz::FormatElasticRepro(r);
+    std::printf("  repro: %s\n", path.c_str());
+  }
+  const auto& s = explorer.stats();
+  std::printf(
+      "fuzz_schedules --chaos-elastic: explored=%lld queries_ok=%lld "
+      "clean_faults=%lld events_fired=%lld failover=%lld reroutes=%lld "
+      "violations=%lld\n",
+      static_cast<long long>(s.explored),
+      static_cast<long long>(s.queries_ok),
+      static_cast<long long>(s.clean_faults),
+      static_cast<long long>(s.events_fired),
+      static_cast<long long>(s.failover_successes),
+      static_cast<long long>(s.stale_reroutes),
+      static_cast<long long>(s.violations));
+  if (config.sabotage_lost_shard) {
+    // Self-test mode: success means the no-lost-shard detector caught the
+    // injected permanent partition.
+    return violations > 0 ? 0 : 1;
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 void PrintChaosResult(const ChaosResult& r) {
@@ -139,6 +230,7 @@ int main(int argc, char** argv) {
   int count = 1000;
   bool verbose = false;
   bool chaos = false;
+  bool chaos_elastic = false;
   std::string out_dir = ".";
   std::string replay_path;
 
@@ -149,6 +241,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--chaos-elastic") {
+      chaos_elastic = true;
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -176,6 +270,13 @@ int main(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+
+  if (chaos_elastic) {
+    ElasticConfig elastic_config;
+    elastic_config.seed = config.seed;
+    elastic_config.sabotage_lost_shard = config.sabotage_double_apply;
+    return RunElastic(elastic_config, count, verbose, out_dir, replay_path);
   }
 
   if (chaos) {

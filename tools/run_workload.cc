@@ -1,0 +1,120 @@
+// Open-loop multi-tenant workload CLI (DESIGN.md §16): drives a simulated
+// sharded fleet with Poisson arrivals on the virtual clock and prints the
+// per-tenant SLO report. Fully deterministic by seed — two invocations
+// with the same flags print byte-identical reports.
+//
+//   run_workload --shards 16 --rf 2 --duration-ms 2000
+//                --tenant gold:200:0.1 --tenant batch:50:0 --chaos
+//
+// --tenant NAME:QPS[:UPDATE_FRACTION] may repeat; without it a default
+// two-tenant mix (interactive reads + batch updates) is used.
+//
+// Exit status: 0 = run completed; 2 = usage / setup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "load/workload.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: run_workload [--seed N] [--shards N] [--rf N]\n"
+      "                    [--duration-ms N] [--chaos] [--metrics]\n"
+      "                    [--tenant NAME:QPS[:UPDATE_FRACTION]]...\n");
+  return 2;
+}
+
+bool ParseTenant(const std::string& spec, xrpc::load::TenantSpec* out) {
+  const size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  out->name = spec.substr(0, c1);
+  const size_t c2 = spec.find(':', c1 + 1);
+  const std::string qps =
+      spec.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                  : c2 - c1 - 1);
+  out->arrival_qps = std::atof(qps.c_str());
+  if (out->arrival_qps <= 0) return false;
+  if (c2 != std::string::npos) {
+    out->update_fraction = std::atof(spec.c_str() + c2 + 1);
+    if (out->update_fraction < 0 || out->update_fraction > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xrpc::load::WorkloadConfig config;
+  bool print_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.num_shards = std::atoi(v);
+    } else if (arg == "--rf") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.replication_factor = std::atoi(v);
+    } else if (arg == "--duration-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.duration_us = std::atoll(v) * 1000;
+    } else if (arg == "--chaos") {
+      config.chaos = true;
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      xrpc::load::TenantSpec spec;
+      if (!ParseTenant(v, &spec)) {
+        std::fprintf(stderr, "run_workload: bad --tenant spec '%s'\n", v);
+        return Usage();
+      }
+      config.tenants.push_back(spec);
+    } else {
+      return Usage();
+    }
+  }
+  if (config.num_shards < 1 || config.duration_us <= 0) return Usage();
+
+  if (config.tenants.empty()) {
+    xrpc::load::TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.arrival_qps = 120.0;
+    interactive.point_fraction = 0.9;
+    interactive.zipf_s = 1.0;
+    xrpc::load::TenantSpec batch;
+    batch.name = "batch";
+    batch.arrival_qps = 30.0;
+    batch.update_fraction = 0.5;
+    batch.point_fraction = 0.2;
+    batch.zipf_s = 0.5;
+    config.tenants.push_back(interactive);
+    config.tenants.push_back(batch);
+  }
+
+  auto report = xrpc::load::RunWorkload(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run_workload: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(report->Format().c_str(), stdout);
+  if (print_metrics) std::fputs(report->metrics_report.c_str(), stdout);
+  return 0;
+}
