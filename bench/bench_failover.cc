@@ -6,6 +6,14 @@
 // subcall goes straight to the replica). Latencies are per-query
 // virtual-clock time, so every row is deterministic. Emits
 // BENCH_failover.json.
+//
+// A second section measures write availability (DESIGN.md §17): updating
+// broadcasts enlist EVERY copy of every touched shard as a 2PC
+// participant, so — unlike reads — a write cannot fail over around a dead
+// copy. Rows sweep rf ∈ {1,2,3} healthy and with one storage peer dead,
+// reporting update success rate and latency percentiles; the dead-peer
+// rows show the at-most-once trade (aborts, fast) while the healthy rows
+// price the extra participants per replica.
 
 #include <algorithm>
 #include <cstdio>
@@ -106,6 +114,72 @@ Outcome Run(bool kill_primary, bool with_breaker) {
   return out;
 }
 
+// -- Write availability (DESIGN.md §17) -------------------------------------
+
+constexpr int kWrites = 20;
+
+// Each shard peer resolves doc("auctions.xml") to its own fragment, so the
+// insert lands locally at every participant.
+constexpr char kUpdModule[] = R"(
+  module namespace u = "upd_bench";
+  declare updating function u:stamp()
+  { insert nodes <stamp/> into doc("auctions.xml")/site };
+)";
+
+constexpr char kUpdQuery[] =
+    "declare option xrpc:isolation \"repeatable\";\n"
+    "declare option xrpc:timeout \"60\";\n"
+    "import module namespace u=\"upd_bench\" at \"u.xq\";\n"
+    "execute at {\"shard:auctions.xml\"} {u:stamp()}";
+
+struct WriteOutcome {
+  std::vector<int64_t> latencies_us;
+  int committed = 0;
+  int aborted = 0;
+};
+
+WriteOutcome RunWrites(int rf, bool kill_copy) {
+  PeerNetwork net;
+  xrpc::xmark::ShardLoadOptions opts;
+  opts.num_shards = kNumShards;
+  opts.replication_factor = rf;
+  auto loaded = xrpc::xmark::LoadShardedXmark(&net, Config(), opts);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  Peer* p0 = net.AddPeer("p0", EngineKind::kInterpreter);
+  for (Peer* p : loaded->peers) {
+    if (!p->RegisterModule(kUpdModule, "u.xq").ok()) std::exit(1);
+  }
+  if (!p0->RegisterModule(kUpdModule, "u.xq").ok()) std::exit(1);
+  // Ring placement: peers[1] is shard 1's primary and — once rf >= 2 —
+  // a replica of shard 0. Any dead copy aborts the whole broadcast.
+  if (kill_copy) loaded->peers[1]->Disconnect();
+
+  ExecuteOptions exec;
+  exec.deadline_us = kDeadlineUs;
+  WriteOutcome out;
+  for (int i = 0; i < kWrites; ++i) {
+    const int64_t start = net.network().clock().NowMicros();
+    auto report = net.Execute("p0", kUpdQuery, exec);
+    out.latencies_us.push_back(net.network().clock().NowMicros() - start);
+    if (report.ok() && report->committed) {
+      ++out.committed;
+    } else {
+      ++out.aborted;
+    }
+  }
+  return out;
+}
+
+std::string Pct(int num, int den) {
+  if (den == 0) return "n/a";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d%%", 100 * num / den);
+  return buf;
+}
+
 }  // namespace
 
 int main() {
@@ -163,6 +237,38 @@ int main() {
   table.Print();
   std::printf("\nmetrics of the dead-primary+breaker run:\n%s",
               last_report.c_str());
+
+  std::printf(
+      "\nWrite availability — %d updating broadcasts (all-copies 2PC) per\n"
+      "row; 'copy-dead' disconnects one storage peer. Writes enlist every\n"
+      "replica, so a single dead copy aborts them all (at-most-once, no\n"
+      "update failover) — reads above keep failing over regardless.\n\n",
+      kWrites);
+  TablePrinter wtable({"scenario", "rf", "committed", "aborted", "success",
+                       "p50 ms", "p95 ms", "max ms"});
+  for (int rf = 1; rf <= 3; ++rf) {
+    for (bool kill : {false, true}) {
+      WriteOutcome out = RunWrites(rf, kill);
+      const char* scenario = kill ? "copy-dead" : "healthy";
+      wtable.AddRow({scenario, std::to_string(rf),
+                     std::to_string(out.committed),
+                     std::to_string(out.aborted),
+                     Pct(out.committed, kWrites),
+                     Ms(Percentile(out.latencies_us, 0.50)),
+                     Ms(Percentile(out.latencies_us, 0.95)),
+                     Ms(Percentile(out.latencies_us, 1.0))});
+      json.AddRow()
+          .Set("scenario", std::string("write-") + scenario)
+          .Set("replication_factor", rf)
+          .Set("writes", kWrites)
+          .Set("committed", out.committed)
+          .Set("aborted", out.aborted)
+          .Set("p50_us", Percentile(out.latencies_us, 0.50))
+          .Set("p95_us", Percentile(out.latencies_us, 0.95))
+          .Set("max_us", Percentile(out.latencies_us, 1.0));
+    }
+  }
+  wtable.Print();
 
   if (json.WriteFile("BENCH_failover.json")) {
     std::printf("wrote BENCH_failover.json\n");

@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kStaleCatalog:
       return "StaleCatalog";
+    case StatusCode::kStaleReplica:
+      return "StaleReplica";
   }
   return "Unknown";
 }

@@ -28,6 +28,8 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< The query's end-to-end time budget ran out.
   kCancelled,         ///< The query was cooperatively cancelled.
   kStaleCatalog,      ///< Shard-routed call fenced: catalog versions differ.
+  kStaleReplica,      ///< Replica fenced: fragment data behind the version
+                      ///< the caller routed by (retriable at another copy).
 };
 
 /// Returns a stable human-readable name, e.g. "ParseError".
@@ -92,6 +94,9 @@ class Status {
   }
   [[nodiscard]] static Status StaleCatalog(std::string msg) {
     return Status(StatusCode::kStaleCatalog, std::move(msg));
+  }
+  [[nodiscard]] static Status StaleReplica(std::string msg) {
+    return Status(StatusCode::kStaleReplica, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

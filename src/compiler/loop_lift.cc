@@ -2329,6 +2329,10 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
       std::string primary;                  ///< destination peer URI
       std::vector<std::string> fallbacks;   ///< replica peers (failover)
       std::optional<soap::XrpcRequest::ShardScope> scope;
+      /// Replica copy of an updating call (all-copies write, DESIGN.md
+      /// §17): executes and enlists in the 2PC like any group, but its
+      /// result sequences are dropped by the scatter-gather merge.
+      bool echo = false;
       std::vector<PeerCall> calls;
     };
     std::vector<std::string> group_keys;
@@ -2341,13 +2345,13 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     auto add_call = [&](const std::string& key, const std::string& primary,
                         std::vector<std::string> fallbacks,
                         std::optional<soap::XrpcRequest::ShardScope> scope,
-                        int64_t iter, int rank) {
+                        int64_t iter, int rank, bool echo) {
       auto it = groups.find(key);
       if (it == groups.end()) {
         group_keys.push_back(key);
         it = groups
                  .emplace(key, Group{primary, std::move(fallbacks),
-                                     std::move(scope), {}})
+                                     std::move(scope), echo, {}})
                  .first;
       }
       it->second.calls.push_back({iter, rank});
@@ -2362,7 +2366,7 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
       }
       std::string dest = d->second.ToString();
       if (!core::Catalog::IsShardUri(dest)) {
-        add_call(dest, dest, {}, std::nullopt, iter, 0);
+        add_call(dest, dest, {}, std::nullopt, iter, 0, /*echo=*/false);
         continue;
       }
       if (cfg_.catalog == nullptr) {
@@ -2399,10 +2403,26 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
         }
       }
       auto shard_call = [&](const core::ShardInfo& s, int rank) {
-        add_call(dest + "#" + std::to_string(s.index), s.peer_uri, s.replicas,
-                 soap::XrpcRequest::ShardScope{collection.name, s.index,
-                                               version},
-                 iter, rank);
+        soap::XrpcRequest::ShardScope scope{
+            collection.name, s.index, version,
+            cfg_.catalog->FragmentDataVersion(collection.name, s.index)};
+        const std::string key = dest + "#" + std::to_string(s.index);
+        if (updating) {
+          // All-copies write (DESIGN.md §17): every copy of a touched shard
+          // receives the same scoped calls and enlists in the 2PC, so a
+          // commit lands on primary and replicas alike. The replica groups
+          // are echoes — their results are dropped by the merge — and no
+          // copy gets fallbacks: at-most-once forbids re-issuing an update
+          // elsewhere, so a dead copy aborts the transaction instead.
+          add_call(key, s.peer_uri, {}, scope, iter, rank, /*echo=*/false);
+          for (const std::string& replica : s.replicas) {
+            add_call(key + "@" + replica, replica, {}, scope, iter, rank,
+                     /*echo=*/true);
+          }
+        } else {
+          add_call(key, s.peer_uri, s.replicas, scope, iter, rank,
+                   /*echo=*/false);
+        }
       };
       if (routed >= 0) {
         shard_call(collection.shards[routed], 0);
@@ -2417,6 +2437,7 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     // request tables req_p^i, and the Bulk RPC request.
     struct GroupWork {
       std::string peer;
+      bool echo = false;            ///< replica echo: results dropped
       std::vector<PeerCall> calls;  // index = iterp - 1
     };
     // Request assembly fills one slot per destination group, so the groups
@@ -2436,6 +2457,7 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
       Group& group = groups.find(group_keys[gi])->second;
       GroupWork& w = work[gi];
       w.peer = group.primary;
+      w.echo = group.echo;
       soap::XrpcRequest request;
       request.module_ns = e.name.ns_uri;
       request.method = e.name.local;
@@ -2491,8 +2513,15 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
     // Dispatch all Bulk RPC requests (possibly in parallel).
     auto responses_or = cfg_.rpc->ExecuteBulkAll(std::move(destinations));
     if (!responses_or.ok()) {
+      // Updating calls never re-dispatch: destinations that accepted the
+      // first attempt already staged the call into their isolation session
+      // (the deferred PUL accumulates per queryID), so a re-route would
+      // stage — and later commit — every such call twice. The fence aborts
+      // the updating query instead; nothing was applied (presumed abort
+      // expires the staged sessions) and the client may retry under a
+      // fresh queryID.
       if (responses_or.status().code() == StatusCode::kStaleCatalog &&
-          attempt == 0) {
+          attempt == 0 && !updating) {
         cfg_.rpc->NoteStaleReroute();
         continue;  // refetch the shard map and re-route, exactly once
       }
@@ -2527,6 +2556,9 @@ StatusOr<Table> LoopLiftedEvaluator::Impl::EvalExecuteAt(const Expr& e,
                                  std::to_string(work[w].calls.size()) +
                                  " calls");
       }
+      // A replica echo of an all-copies write answered (and is enlisted in
+      // the 2PC); only the primary's results feed the merge.
+      if (work[w].echo) return Status::OK();
       for (size_t k = 0; k < response.results.size(); ++k) {
         const PeerCall& pc = work[w].calls[k];
         const Sequence& seq = response.results[k];

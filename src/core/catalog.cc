@@ -157,6 +157,41 @@ int64_t Catalog::version() const {
   return version_;
 }
 
+namespace {
+std::string FragmentKey(std::string_view collection, int shard_index) {
+  return std::string(collection) + "#" + std::to_string(shard_index);
+}
+}  // namespace
+
+uint64_t Catalog::FragmentDataVersion(std::string_view collection,
+                                      int shard_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fragment_versions_.find(FragmentKey(collection, shard_index));
+  return it == fragment_versions_.end() ? 0 : it->second;
+}
+
+void Catalog::AdvanceFragmentDataVersion(std::string_view collection,
+                                         int shard_index, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& v = fragment_versions_[FragmentKey(collection, shard_index)];
+  if (version > v) v = version;
+}
+
+std::vector<std::pair<int, uint64_t>> Catalog::FragmentDataVersions(
+    std::string_view collection) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, uint64_t>> out;
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return out;
+  for (const ShardInfo& s : it->second.shards) {
+    auto fv = fragment_versions_.find(FragmentKey(collection, s.index));
+    if (fv != fragment_versions_.end() && fv->second > 0) {
+      out.emplace_back(s.index, fv->second);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> Catalog::CollectionNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;

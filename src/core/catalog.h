@@ -96,6 +96,32 @@ class Catalog {
   /// Monotonic registration counter (0 = empty catalog).
   int64_t version() const;
 
+  // -- Fragment data versions (DESIGN.md §17) ------------------------------
+  //
+  // A second, orthogonal counter family: the authoritative DATA version of
+  // each fragment, advanced by the 2PC coordinator after every committed
+  // update that wrote the fragment. Unlike shard-map re-registration these
+  // do NOT bump the catalog version — data churn must not StaleCatalog-fence
+  // in-flight reads; instead the version is stamped into the xrpc:shard
+  // scope so a lagging replica fences itself with StaleReplica. 0 means
+  // "never updated since load" (the fence is then disabled).
+
+  /// Authoritative data version of shard `shard_index` of `collection`.
+  uint64_t FragmentDataVersion(std::string_view collection,
+                               int shard_index) const;
+
+  /// Raises the fragment's authoritative data version to `version` (no-op
+  /// when already at or past it — commits may be acknowledged out of order
+  /// and the advance must be idempotent).
+  void AdvanceFragmentDataVersion(std::string_view collection, int shard_index,
+                                  uint64_t version);
+
+  /// Every fragment of `collection` whose data version is non-zero, as
+  /// (shard_index, version) pairs — what a rejoining replica diffs its
+  /// applied versions against.
+  std::vector<std::pair<int, uint64_t>> FragmentDataVersions(
+      std::string_view collection) const;
+
   std::vector<std::string> CollectionNames() const;
 
   /// Observer invoked whenever RouteKey fails to place a key (callers then
@@ -121,6 +147,10 @@ class Catalog {
   mutable std::mutex mu_;
   std::map<std::string, ShardedCollection, std::less<>> collections_;
   int64_t version_ = 0;
+  /// Authoritative per-fragment data versions, keyed "<collection>#<shard>".
+  /// Survives shard-map re-registration (a rebalance moves a fragment, it
+  /// does not rewind its history).
+  std::map<std::string, uint64_t> fragment_versions_;
   RouteMissListener route_miss_listener_;
   /// Collections whose first route miss has already been logged.
   mutable std::set<std::string> miss_logged_;

@@ -412,6 +412,16 @@ StatusOr<ExecutionReport> PeerNetwork::Execute(const std::string& peer_name,
     report.abort_reason = outcome.abort_reason;
     report.commit_retries = outcome.commit_retries;
     report.in_doubt = outcome.in_doubt;
+    if (outcome.committed) {
+      // The decision is durable; publish each written fragment's new data
+      // version (piggybacked on the Prepare votes) so routing stamps it
+      // into subsequent xrpc:shard scopes — a copy that missed this commit
+      // then self-fences with StaleReplica until repaired (DESIGN.md §17).
+      for (const server::WrittenFragment& f : outcome.fragments) {
+        catalog_.AdvanceFragmentDataVersion(f.collection, f.shard_index,
+                                            f.version);
+      }
+    }
     if (outcome.committed && !local_pul.empty()) {
       XRPC_RETURN_IF_ERROR(ApplyLocalUpdates(&p0->db_, &local_pul));
     }

@@ -88,6 +88,13 @@ class Peer {
   void Disconnect();
   void Reconnect();
 
+  /// Anti-entropy catch-up (DESIGN.md §17): resolves in-doubt transactions
+  /// by coordinator inquiry, then resyncs every locally held fragment whose
+  /// applied data version lags the catalog's authoritative one from a peer
+  /// copy. Call after Reconnect() when writes may have committed during the
+  /// partition (Restart() runs it automatically).
+  Status Repair() { return service_->RepairReplica(network_); }
+
   /// Engine-specific handles (null when the peer runs another engine).
   compiler::RelationalEngine* relational_engine() { return relational_.get(); }
   wrapper::WrapperEngine* wrapper_engine() { return wrapper_.get(); }

@@ -11,6 +11,7 @@
 #include "core/peer_network.h"
 #include "net/circuit_breaker.h"
 #include "xdm/item.h"
+#include "xml/serializer.h"
 #include "xmark/shard_loader.h"
 #include "xmark/xmark.h"
 
@@ -25,6 +26,36 @@ constexpr int kNumShards = 3;
 constexpr char kChaosQuery[] =
     "import module namespace b=\"functions_b\" at \"b.xq\";\n"
     "execute at {\"shard:auctions.xml\"} {b:Q_B1()}";
+
+/// Mid-schedule write (DESIGN.md §17): each shard peer resolves
+/// doc("auctions.xml") through its pinned shard scope, so the insert lands
+/// on the exact fragment the call was routed to — at EVERY copy, since an
+/// updating broadcast enlists the whole replica set in the 2PC. The stamp
+/// element sits outside every path the read queries navigate, so the read
+/// baseline is unchanged while the fragment bytes provably are.
+constexpr char kUpdateModule[] = R"(
+  module namespace u = "upd_chaos";
+  declare updating function u:stamp()
+  { insert nodes <chaos-stamp/> into doc("auctions.xml")/site };
+)";
+
+constexpr char kUpdateQuery[] =
+    "declare option xrpc:isolation \"repeatable\";\n"
+    "declare option xrpc:timeout \"60\";\n"
+    "import module namespace u=\"upd_chaos\" at \"u.xq\";\n"
+    "execute at {\"shard:auctions.xml\"} {u:stamp()}";
+
+/// Serialized bytes of one fragment as a peer currently stores it — the
+/// unit the replica-convergence invariant compares.
+std::string FragmentBytes(core::Peer* peer, const std::string& doc) {
+  auto d = peer->database().GetDocument(doc);
+  if (!d.ok()) return "<missing: " + d.status().ToString() + ">";
+  return xml::SerializeNode(*d.value());
+}
+
+std::string AuctionsFragName(int shard) {
+  return "auctions.xml." + std::to_string(shard);
+}
 
 /// Virtual-time budget of every run; chaos must resolve — success or one
 /// clean fault — within it. Generous: a healthy broadcast costs ~1 ms.
@@ -72,6 +103,11 @@ struct Fixture {
     p0 = net.AddPeer("p0", core::EngineKind::kRelational);
     status = p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()),
                                 "b.xq");
+    for (core::Peer* p : shard_peers) {
+      if (!status.ok()) break;
+      status = p->RegisterModule(kUpdateModule, "u.xq");
+    }
+    if (status.ok()) status = p0->RegisterModule(kUpdateModule, "u.xq");
     if (sabotage) {
       // Replace shard 0's primary fragment with an empty one: any run
       // that answers from it diverges from the baseline, so the
@@ -119,6 +155,23 @@ ChaosExplorer::ChaosExplorer(const ChaosConfig& config) : config_(config) {
   if (fx.status.ok()) {
     auto report = fx.net.Execute("p0", kChaosQuery);
     if (report.ok()) baseline_ = xdm::SequenceToString(report->result);
+    for (int k = 0; k < kNumShards; ++k) {
+      frag_baseline_.push_back(
+          FragmentBytes(fx.shard_peers[k], AuctionsFragName(k)));
+    }
+    // The chaos-free SERIAL update: what every copy of every fragment must
+    // converge to whenever a mid-schedule 2PC commits.
+    auto upd = fx.net.Execute("p0", kUpdateQuery);
+    if (upd.ok() && upd->committed) {
+      auto again = fx.net.Execute("p0", kChaosQuery);
+      if (again.ok()) {
+        baseline_updated_ = xdm::SequenceToString(again->result);
+      }
+      for (int k = 0; k < kNumShards; ++k) {
+        frag_updated_.push_back(
+            FragmentBytes(fx.shard_peers[k], AuctionsFragName(k)));
+      }
+    }
   }
 }
 
@@ -224,13 +277,60 @@ ChaosResult ChaosExplorer::RunSchedule(const ChaosSchedule& schedule) {
     }
   });
 
+  // Mid-schedule write (config.with_updates): the updating broadcast runs
+  // FIRST under the armed chaos schedule, so kills, revives, and catalog
+  // bumps land mid-2PC. Which baseline the later read (and the convergence
+  // check) must match depends on the commit outcome — all-or-nothing means
+  // there is no third possibility.
+  if (config_.with_updates) {
+    if (frag_updated_.size() != static_cast<size_t>(kNumShards)) {
+      fail("fixture", "no chaos-free updated baseline available");
+      ++stats_.violations;
+      return r;
+    }
+    core::ExecuteOptions update_options;
+    update_options.deadline_us = kDeadlineBudgetUs;
+    const int64_t u_start = fx.net.network().clock().NowMicros();
+    auto upd = fx.net.Execute("p0", kUpdateQuery, update_options);
+    const int64_t u_elapsed =
+        fx.net.network().clock().NowMicros() - u_start;
+    r.update_ran = true;
+    if (upd.ok() && upd->committed) {
+      r.update_committed = true;
+      ++stats_.updates_committed;
+    } else {
+      ++stats_.updates_aborted;
+      // 7. Update-survival: with no kills and no catalog bump scheduled,
+      //    nothing may abort the write (all copies reachable throughout).
+      //    A racing bump is a legitimate abort: an updating broadcast
+      //    never re-dispatches after the StaleCatalog fence — destinations
+      //    that accepted the first attempt already staged the call, so a
+      //    re-route would commit them twice.
+      if (schedule.kill_mask == 0 && schedule.bump_serial == 0) {
+        fail("update-survival",
+             "update failed with no kills scheduled: " +
+                 (upd.ok() ? upd->abort_reason : upd.status().ToString()));
+      }
+    }
+    // 4. No-hang applies to the write as well.
+    if (u_elapsed > kDeadlineBudgetUs + kDeadlineSlackUs) {
+      fail("no-hang", "update consumed " + std::to_string(u_elapsed) +
+                          "us of a " + std::to_string(kDeadlineBudgetUs) +
+                          "us budget");
+    }
+  }
+  const std::string& want_result =
+      r.update_committed ? baseline_updated_ : baseline_;
+
   const int64_t start_us = fx.net.network().clock().NowMicros();
+  const int64_t reroutes_before = fx.net.metrics().stale_catalog_reroutes();
   core::ExecuteOptions exec_options;
   exec_options.deadline_us = kDeadlineBudgetUs;
   auto report = fx.net.Execute("p0", kChaosQuery, exec_options);
   r.elapsed_us = fx.net.network().clock().NowMicros() - start_us;
   r.failover_successes = fx.net.metrics().failover_successes();
-  r.stale_reroutes = fx.net.metrics().stale_catalog_reroutes();
+  r.stale_reroutes =
+      fx.net.metrics().stale_catalog_reroutes() - reroutes_before;
   stats_.failover_successes += r.failover_successes;
   stats_.stale_reroutes += r.stale_reroutes;
 
@@ -239,26 +339,31 @@ ChaosResult ChaosExplorer::RunSchedule(const ChaosSchedule& schedule) {
     r.outcome = xdm::SequenceToString(report->result);
     ++stats_.survived;
     // 1. Byte-identity: whichever replicas answered, the merged result is
-    //    indistinguishable from the chaos-free run.
-    if (r.outcome != baseline_) {
+    //    indistinguishable from the chaos-free run (with the update folded
+    //    in iff its 2PC committed).
+    if (r.outcome != want_result) {
       fail("byte-identity",
            "result diverges from the chaos-free baseline (got " +
                std::to_string(r.outcome.size()) + " bytes, want " +
-               std::to_string(baseline_.size()) + ")");
+               std::to_string(want_result.size()) + ")");
     }
   } else {
     r.outcome = report.status().ToString();
     const StatusCode code = report.status().code();
     // 2. Replica-coverage: with a live copy of every shard the query has
-    //    no excuse to fail — failover must have found it.
+    //    no excuse to fail — failover must have found it. (A never-killed
+    //    copy is never stale either: all-copies commit reached it.)
     if (r.covered) {
       fail("replica-coverage",
            "failed although live replicas cover every shard: " + r.outcome);
     }
-    // 3. Clean-fault: an uncovered loss surfaces as one network/deadline
-    //    fault, nothing half-merged or internal.
+    // 3. Clean-fault: an uncovered loss surfaces as one retriable-class
+    //    fault, nothing half-merged or internal. With a mid-schedule write,
+    //    kStaleReplica joins the class: an in-doubt or lagging copy
+    //    correctly refuses to serve until repaired.
     if (code != StatusCode::kNetworkError &&
-        code != StatusCode::kDeadlineExceeded) {
+        code != StatusCode::kDeadlineExceeded &&
+        !(r.update_ran && code == StatusCode::kStaleReplica)) {
       fail("clean-fault", "unexpected fault class: " + r.outcome);
     } else if (r.ok) {
       ++stats_.clean_faults;
@@ -276,6 +381,47 @@ ChaosResult ChaosExplorer::RunSchedule(const ChaosSchedule& schedule) {
          std::to_string(r.stale_reroutes) + " catalog re-routes in one query");
   }
 
+  // 6. Replica-convergence, after quiesce: stop firing events, heal every
+  //    partition, drain in-doubt 2PC state (coordinator retry first, then
+  //    each peer's inquiry + anti-entropy repair) — after which EVERY copy
+  //    of every auctions fragment must be byte-identical to the chaos-free
+  //    serial state. Not merely "all copies agree": agreeing on a wrong
+  //    state (e.g. a torn or double-applied PUL) must fire too.
+  fx.net.network().set_post_hook(nullptr);
+  if (config_.sabotage_primary_only_write) {
+    // Self-test: a write that bypasses 2PC and versioning touches only the
+    // primary. Repair sees no version lag, so it must NOT mask the
+    // divergence — the convergence detector has to fire.
+    (void)fx.shard_peers[0]->AddDocument(
+        AuctionsFragName(0),
+        "<site><closed_auctions><sabotaged/></closed_auctions></site>");
+  }
+  for (int k = 0; k < kNumShards; ++k) {
+    if (schedule.kill_mask & (1u << k)) fx.shard_peers[k]->Reconnect();
+  }
+  (void)fx.p0->service().RetryInDoubt(&fx.net.network());
+  for (core::Peer* p : fx.shard_peers) (void)p->Repair();
+  const std::vector<std::string>& want_frags =
+      r.update_committed ? frag_updated_ : frag_baseline_;
+  if (want_frags.size() == static_cast<size_t>(kNumShards)) {
+    for (int k = 0; k < kNumShards; ++k) {
+      for (int c = 0; c < schedule.replication_factor; ++c) {
+        core::Peer* holder = fx.shard_peers[(k + c) % kNumShards];
+        const std::string got = FragmentBytes(holder, AuctionsFragName(k));
+        if (got != want_frags[k]) {
+          fail("replica-convergence",
+               "copy " + std::to_string(c) + " of shard " +
+                   std::to_string(k) + " (at " + holder->name() +
+                   ") diverges from the chaos-free serial state after "
+                   "quiesce+repair (" + std::to_string(got.size()) +
+                   " bytes, want " + std::to_string(want_frags[k].size()) +
+                   ")");
+          break;  // one violation per shard is enough signal
+        }
+      }
+    }
+  }
+
   if (!r.ok) ++stats_.violations;
   return r;
 }
@@ -287,6 +433,10 @@ std::string FormatChaosRepro(const ChaosResult& r) {
   out += "index: " + std::to_string(r.schedule.index) + "\n";
   out += "schedule: " + r.schedule.Describe() + "\n";
   out += std::string("query: ") + (r.query_ok ? "ok" : "fault") + "\n";
+  out += std::string("update: ") +
+         (r.update_ran ? (r.update_committed ? "committed" : "aborted")
+                       : "none") +
+         "\n";
   out += "elapsed_us: " + std::to_string(r.elapsed_us) + "\n";
   out += "--- violations ---\n";
   for (const std::string& v : r.violations) out += v + "\n";
@@ -340,9 +490,14 @@ class ElasticBaseline {
       status_ = loaded.status();
       return;
     }
+    peers_ = loaded->peers;
     core::Peer* p0 = net_.AddPeer("p0", core::EngineKind::kRelational);
     status_ =
         p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()), "b.xq");
+    for (core::Peer* p : peers_) {
+      if (status_.ok()) status_ = p->RegisterModule(kUpdateModule, "u.xq");
+    }
+    if (status_.ok()) status_ = p0->RegisterModule(kUpdateModule, "u.xq");
   }
 
   const Status& status() const { return status_; }
@@ -361,8 +516,27 @@ class ElasticBaseline {
     return result;
   }
 
+  /// Serialized bytes of every auctions fragment, in shard order.
+  std::vector<std::string> FragmentSnapshot() {
+    std::vector<std::string> frags;
+    for (int k = 0; k < kElasticShards; ++k) {
+      frags.push_back(FragmentBytes(peers_[static_cast<size_t>(k)],
+                                    AuctionsFragName(k)));
+    }
+    return frags;
+  }
+
+  /// Runs the serial reference update; true iff its 2PC committed. The
+  /// stamp is invisible to every read query (point reads included), so
+  /// the point cache stays valid across it.
+  bool RunUpdate() {
+    auto report = net_.Execute("p0", kUpdateQuery);
+    return report.ok() && report->committed;
+  }
+
  private:
   core::PeerNetwork net_;
+  std::vector<core::Peer*> peers_;
   Status status_ = Status::OK();
   std::map<int, std::string> point_cache_;
 };
@@ -402,6 +576,10 @@ struct ElasticFixture {
     p0 = net.AddPeer("p0", core::EngineKind::kRelational);
     status = p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()),
                                 "b.xq");
+    for (core::Peer* p : loaded->peers) {
+      if (status.ok()) status = p->RegisterModule(kUpdateModule, "u.xq");
+    }
+    if (status.ok()) status = p0->RegisterModule(kUpdateModule, "u.xq");
   }
 
   int SlotOf(const std::string& uri) const {
@@ -489,6 +667,7 @@ struct ElasticFixture {
               core::EngineKind::kInterpreter);
           (void)spare->RegisterModule(
               xmark::FunctionsBModuleSource(spare->uri()));
+          (void)spare->RegisterModule(kUpdateModule, "u.xq");
           peers[slot] = spare;
           connected[slot] = true;
         }
@@ -541,6 +720,13 @@ ElasticChaosExplorer::ElasticChaosExplorer(const ElasticConfig& config)
   if (baseline_->status().ok()) {
     baseline_broadcast_ = baseline_->Run(kChaosQuery);
     baseline_persons_ = baseline_->Run(kPersonsProbe);
+    frag_baseline_ = baseline_->FragmentSnapshot();
+    // The chaos-free SERIAL update: what the fleet must converge to
+    // whenever a mid-schedule 2PC commits.
+    if (baseline_->RunUpdate()) {
+      baseline_broadcast_updated_ = baseline_->Run(kChaosQuery);
+      frag_updated_ = baseline_->FragmentSnapshot();
+    }
   }
 }
 
@@ -605,6 +791,12 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
     ++stats_.violations;
     return r;
   }
+  if (config_.with_updates &&
+      frag_updated_.size() != static_cast<size_t>(kElasticShards)) {
+    fail("fixture", "no chaos-free updated baseline available");
+    ++stats_.violations;
+    return r;
+  }
 
   size_t next_event = 0;
   std::vector<ElasticEvent> events = schedule.events;  // sorted by serial
@@ -622,7 +814,10 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
 
   // Conservative must-survive test at query start: every shard of the
   // auctions snapshot keeps a serving peer (primary or replica) that is
-  // live now and never a kill target anywhere in the schedule.
+  // live now, never a kill target anywhere in the schedule, AND current —
+  // a rebalanced-in copy whose applied data version lags the catalog's
+  // authoritative one correctly refuses reads (StaleReplica) until
+  // repaired, so it cannot carry the survival guarantee.
   auto must_survive = [&]() {
     std::set<std::string> doomed;
     for (const ElasticEvent& e : schedule.events) {
@@ -640,11 +835,15 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
     for (const core::ShardInfo& sh : c.shards) {
       std::vector<std::string> serving{sh.peer_uri};
       serving.insert(serving.end(), sh.replicas.begin(), sh.replicas.end());
+      const uint64_t authoritative =
+          fx.net.catalog().FragmentDataVersion("auctions.xml", sh.index);
       bool alive = false;
       for (const std::string& uri : serving) {
         const int slot = fx.SlotOf(uri);
         if (slot >= 0 && fx.connected[static_cast<size_t>(slot)] &&
-            doomed.count(uri) == 0) {
+            doomed.count(uri) == 0 &&
+            fx.peers[static_cast<size_t>(slot)]->database().AppliedDataVersion(
+                AuctionsFragName(sh.index)) >= authoritative) {
           alive = true;
           break;
         }
@@ -660,16 +859,28 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
       MixSeed(schedule.seed ^ 0x517cc1b7ull, schedule.index));
   const int num_persons = ChaosXmarkConfig().num_persons;
   const int64_t run_start_us = fx.net.network().clock().NowMicros();
+  const bool schedule_has_kills =
+      std::any_of(schedule.events.begin(), schedule.events.end(),
+                  [](const ElasticEvent& e) {
+                    return e.kind == ElasticEvent::kKill;
+                  });
   constexpr int kQueries = 5;
   for (int qi = 0; qi < kQueries; ++qi) {
+    // With updates on, the middle (broadcast) slot becomes the updating
+    // broadcast; reads after it must match the updated baseline iff its
+    // 2PC committed — all-or-nothing leaves no third state.
+    const bool is_update = config_.with_updates && qi == 2;
     const bool is_point = (qi % 2) == 1;
     const int key =
         is_point ? static_cast<int>(qprng.NextUint64() %
                                     static_cast<uint64_t>(num_persons))
                  : 0;
-    const std::string query = is_point ? PointQuery(key) : kChaosQuery;
+    const std::string query =
+        is_update ? kUpdateQuery : (is_point ? PointQuery(key) : kChaosQuery);
     const std::string expected =
-        is_point ? baseline_->PointRead(key) : baseline_broadcast_;
+        is_point ? baseline_->PointRead(key)
+                 : (r.update_committed ? baseline_broadcast_updated_
+                                       : baseline_broadcast_);
 
     const bool covered = must_survive();
     const int mutations_before = fx.catalog_mutations;
@@ -685,7 +896,41 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
     const int64_t reroutes =
         fx.net.metrics().stale_catalog_reroutes() - reroutes_before;
 
-    if (report.ok()) {
+    if (is_update) {
+      r.update_ran = true;
+      if (report.ok() && report->committed) {
+        ++r.queries_ok;
+        r.update_committed = true;
+        ++stats_.updates_committed;
+      } else {
+        ++r.queries_failed;
+        ++stats_.updates_aborted;
+        const std::string text =
+            report.ok() ? ("aborted: " + report->abort_reason)
+                        : report.status().ToString();
+        // 8. Update-survival: with no kill event anywhere in the schedule
+        //    and no catalog mutation racing the write, every copy was
+        //    reachable throughout — the all-copies 2PC must commit.
+        if (!schedule_has_kills && mutations_during == 0) {
+          fail("update-survival",
+               "update failed with no kills scheduled and no racing "
+               "catalog mutation: " + text);
+        }
+        // 3. Clean-fault applies to hard failures of the write too (a
+        //    clean coordinator abort is not a fault).
+        if (!report.ok()) {
+          const StatusCode code = report.status().code();
+          if (code != StatusCode::kNetworkError &&
+              code != StatusCode::kDeadlineExceeded &&
+              code != StatusCode::kStaleCatalog) {
+            fail("clean-fault",
+                 "update: unexpected fault class: " + text);
+          } else if (r.ok) {
+            ++stats_.clean_faults;
+          }
+        }
+      }
+    } else if (report.ok()) {
       ++r.queries_ok;
       // 1. Byte-identity against the chaos-free baseline, whatever mix of
       //    primaries, replicas, and freshly joined peers answered.
@@ -702,7 +947,9 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
       const StatusCode code = report.status().code();
       const std::string text = report.status().ToString();
       // 2. Replica-coverage: a fully covered query with at most one racing
-      //    catalog mutation has no excuse to fail.
+      //    catalog mutation has no excuse to fail (must_survive already
+      //    discounts lagging copies, so a StaleReplica-only shard never
+      //    counts as covered).
       if (covered && mutations_during <= 1) {
         fail("replica-coverage",
              "query " + std::to_string(qi) +
@@ -710,10 +957,13 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
                  "shard: " + text);
       }
       // 3. Clean-fault: elastic churn may legitimately surface a second
-      //    fence (kStaleCatalog) — but nothing internal or half-merged.
+      //    fence (kStaleCatalog) — and once a write ran, a lagging copy
+      //    refusing to serve (kStaleReplica) — but nothing internal or
+      //    half-merged.
       if (code != StatusCode::kNetworkError &&
           code != StatusCode::kDeadlineExceeded &&
-          code != StatusCode::kStaleCatalog) {
+          code != StatusCode::kStaleCatalog &&
+          !(r.update_ran && code == StatusCode::kStaleReplica)) {
         fail("clean-fault", "query " + std::to_string(qi) +
                                 ": unexpected fault class: " + text);
       } else if (r.ok) {
@@ -768,6 +1018,17 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
       fx.connected[s] = true;
     }
   }
+  // Drain distributed write state before probing: the coordinator retries
+  // in-doubt decisions, then every live peer resolves its prepared
+  // sessions by inquiry and catches lagging fragments up by anti-entropy
+  // repair (DESIGN.md §17) — rebalanced-in copies start at data version 0
+  // and sync here.
+  (void)fx.p0->service().RetryInDoubt(&fx.net.network());
+  for (size_t s = 0; s < fx.peers.size(); ++s) {
+    if (fx.peers[s] != nullptr && fx.connected[s]) {
+      (void)fx.peers[s]->Repair();
+    }
+  }
   for (const char* name : {"auctions.xml", "persons.xml"}) {
     core::ShardedCollection c;
     int64_t version = 0;
@@ -798,8 +1059,10 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
     const char* query;
     const std::string* want;
   };
+  const std::string& want_broadcast =
+      r.update_committed ? baseline_broadcast_updated_ : baseline_broadcast_;
   const Probe probes[] = {
-      {"auctions broadcast", kChaosQuery, &baseline_broadcast_},
+      {"auctions broadcast", kChaosQuery, &want_broadcast},
       {"persons scatter-gather", kPersonsProbe, &baseline_persons_},
   };
   for (const Probe& probe : probes) {
@@ -814,6 +1077,42 @@ ElasticResult ElasticChaosExplorer::RunSchedule(
       fail("no-lost-shard", std::string(probe.what) +
                                 " probe diverges from the chaos-free "
                                 "baseline after quiesce");
+    }
+  }
+  // 7. Replica-convergence (with_updates): every catalog-listed copy of
+  //    every auctions fragment — rebalanced-in copies included — is now
+  //    byte-identical to the chaos-free serial state. Not merely "all
+  //    copies agree": agreeing on a wrong state must fire too.
+  if (config_.with_updates) {
+    const std::vector<std::string>& want_frags =
+        r.update_committed ? frag_updated_ : frag_baseline_;
+    core::ShardedCollection c;
+    int64_t version = 0;
+    if (fx.net.catalog().Snapshot("auctions.xml", &c, &version) &&
+        want_frags.size() == static_cast<size_t>(kElasticShards)) {
+      for (const core::ShardInfo& sh : c.shards) {
+        std::vector<std::string> serving{sh.peer_uri};
+        serving.insert(serving.end(), sh.replicas.begin(),
+                       sh.replicas.end());
+        for (const std::string& uri : serving) {
+          const int slot = fx.SlotOf(uri);
+          if (slot < 0 || !fx.connected[static_cast<size_t>(slot)]) continue;
+          const std::string got =
+              FragmentBytes(fx.peers[static_cast<size_t>(slot)],
+                            AuctionsFragName(sh.index));
+          if (got != want_frags[static_cast<size_t>(sh.index)]) {
+            fail("replica-convergence",
+                 "copy of shard " + std::to_string(sh.index) + " at " +
+                     uri +
+                     " diverges from the chaos-free serial state after "
+                     "quiesce+repair (" + std::to_string(got.size()) +
+                     " bytes, want " +
+                     std::to_string(
+                         want_frags[static_cast<size_t>(sh.index)].size()) +
+                     ")");
+          }
+        }
+      }
     }
   }
 
@@ -836,6 +1135,10 @@ std::string FormatElasticRepro(const ElasticResult& r) {
   out += "schedule: " + r.schedule.Describe() + "\n";
   out += "queries_ok: " + std::to_string(r.queries_ok) + "\n";
   out += "queries_failed: " + std::to_string(r.queries_failed) + "\n";
+  out += std::string("update: ") +
+         (r.update_ran ? (r.update_committed ? "committed" : "aborted")
+                       : "none") +
+         "\n";
   out += "elapsed_us: " + std::to_string(r.elapsed_us) + "\n";
   out += "--- violations ---\n";
   for (const std::string& v : r.violations) out += v + "\n";

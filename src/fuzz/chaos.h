@@ -52,6 +52,8 @@ struct ChaosResult {
   bool covered = false;   ///< schedule.Covered() at run time
   bool query_ok = false;  ///< the broadcast query returned a result
   std::string outcome;    ///< normalized result, or the fault text
+  bool update_ran = false;        ///< an updating query ran under chaos
+  bool update_committed = false;  ///< ... and its 2PC committed
   int64_t elapsed_us = 0; ///< virtual time the query consumed
   int64_t failover_successes = 0;
   int64_t stale_reroutes = 0;
@@ -64,6 +66,8 @@ struct ChaosStats {
   int64_t violations = 0;
   int64_t failover_successes = 0;
   int64_t stale_reroutes = 0;
+  int64_t updates_committed = 0;  ///< mid-schedule updates whose 2PC committed
+  int64_t updates_aborted = 0;    ///< ... aborted or failed cleanly
 };
 
 struct ChaosConfig {
@@ -72,6 +76,18 @@ struct ChaosConfig {
   /// so a surviving run diverges from the baseline. The byte-identity
   /// checker must flag it — proving the detector is not vacuous.
   bool sabotage_divergence = false;
+  /// Mid-schedule writes (DESIGN.md §17): before the read broadcast, an
+  /// updating broadcast (`u:stamp()`, repeatable isolation) runs under the
+  /// armed chaos schedule — kills, revives, and catalog bumps land mid-2PC.
+  /// The byte-identity baseline then depends on the commit outcome, and the
+  /// replica-convergence invariant checks every copy after quiesce+repair.
+  bool with_updates = false;
+  /// Self-test mode for the convergence detector: after the queries, write
+  /// shard 0's primary fragment DIRECTLY (no 2PC, no version advance) —
+  /// repair must NOT mask it (there is no version lag to see), so the
+  /// replica-convergence check must fire. Proves the detector is not
+  /// satisfied by "repair ran".
+  bool sabotage_primary_only_write = false;
 };
 
 /// Systematic membership-chaos exploration (DESIGN.md §14): the fixed
@@ -89,7 +105,17 @@ struct ChaosConfig {
 ///   4. no-hang — the query consumes at most the deadline budget (plus
 ///      one message of slack) of virtual time;
 ///   5. single-reroute — an epoch fence triggers at most one catalog
-///      refetch + re-dispatch per query.
+///      refetch + re-dispatch per query;
+///   6. replica-convergence — after quiesce (partitions healed, in-doubt
+///      drained, lagging copies repaired), EVERY copy of every auctions
+///      fragment is byte-identical to the chaos-free serial state — the
+///      updated state when the mid-schedule 2PC committed, the original
+///      otherwise;
+///   7. update-survival — with no kills and no catalog bump scheduled,
+///      the mid-schedule updating broadcast has no excuse not to commit.
+///      A racing bump is a legitimate abort: updating broadcasts never
+///      re-dispatch after the StaleCatalog fence (the first attempt may
+///      already have staged calls, so a re-route would apply them twice).
 class ChaosExplorer {
  public:
   explicit ChaosExplorer(const ChaosConfig& config = {});
@@ -113,6 +139,13 @@ class ChaosExplorer {
   ChaosConfig config_;
   ChaosStats stats_;
   std::string baseline_;  ///< chaos-free normalized broadcast result
+  /// Same broadcast after the chaos-free update committed (dual baseline:
+  /// which one a surviving read must match depends on the 2PC outcome).
+  std::string baseline_updated_;
+  /// Chaos-free serialized bytes of every auctions fragment, before and
+  /// after the update — what replica-convergence compares every copy to.
+  std::vector<std::string> frag_baseline_;
+  std::vector<std::string> frag_updated_;
 };
 
 /// Self-contained repro file for a chaos invariant violation; replay with
@@ -167,6 +200,8 @@ struct ElasticResult {
   int queries_ok = 0;
   int queries_failed = 0;
   int events_fired = 0;
+  bool update_ran = false;        ///< an updating query ran mid-schedule
+  bool update_committed = false;  ///< ... and its 2PC committed
   int64_t failover_successes = 0;
   int64_t stale_reroutes = 0;
   int64_t elapsed_us = 0;  ///< virtual time of the whole run
@@ -180,6 +215,8 @@ struct ElasticStats {
   int64_t events_fired = 0;
   int64_t failover_successes = 0;
   int64_t stale_reroutes = 0;
+  int64_t updates_committed = 0;  ///< mid-schedule updates whose 2PC committed
+  int64_t updates_aborted = 0;    ///< ... aborted or failed cleanly
 };
 
 struct ElasticConfig {
@@ -188,6 +225,14 @@ struct ElasticConfig {
   /// disconnect every peer serving shard 0 of the auctions collection.
   /// The no-lost-shard detector must fire — proving it non-vacuous.
   bool sabotage_lost_shard = false;
+  /// Mid-schedule writes (DESIGN.md §17): the middle query of the workload
+  /// becomes an updating broadcast (`u:stamp()`, repeatable isolation) that
+  /// runs while joins, rebalances, kills, and bumps fire. Later reads match
+  /// the updated baseline iff the 2PC committed, and after quiesce+repair
+  /// the replica-convergence invariant checks every catalog-listed copy —
+  /// including fragments freshly materialized by a rebalance, which start
+  /// at data version 0 and must be caught up by anti-entropy repair.
+  bool with_updates = false;
 };
 
 /// Elastic-membership exploration over a 4-shard replicated XMark fleet
@@ -205,10 +250,19 @@ struct ElasticConfig {
 ///      one message of slack;
 ///   5. single-reroute — at most one catalog refetch + re-dispatch per
 ///      query when at most one mutation raced it;
-///   6. no-lost-shard — after quiesce (partitions healed), every shard
-///      of every collection is served by some live peer, and
-///      scatter-gather probes over both collections are byte-identical
-///      to the chaos-free baseline.
+///   6. no-lost-shard — after quiesce (partitions healed, in-doubt 2PC
+///      drained, lagging copies repaired), every shard of every
+///      collection is served by some live peer, and scatter-gather
+///      probes over both collections are byte-identical to the
+///      chaos-free baseline (the updated one iff the mid-schedule 2PC
+///      committed);
+///   7. replica-convergence (with_updates) — after quiesce+repair, every
+///      catalog-listed copy of every auctions fragment — rebalanced-in
+///      copies included — is byte-identical to the chaos-free serial
+///      state;
+///   8. update-survival (with_updates) — when no kill event exists
+///      anywhere in the schedule and no catalog mutation raced it, the
+///      updating broadcast has no excuse not to commit.
 class ElasticChaosExplorer {
  public:
   explicit ElasticChaosExplorer(const ElasticConfig& config = {});
@@ -227,6 +281,12 @@ class ElasticChaosExplorer {
   ElasticStats stats_;
   std::string baseline_broadcast_;  ///< chaos-free Q_B1 result
   std::string baseline_persons_;    ///< chaos-free persons-count probe
+  /// Same broadcast after the chaos-free serial update committed.
+  std::string baseline_broadcast_updated_;
+  /// Chaos-free serialized bytes of every auctions fragment before and
+  /// after the update — what replica-convergence compares copies to.
+  std::vector<std::string> frag_baseline_;
+  std::vector<std::string> frag_updated_;
   /// Unsharded reference network, kept alive to answer point-read
   /// baselines on demand (cached by person key).
   std::unique_ptr<class ElasticBaseline> baseline_;

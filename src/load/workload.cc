@@ -31,6 +31,23 @@ constexpr char kFilmModule[] = R"(
 
 constexpr char kFilmModuleLocation[] = "film.xq";
 
+/// Sharded-update fixture: an updating broadcast over shard:auctions.xml
+/// enlists EVERY replica of every shard in one 2PC (DESIGN.md §17). The
+/// stamp lands under /site where no read query looks, so Q_B1/Q_B3
+/// results stay comparable across the whole run.
+constexpr char kStampModule[] = R"(
+  module namespace u = "upd_load";
+  declare updating function u:stamp()
+  { insert nodes <load-stamp/> into doc("auctions.xml")/site };
+)";
+
+constexpr char kStampModuleLocation[] = "u.xq";
+
+constexpr char kShardedUpdateQuery[] =
+    "declare option xrpc:isolation \"repeatable\";\n"
+    "import module namespace u=\"upd_load\" at \"u.xq\";\n"
+    "execute at {\"shard:auctions.xml\"} {u:stamp()}";
+
 /// Same SplitMix-style mix as the fuzz explorers: every (seed, stream)
 /// pair gets an independent deterministic PRNG stream.
 uint64_t MixSeed(uint64_t seed, uint64_t stream) {
@@ -86,6 +103,7 @@ const char* QueryKindToString(QueryKind kind) {
     case QueryKind::kPointRead: return "point";
     case QueryKind::kJoinRead: return "join";
     case QueryKind::kUpdate: return "update";
+    case QueryKind::kShardedUpdate: return "sharded-update";
   }
   return "unknown";
 }
@@ -113,9 +131,18 @@ std::vector<Arrival> BuildArrivals(const WorkloadConfig& config) {
       a.time_us = static_cast<int64_t>(now);
       a.tenant = static_cast<int>(t);
       a.seq = seq++;
-      if (mix_prng.NextDouble() < spec.update_fraction) {
+      // One draw splits updates from reads: the film-DB pair update below
+      // update_fraction, the all-copies sharded broadcast in the next
+      // band. A zero sharded_update_fraction reproduces the pre-existing
+      // draw sequence exactly, so old (seed, config) schedules are stable.
+      const double update_draw = mix_prng.NextDouble();
+      if (update_draw < spec.update_fraction) {
         a.kind = QueryKind::kUpdate;
         a.key = shard_keys.Sample(mix_prng);
+      } else if (update_draw <
+                 spec.update_fraction + spec.sharded_update_fraction) {
+        a.kind = QueryKind::kShardedUpdate;
+        a.key = 0;
       } else if (mix_prng.NextDouble() < spec.point_fraction) {
         a.kind = QueryKind::kPointRead;
         a.key = person_keys.Sample(mix_prng);
@@ -154,10 +181,14 @@ StatusOr<WorkloadReport> RunWorkload(const WorkloadConfig& config) {
   XRPC_RETURN_IF_ERROR(
       p0->RegisterModule(xmark::FunctionsBModuleSource(p0->uri()), "b.xq"));
   XRPC_RETURN_IF_ERROR(p0->RegisterModule(kFilmModule, kFilmModuleLocation));
+  XRPC_RETURN_IF_ERROR(
+      p0->RegisterModule(kStampModule, kStampModuleLocation));
   for (core::Peer* peer : shard_peers) {
     XRPC_RETURN_IF_ERROR(peer->AddDocument("filmDB.xml", kFilmDb));
     XRPC_RETURN_IF_ERROR(
         peer->RegisterModule(kFilmModule, kFilmModuleLocation));
+    XRPC_RETURN_IF_ERROR(
+        peer->RegisterModule(kStampModule, kStampModuleLocation));
   }
 
   const std::vector<Arrival> arrivals = BuildArrivals(config);
@@ -196,6 +227,11 @@ StatusOr<WorkloadReport> RunWorkload(const WorkloadConfig& config) {
           break;
         case ChaosEvent::kRevive:
           shard_peers[static_cast<size_t>(e.peer)]->Reconnect();
+          // Anti-entropy catch-up (DESIGN.md §17): sharded updates that
+          // committed during the partition left this replica lagging —
+          // resolve in-doubt state and replay the missed PULs before the
+          // peer serves reads again.
+          (void)shard_peers[static_cast<size_t>(e.peer)]->Repair();
           break;
         case ChaosEvent::kBump: {
           // Identical re-registration: only the version moves; stamped
@@ -218,6 +254,7 @@ StatusOr<WorkloadReport> RunWorkload(const WorkloadConfig& config) {
       case QueryKind::kPointRead: ++tr.point_reads; break;
       case QueryKind::kJoinRead: ++tr.join_reads; break;
       case QueryKind::kUpdate: ++tr.updates; break;
+      case QueryKind::kShardedUpdate: ++tr.sharded_updates; break;
     }
 
     const int64_t wait_us = clock.NowMicros() - a.time_us;
@@ -261,6 +298,9 @@ StatusOr<WorkloadReport> RunWorkload(const WorkloadConfig& config) {
                 "\")})";
         break;
       }
+      case QueryKind::kShardedUpdate:
+        query = kShardedUpdateQuery;
+        break;
     }
 
     core::ExecuteOptions exec_options;
@@ -269,9 +309,10 @@ StatusOr<WorkloadReport> RunWorkload(const WorkloadConfig& config) {
     const int64_t latency_us = clock.NowMicros() - a.time_us;
     latencies[static_cast<size_t>(a.tenant)].push_back(latency_us);
 
+    const bool is_update = a.kind == QueryKind::kUpdate ||
+                           a.kind == QueryKind::kShardedUpdate;
     net::RpcMetrics::TenantOutcome outcome;
-    if (result.ok() &&
-        (a.kind != QueryKind::kUpdate || result->committed)) {
+    if (result.ok() && (!is_update || result->committed)) {
       outcome = net::RpcMetrics::TenantOutcome::kOk;
       ++tr.ok;
     } else if (!result.ok() &&
@@ -328,7 +369,8 @@ std::string WorkloadReport::Format() const {
     out += "tenant " + t.name +
            " mix: point=" + std::to_string(t.point_reads) +
            " join=" + std::to_string(t.join_reads) +
-           " update=" + std::to_string(t.updates) + "\n";
+           " update=" + std::to_string(t.updates) +
+           " sharded_update=" + std::to_string(t.sharded_updates) + "\n";
     out += "tenant " + t.name + " latency_us: p50=" +
            std::to_string(t.p50_us) + " p95=" + std::to_string(t.p95_us) +
            " p99=" + std::to_string(t.p99_us) +

@@ -24,9 +24,12 @@ namespace xrpc::load {
 
 /// What one arrival asks the fleet to do.
 enum class QueryKind {
-  kPointRead,  ///< Q_B3(person-key): routed, prunes to the owning shard
-  kJoinRead,   ///< Q_B1 broadcast: scatter-gather over every shard
-  kUpdate,     ///< XQUF insert at two peers through repeatable-read 2PC
+  kPointRead,     ///< Q_B3(person-key): routed, prunes to the owning shard
+  kJoinRead,      ///< Q_B1 broadcast: scatter-gather over every shard
+  kUpdate,        ///< XQUF insert at two peers through repeatable-read 2PC
+  kShardedUpdate, ///< XQUF updating broadcast over the sharded collection:
+                  ///< every replica of every shard joins the 2PC
+                  ///< (DESIGN.md §17)
 };
 
 const char* QueryKindToString(QueryKind kind);
@@ -38,6 +41,12 @@ struct TenantSpec {
   double arrival_qps = 100.0;
   /// Fraction of arrivals that are XQUF updates (through 2PC).
   double update_fraction = 0.0;
+  /// Fraction of arrivals that are updating broadcasts over the sharded
+  /// auctions collection — an all-copies 2PC enlisting every replica of
+  /// every shard. The stamp they insert is invisible to the read queries,
+  /// so read results stay comparable across the run. Replicas revived by
+  /// driver chaos resync missed commits via anti-entropy repair.
+  double sharded_update_fraction = 0.0;
   /// Of the read arrivals, fraction that are routed point reads (the rest
   /// are broadcast joins).
   double point_fraction = 0.8;
@@ -103,6 +112,7 @@ struct TenantReport {
   int64_t point_reads = 0;
   int64_t join_reads = 0;
   int64_t updates = 0;
+  int64_t sharded_updates = 0;
   /// Exact percentiles of arrival→completion latency over admitted
   /// queries (virtual micros); 0 when nothing was admitted.
   int64_t p50_us = 0;

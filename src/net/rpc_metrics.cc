@@ -286,6 +286,53 @@ void RpcMetrics::RecordRouteMiss(const std::string& collection) {
   ++route_.per_collection[collection];
 }
 
+void RpcMetrics::RecordStaleReplicaReject(const std::string& self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)self;
+  ++stale_replica_.server_rejects;
+}
+
+void RpcMetrics::RecordStaleReplicaObserved() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stale_replica_.observed;
+}
+
+void RpcMetrics::RecordStaleReplicaSkip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stale_replica_.skips;
+}
+
+void RpcMetrics::RecordReplicaLagCheck() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++repair_.lag_checks;
+}
+
+void RpcMetrics::RecordReplicaLagging(int64_t gap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++repair_.lagging_found;
+  if (gap > repair_.max_gap) repair_.max_gap = gap;
+}
+
+void RpcMetrics::RecordRepairResync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++repair_.resyncs;
+}
+
+void RpcMetrics::RecordRepairPulsReplayed(int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  repair_.puls_replayed += count;
+}
+
+void RpcMetrics::RecordRepairFullTransfer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++repair_.full_transfers;
+}
+
+void RpcMetrics::RecordRepairFailed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++repair_.failures;
+}
+
 void RpcMetrics::RecordTenantQuery(const std::string& tenant,
                                    TenantOutcome outcome, int64_t latency_us,
                                    bool slo_met) {
@@ -543,6 +590,56 @@ int64_t RpcMetrics::route_misses() const {
   return route_.misses;
 }
 
+int64_t RpcMetrics::stale_replica_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_replica_.server_rejects;
+}
+
+int64_t RpcMetrics::stale_replica_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_replica_.observed;
+}
+
+int64_t RpcMetrics::stale_replica_skips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_replica_.skips;
+}
+
+int64_t RpcMetrics::replica_lag_checks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.lag_checks;
+}
+
+int64_t RpcMetrics::replica_lagging_found() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.lagging_found;
+}
+
+int64_t RpcMetrics::replica_max_gap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.max_gap;
+}
+
+int64_t RpcMetrics::repair_resyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.resyncs;
+}
+
+int64_t RpcMetrics::repair_puls_replayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.puls_replayed;
+}
+
+int64_t RpcMetrics::repair_full_transfers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.full_transfers;
+}
+
+int64_t RpcMetrics::repair_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_.failures;
+}
+
 std::map<std::string, RpcMetrics::ExecOpStats> RpcMetrics::exec_ops() const {
   std::lock_guard<std::mutex> lock(mu_);
   return exec_ops_;
@@ -653,6 +750,17 @@ std::string RpcMetrics::Report() const {
   out += "  stale-catalog: rejects=" + FormatCount(stale_.server_rejects) +
          " observed=" + FormatCount(stale_.observed) +
          " reroutes=" + FormatCount(stale_.reroutes) + "\n";
+  out += "  stale-replica: server_rejects=" +
+         FormatCount(stale_replica_.server_rejects) +
+         " observed=" + FormatCount(stale_replica_.observed) +
+         " skips=" + FormatCount(stale_replica_.skips) + "\n";
+  out += "  replica-lag: checks=" + FormatCount(repair_.lag_checks) +
+         " lagging_found=" + FormatCount(repair_.lagging_found) +
+         " max_gap=" + FormatCount(repair_.max_gap) + "\n";
+  out += "  repair: resyncs=" + FormatCount(repair_.resyncs) +
+         " puls_replayed=" + FormatCount(repair_.puls_replayed) +
+         " full_transfers=" + FormatCount(repair_.full_transfers) +
+         " failed=" + FormatCount(repair_.failures) + "\n";
   out += "  route: key_misses=" + FormatCount(route_.misses);
   for (const auto& [collection, n] : route_.per_collection) {
     out += " miss[" + collection + "]=" + FormatCount(n);
@@ -712,6 +820,8 @@ void RpcMetrics::Reset() {
   breaker_ = BreakerStats{};
   failover_ = FailoverStats{};
   stale_ = StaleCatalogStats{};
+  stale_replica_ = StaleReplicaStats{};
+  repair_ = RepairStats{};
   route_ = RouteStats{};
   exec_ops_.clear();
   exec_batches_.clear();

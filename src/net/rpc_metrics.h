@@ -196,6 +196,30 @@ class RpcMetrics {
   /// and the caller broadcast to every shard instead.
   void RecordRouteMiss(const std::string& collection);
 
+  // -- Replica data-fencing / anti-entropy counters (DESIGN.md §17) --------
+
+  /// Server side: `self` fenced off a shard-routed call because its applied
+  /// fragment data version lags the one the caller routed by.
+  void RecordStaleReplicaReject(const std::string& self);
+  /// Client side: a StaleReplica fault was observed on a subcall.
+  void RecordStaleReplicaObserved();
+  /// Client side: failover skipped a lagging copy and moved to the next.
+  void RecordStaleReplicaSkip();
+
+  /// Repair: one fragment's applied-vs-authoritative version was checked.
+  void RecordReplicaLagCheck();
+  /// Repair: a lagging fragment was found, `gap` versions behind.
+  void RecordReplicaLagging(int64_t gap);
+  /// Repair: a lagging fragment was brought up to date.
+  void RecordRepairResync();
+  /// Repair: `count` missed committed PULs were replayed from a donor WAL.
+  void RecordRepairPulsReplayed(int64_t count);
+  /// Repair: a fragment was caught up by full transfer (donor WAL gap or
+  /// delta-replay digest mismatch).
+  void RecordRepairFullTransfer();
+  /// Repair: every donor was exhausted and the fragment stayed lagging.
+  void RecordRepairFailed();
+
   // -- Multi-tenant workload counters (DESIGN.md §16) ----------------------
 
   /// Terminal outcome of one tenant query as classified by the workload
@@ -268,6 +292,16 @@ class RpcMetrics {
   int64_t stale_catalog_observed() const;
   int64_t stale_catalog_reroutes() const;
   int64_t route_misses() const;
+  int64_t stale_replica_rejects() const;
+  int64_t stale_replica_observed() const;
+  int64_t stale_replica_skips() const;
+  int64_t replica_lag_checks() const;
+  int64_t replica_lagging_found() const;
+  int64_t replica_max_gap() const;
+  int64_t repair_resyncs() const;
+  int64_t repair_puls_replayed() const;
+  int64_t repair_full_transfers() const;
+  int64_t repair_failures() const;
 
   /// Aggregated morsel-executor stats of one operator tag.
   struct ExecOpStats {
@@ -364,6 +398,24 @@ class RpcMetrics {
     int64_t reroutes = 0;
   };
   StaleCatalogStats stale_;
+
+  struct StaleReplicaStats {
+    int64_t server_rejects = 0;
+    int64_t observed = 0;
+    int64_t skips = 0;
+  };
+  StaleReplicaStats stale_replica_;
+
+  struct RepairStats {
+    int64_t lag_checks = 0;
+    int64_t lagging_found = 0;
+    int64_t max_gap = 0;  ///< gauge maximum
+    int64_t resyncs = 0;
+    int64_t puls_replayed = 0;
+    int64_t full_transfers = 0;
+    int64_t failures = 0;
+  };
+  RepairStats repair_;
 
   struct RouteStats {
     int64_t misses = 0;

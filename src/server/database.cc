@@ -60,6 +60,22 @@ uint64_t Database::VersionOf(const std::string& name) const {
   return it == docs_.end() ? 0 : it->second.version;
 }
 
+uint64_t Database::AppliedDataVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  return it == docs_.end() ? 0 : it->second.applied_data_version;
+}
+
+void Database::SetAppliedDataVersion(const std::string& name,
+                                     uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) return;
+  if (version > it->second.applied_data_version) {
+    it->second.applied_data_version = version;
+  }
+}
+
 std::vector<std::string> Database::DocumentNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;

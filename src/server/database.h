@@ -48,6 +48,19 @@ class Database {
   /// Version of a document (0 if absent).
   uint64_t VersionOf(const std::string& name) const;
 
+  /// Applied fragment data version of a document (0 = unversioned). This
+  /// is the replica-local mirror of the catalog's authoritative fragment
+  /// data version (DESIGN.md §17): every committed shard update stamps the
+  /// version it produced, and the XRPC service fences reads whose shard
+  /// scope carries a newer data_version (StaleReplica). Distinct from the
+  /// local `version` counter, which also moves on loads and non-sharded
+  /// writes and is not comparable across copies.
+  uint64_t AppliedDataVersion(const std::string& name) const;
+
+  /// Raises the applied fragment data version of `name` to `version`
+  /// (max semantics; no-op on an absent document).
+  void SetAppliedDataVersion(const std::string& name, uint64_t version);
+
   std::vector<std::string> DocumentNames() const;
   bool Contains(const std::string& name) const;
 
@@ -55,6 +68,7 @@ class Database {
   struct Entry {
     xml::NodePtr tree;
     uint64_t version = 0;
+    uint64_t applied_data_version = 0;  ///< see AppliedDataVersion()
   };
   mutable std::mutex mu_;
   std::map<std::string, Entry> docs_;

@@ -38,6 +38,18 @@ struct QuerySession {
 
   /// Documents (by name) the logged PUL writes, determined at Prepare.
   std::set<std::string> written_docs;
+
+  /// Sharded-fragment provenance of this session's writes (DESIGN.md §17):
+  /// doc_name -> the fragment it realizes and the data version a commit of
+  /// this session will produce (scope data_version at execute time + 1).
+  /// Filtered to written_docs at Prepare, voted back to the coordinator,
+  /// and installed as the applied data version when the PUL commits.
+  struct FragmentTarget {
+    std::string collection;
+    int shard_index = 0;
+    uint64_t target_version = 0;
+  };
+  std::map<std::string, FragmentTarget> fragment_targets;
 };
 
 /// Manages repeatable-read query sessions at one peer, including snapshot

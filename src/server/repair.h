@@ -1,0 +1,45 @@
+#ifndef XRPC_SERVER_REPAIR_H_
+#define XRPC_SERVER_REPAIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/txn_log.h"
+#include "xml/node.h"
+
+namespace xrpc::server {
+
+/// Anti-entropy replica resync (DESIGN.md §17) — the pure helpers of the
+/// WS-AT kRepair verb. The stateful donor/requester sides live on
+/// XrpcService (BuildRepairReply / RepairReplica, defined in repair.cc);
+/// these functions are side-effect-free and unit-testable in isolation.
+
+/// One committed PUL that advanced a fragment from version-1 to `version`.
+struct FragmentDelta {
+  uint64_t version = 0;
+  std::string query_id;
+  std::string pul;  ///< PendingUpdateList::Serialize output
+};
+
+/// Scans replayed WAL records for committed transactions whose PREPARED
+/// payload wrote `doc`, and returns their PULs ordered by the fragment data
+/// version they produced — but only when they cover (from_version,
+/// to_version] contiguously. A hole (the WAL predates versioning, was
+/// truncated, or a transaction committed elsewhere) returns nullopt: the
+/// donor then falls back to a full fragment transfer. Aborted or undecided
+/// transactions never contribute.
+std::optional<std::vector<FragmentDelta>> CollectCommittedDeltas(
+    const std::vector<TxnLog::Record>& records, const std::string& doc,
+    uint64_t from_version, uint64_t to_version);
+
+/// Stable content digest of a fragment tree (ShardHash over the canonical
+/// serialization). Byte-identical trees — the replica-convergence invariant
+/// — digest equal; the requester verifies a delta replay against the
+/// donor's digest and falls back to full transfer on mismatch.
+uint64_t FragmentDigest(const xml::Node& tree);
+
+}  // namespace xrpc::server
+
+#endif  // XRPC_SERVER_REPAIR_H_

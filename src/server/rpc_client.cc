@@ -49,14 +49,38 @@ StatusOr<xdm::Sequence> RpcClient::Execute(const xquery::RpcCall& call) {
         if (r.ok()) routed = r.value();
       }
       std::vector<Destination> destinations;
+      // Replica-echo flags, parallel to `destinations`: an updating call
+      // fans out to EVERY copy of each touched shard (DESIGN.md §17) so all
+      // of them prepare/commit the same PUL through 2PC, but only the
+      // primary's result sequence contributes to the merge.
+      std::vector<bool> echo;
       auto add_shard = [&](const core::ShardInfo& s) {
+        soap::XrpcRequest::ShardScope scope{
+            collection.name, s.index, version,
+            options_.catalog->FragmentDataVersion(collection.name, s.index)};
         Destination d;
         d.dest_uri = s.peer_uri;
         d.request = request;
-        d.request.shard =
-            soap::XrpcRequest::ShardScope{collection.name, s.index, version};
-        d.fallback_uris = s.replicas;
-        destinations.push_back(std::move(d));
+        d.request.shard = scope;
+        if (request.updating) {
+          // All-copies write: no fallbacks (at-most-once forbids re-issuing
+          // an update elsewhere); a dead or lagging copy fails the call and
+          // the transaction aborts — repair, not failover, heals writes.
+          destinations.push_back(std::move(d));
+          echo.push_back(false);
+          for (const std::string& replica : s.replicas) {
+            Destination r;
+            r.dest_uri = replica;
+            r.request = request;
+            r.request.shard = scope;
+            destinations.push_back(std::move(r));
+            echo.push_back(true);
+          }
+        } else {
+          d.fallback_uris = s.replicas;
+          destinations.push_back(std::move(d));
+          echo.push_back(false);
+        }
       };
       if (routed >= 0) {
         add_shard(collection.shards[routed]);
@@ -69,13 +93,15 @@ StatusOr<xdm::Sequence> RpcClient::Execute(const xquery::RpcCall& call) {
       } else {
         xdm::Sequence merged;
         Status merge_status = Status::OK();
-        for (soap::XrpcResponse& response : *responses) {
+        for (size_t ri = 0; ri < responses->size(); ++ri) {
+          soap::XrpcResponse& response = (*responses)[ri];
           if (response.results.size() != 1) {
             merge_status = Status::SoapFault(
                 "expected 1 result sequence, got " +
                 std::to_string(response.results.size()));
             break;
           }
+          if (ri < echo.size() && echo[ri]) continue;  // replica echo
           for (xdm::Item& item : response.results[0]) {
             merged.push_back(std::move(item));
           }
@@ -128,6 +154,12 @@ StatusOr<soap::XrpcResponse> RpcClient::ExchangeWithFailover(
     if (m != nullptr) m->RecordStaleCatalogObserved();
     return result;
   }
+  if (result.status().code() == StatusCode::kStaleReplica && m != nullptr) {
+    // A lagging copy fenced this call (DESIGN.md §17): its applied data
+    // version trails what the catalog promised. Unlike StaleCatalog, the
+    // other copies are not implicated — a read can skip to the next one.
+    m->RecordStaleReplicaObserved();
+  }
   if (dest.fallback_uris.empty()) return result;
   if (dest.request.updating) {
     // At-most-once: an updating envelope may have reached (and changed)
@@ -137,13 +169,20 @@ StatusOr<soap::XrpcResponse> RpcClient::ExchangeWithFailover(
   }
   const std::string* failed_at = &dest.dest_uri;
   for (const std::string& replica : dest.fallback_uris) {
-    // Only transport-level failures are worth a replica: a dial refusal,
-    // an abandoned timeout, or a breaker-open local refusal. Budget
-    // exhaustion (kDeadlineExceeded) is final — there is no time left to
-    // spend on another candidate — and any answered fault means the shard
-    // itself (not the peer) is the problem.
-    if (result.status().code() != StatusCode::kNetworkError) return result;
-    if (m != nullptr) m->RecordFailoverAttempt(*failed_at);
+    // Only two failures are worth a replica: a transport-level loss (dial
+    // refusal, abandoned timeout, breaker-open local refusal) or a
+    // StaleReplica fence (that one copy lags; another may be current).
+    // Budget exhaustion (kDeadlineExceeded) is final — there is no time
+    // left to spend on another candidate — and any other answered fault
+    // means the shard itself (not the peer) is the problem.
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kStaleReplica) {
+      if (m != nullptr) m->RecordStaleReplicaSkip();
+    } else if (code == StatusCode::kNetworkError) {
+      if (m != nullptr) m->RecordFailoverAttempt(*failed_at);
+    } else {
+      return result;
+    }
     result = ExchangeOnce(replica, dest.request, stats);
     if (result.ok()) {
       if (m != nullptr) m->RecordFailoverSuccess();
@@ -152,6 +191,10 @@ StatusOr<soap::XrpcResponse> RpcClient::ExchangeWithFailover(
     if (result.status().code() == StatusCode::kStaleCatalog) {
       if (m != nullptr) m->RecordStaleCatalogObserved();
       return result;
+    }
+    if (result.status().code() == StatusCode::kStaleReplica &&
+        m != nullptr) {
+      m->RecordStaleReplicaObserved();
     }
     failed_at = &replica;
   }
@@ -251,8 +294,12 @@ StatusOr<std::vector<soap::XrpcResponse>> RpcClient::ExecuteBulkAll(
 StatusOr<soap::XrpcResponse> RpcClient::ExchangeOnce(
     const std::string& dest_uri, soap::XrpcRequest request,
     ExchangeStats* stats) const {
+  // The "simple query" shortcut (Section 3.2) elides the queryID for reads
+  // that send at most one request per peer — but an updating request must
+  // always carry it: the receiving peer stages the PUL in a session keyed
+  // by the queryID, which the 2PC Prepare/Commit then addresses.
   if (options_.isolation == IsolationLevel::kRepeatable &&
-      !options_.simple_query) {
+      (!options_.simple_query || request.updating)) {
     if (!options_.query_id.has_value()) {
       return Status::Internal("repeatable isolation requires a queryID");
     }

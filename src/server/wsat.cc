@@ -27,8 +27,58 @@ const char* OpName(WsatOp op) {
       return "rollback";
     case WsatOp::kInquire:
       return "inquire";
+    case WsatOp::kRepair:
+      return "repair";
   }
   return "prepare";
+}
+
+/// Parses an unsigned 64-bit decimal (data versions and digests exceed the
+/// int64 range ParseInt64 covers).
+StatusOr<uint64_t> ParseU64(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty unsigned integer");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("not an unsigned integer: " + std::string(s));
+    }
+    uint64_t next = v * 10 + static_cast<uint64_t>(c - '0');
+    if (next / 10 != v) {
+      return Status::ParseError("unsigned integer overflow: " +
+                                std::string(s));
+    }
+    v = next;
+  }
+  return v;
+}
+
+/// Renders a WrittenFragment as a <wsat:frag/> child (Prepare vote replies
+/// and the PREPARED payload share the shape).
+NodePtr FragmentElement(const WrittenFragment& f) {
+  NodePtr e = Node::NewElement(QName(kWsatNs, "frag", "wsat"));
+  e->SetAttribute(Node::NewAttribute(QName("doc"), f.doc));
+  e->SetAttribute(Node::NewAttribute(QName("collection"), f.collection));
+  e->SetAttribute(
+      Node::NewAttribute(QName("shard"), std::to_string(f.shard_index)));
+  e->SetAttribute(
+      Node::NewAttribute(QName("version"), std::to_string(f.version)));
+  return e;
+}
+
+StatusOr<WrittenFragment> ParseFragmentElement(const Node& elem) {
+  WrittenFragment f;
+  if (const Node* a = elem.FindAttribute(QName("doc"))) f.doc = a->value();
+  if (const Node* a = elem.FindAttribute(QName("collection"))) {
+    f.collection = a->value();
+  }
+  if (const Node* a = elem.FindAttribute(QName("shard"))) {
+    XRPC_ASSIGN_OR_RETURN(int64_t v, ParseInt64(a->value()));
+    f.shard_index = static_cast<int>(v);
+  }
+  if (const Node* a = elem.FindAttribute(QName("version"))) {
+    XRPC_ASSIGN_OR_RETURN(f.version, ParseU64(a->value()));
+  }
+  return f;
 }
 
 std::string Serialize(const WsatMessage& m, bool response) {
@@ -44,6 +94,40 @@ std::string Serialize(const WsatMessage& m, bool response) {
     }
     if (!m.outcome.empty()) {
       elem->SetAttribute(Node::NewAttribute(QName("outcome"), m.outcome));
+    }
+    for (const WrittenFragment& f : m.fragments) {
+      elem->AppendChild(FragmentElement(f));
+    }
+  }
+  if (m.op == WsatOp::kRepair) {
+    elem->SetAttribute(Node::NewAttribute(QName("collection"), m.collection));
+    elem->SetAttribute(
+        Node::NewAttribute(QName("shard"), std::to_string(m.shard_index)));
+    elem->SetAttribute(Node::NewAttribute(QName("doc"), m.doc));
+    if (!response) {
+      elem->SetAttribute(Node::NewAttribute(
+          QName("fromVersion"), std::to_string(m.from_version)));
+      if (m.want_full) {
+        elem->SetAttribute(Node::NewAttribute(QName("wantFull"), "1"));
+      }
+    } else {
+      elem->SetAttribute(
+          Node::NewAttribute(QName("version"), std::to_string(m.version)));
+      elem->SetAttribute(
+          Node::NewAttribute(QName("digest"), std::to_string(m.digest)));
+      for (const WsatMessage::RepairDelta& d : m.deltas) {
+        NodePtr de = Node::NewElement(QName(kWsatNs, "delta", "wsat"));
+        de->SetAttribute(
+            Node::NewAttribute(QName("version"), std::to_string(d.version)));
+        de->SetAttribute(Node::NewAttribute(QName("queryID"), d.query_id));
+        de->AppendChild(Node::NewText(d.pul));
+        elem->AppendChild(std::move(de));
+      }
+      if (!m.full_body.empty()) {
+        NodePtr body = Node::NewElement(QName(kWsatNs, "body", "wsat"));
+        body->AppendChild(Node::NewText(m.full_body));
+        elem->AppendChild(std::move(body));
+      }
     }
   }
   xml::SerializeOptions opts;
@@ -80,6 +164,8 @@ StatusOr<WsatMessage> ParseWsatMessage(std::string_view text) {
       out.op = WsatOp::kRollback;
     } else if (a->value() == "inquire") {
       out.op = WsatOp::kInquire;
+    } else if (a->value() == "repair") {
+      out.op = WsatOp::kRepair;
     } else {
       return Status::InvalidArgument("unknown WS-AT op: " + a->value());
     }
@@ -96,6 +182,47 @@ StatusOr<WsatMessage> ParseWsatMessage(std::string_view text) {
   if (const Node* a = elem->FindAttribute(QName("outcome"))) {
     out.outcome = a->value();
   }
+  if (const Node* a = elem->FindAttribute(QName("collection"))) {
+    out.collection = a->value();
+  }
+  if (const Node* a = elem->FindAttribute(QName("shard"))) {
+    XRPC_ASSIGN_OR_RETURN(int64_t v, ParseInt64(a->value()));
+    out.shard_index = static_cast<int>(v);
+  }
+  if (const Node* a = elem->FindAttribute(QName("doc"))) {
+    out.doc = a->value();
+  }
+  if (const Node* a = elem->FindAttribute(QName("fromVersion"))) {
+    XRPC_ASSIGN_OR_RETURN(out.from_version, ParseU64(a->value()));
+  }
+  if (const Node* a = elem->FindAttribute(QName("wantFull"))) {
+    out.want_full = a->value() == "1";
+  }
+  if (const Node* a = elem->FindAttribute(QName("version"))) {
+    XRPC_ASSIGN_OR_RETURN(out.version, ParseU64(a->value()));
+  }
+  if (const Node* a = elem->FindAttribute(QName("digest"))) {
+    XRPC_ASSIGN_OR_RETURN(out.digest, ParseU64(a->value()));
+  }
+  for (const NodePtr& child : elem->children()) {
+    if (child->kind() != NodeKind::kElement) continue;
+    if (child->name().local == "frag") {
+      XRPC_ASSIGN_OR_RETURN(WrittenFragment f, ParseFragmentElement(*child));
+      out.fragments.push_back(std::move(f));
+    } else if (child->name().local == "delta") {
+      WsatMessage::RepairDelta d;
+      if (const Node* a = child->FindAttribute(QName("version"))) {
+        XRPC_ASSIGN_OR_RETURN(d.version, ParseU64(a->value()));
+      }
+      if (const Node* a = child->FindAttribute(QName("queryID"))) {
+        d.query_id = a->value();
+      }
+      d.pul = child->StringValue();
+      out.deltas.push_back(std::move(d));
+    } else if (child->name().local == "body") {
+      out.full_body = child->StringValue();
+    }
+  }
   return out;
 }
 
@@ -109,6 +236,9 @@ std::string SerializePreparedPayload(const PreparedPayload& payload) {
     d->SetAttribute(
         Node::NewAttribute(QName("version"), std::to_string(version)));
     elem->AppendChild(std::move(d));
+  }
+  for (const WrittenFragment& f : payload.fragments) {
+    elem->AppendChild(FragmentElement(f));
   }
   NodePtr pul = Node::NewElement(QName(kWsatNs, "pul", "wsat"));
   pul->AppendChild(Node::NewText(payload.pul));
@@ -142,6 +272,9 @@ StatusOr<PreparedPayload> ParsePreparedPayload(std::string_view text) {
       }
       XRPC_ASSIGN_OR_RETURN(int64_t v, ParseInt64(version));
       out.docs.emplace_back(name, static_cast<uint64_t>(v));
+    } else if (child->name().local == "frag") {
+      XRPC_ASSIGN_OR_RETURN(WrittenFragment f, ParseFragmentElement(*child));
+      out.fragments.push_back(std::move(f));
     } else if (child->name().local == "pul") {
       out.pul = child->StringValue();
     }
@@ -155,12 +288,18 @@ StatusOr<WsatMessage> SendWsatMessage(net::Transport* transport,
   WsatMessage req;
   req.op = op;
   req.query_id = query_id;
+  return SendWsatEnvelope(transport, participant, req);
+}
+
+StatusOr<WsatMessage> SendWsatEnvelope(net::Transport* transport,
+                                       const std::string& participant,
+                                       const WsatMessage& request) {
   // Route to the peer's WS-AT endpoint path.
   XRPC_ASSIGN_OR_RETURN(net::XrpcUri uri, net::ParseXrpcUri(participant));
   uri.path = kWsatPath;
   XRPC_ASSIGN_OR_RETURN(
       net::PostResult result,
-      transport->Post(uri.ToString(), SerializeWsatRequest(req)));
+      transport->Post(uri.ToString(), SerializeWsatRequest(request)));
   return ParseWsatMessage(result.body);
 }
 
@@ -196,13 +335,29 @@ StatusOr<CommitOutcome> RunTwoPhaseCommit(
     return outcome;
   };
 
-  // Phase 1: Prepare on every participant.
+  // Phase 1: Prepare on every participant. Yes-votes piggyback the sharded
+  // fragments their PUL writes; dedup by collection#shard at max version
+  // (every copy of a replicated fragment reports the same target, and the
+  // coordinator advances the catalog once).
   for (const std::string& p : participants) {
     ++outcome.prepares_sent;
     auto vote = SendWsatMessage(transport, p, WsatOp::kPrepare, query_id);
     if (!vote.ok() || !vote.value().ok) {
       return abort_all(vote.ok() ? vote.value().reason
                                  : vote.status().ToString());
+    }
+    for (const WrittenFragment& f : vote.value().fragments) {
+      auto same = std::find_if(
+          outcome.fragments.begin(), outcome.fragments.end(),
+          [&](const WrittenFragment& g) {
+            return g.collection == f.collection &&
+                   g.shard_index == f.shard_index;
+          });
+      if (same == outcome.fragments.end()) {
+        outcome.fragments.push_back(f);
+      } else if (f.version > same->version) {
+        same->version = f.version;
+      }
     }
   }
 

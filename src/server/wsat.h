@@ -24,7 +24,22 @@ inline constexpr char kWsatPath[] = "wsat";
 /// kInquire is the recovery verb: a participant holding a PREPARED log
 /// record with no decision asks the coordinator for the outcome; under
 /// presumed abort, "no commit decision on record" answers "aborted".
-enum class WsatOp { kPrepare, kCommit, kRollback, kInquire };
+/// kRepair is the anti-entropy verb (DESIGN.md §17): a lagging replica
+/// asks a peer holding the same fragment for the committed PULs (or the
+/// full fragment) between its applied data version and the peer's.
+enum class WsatOp { kPrepare, kCommit, kRollback, kInquire, kRepair };
+
+/// A sharded fragment a participant's prepared PUL writes: reported on the
+/// Prepare vote and folded into CommitOutcome, so the coordinator advances
+/// the catalog's authoritative fragment data version once the transaction
+/// commits (only fragments that were actually written advance — an
+/// over-bump would fence reads of untouched fragments forever).
+struct WrittenFragment {
+  std::string doc;         ///< physical fragment name at the participant
+  std::string collection;  ///< logical collection the fragment realizes
+  int shard_index = 0;
+  uint64_t version = 0;    ///< data version committing this PUL produces
+};
 
 /// One WS-AT request/response message. Responses reuse the struct with
 /// `op` echoing the verb, `ok`/`reason` carrying the vote, and — for
@@ -35,6 +50,33 @@ struct WsatMessage {
   bool ok = true;
   std::string reason;
   std::string outcome;  ///< inquiry replies: "committed" | "aborted"
+
+  /// Prepare vote replies: fragments the voted PUL writes (see
+  /// WrittenFragment). Empty for non-sharded transactions.
+  std::vector<WrittenFragment> fragments;
+
+  // -- kRepair fields (unused by the four classic verbs) -------------------
+  std::string collection;     ///< fragment's logical collection
+  int shard_index = 0;        ///< fragment's shard index
+  std::string doc;            ///< physical fragment name
+  uint64_t from_version = 0;  ///< request: requester's applied data version
+  /// Request: skip delta mode and send the full fragment (set after a
+  /// delta replay failed or its digest check mismatched).
+  bool want_full = false;
+  uint64_t version = 0;       ///< reply: donor's applied data version
+  uint64_t digest = 0;        ///< reply: ShardHash of donor's serialized tree
+  /// Reply, full-transfer mode: the donor's complete serialized fragment.
+  /// Empty => delta mode, replay `deltas` in order instead.
+  std::string full_body;
+  /// Reply, delta mode: committed PULs covering from_version+1..version
+  /// contiguously, each with the query id that produced it (the requester
+  /// marks those ids committed so late 2PC traffic stays idempotent).
+  struct RepairDelta {
+    uint64_t version = 0;
+    std::string query_id;
+    std::string pul;
+  };
+  std::vector<RepairDelta> deltas;
 };
 
 std::string SerializeWsatRequest(const WsatMessage& message);
@@ -49,6 +91,10 @@ struct PreparedPayload {
   std::string coordinator;  ///< URI whose wsat endpoint answers kInquire
   std::vector<std::pair<std::string, uint64_t>> docs;  ///< name, base version
   std::string pul;          ///< PendingUpdateList::Serialize output
+  /// Sharded fragments the PUL writes, with the data version a commit
+  /// produces — durable so crash recovery re-votes them and the replica's
+  /// applied data version still advances on a post-restart commit.
+  std::vector<WrittenFragment> fragments;
 };
 
 std::string SerializePreparedPayload(const PreparedPayload& payload);
@@ -60,6 +106,12 @@ StatusOr<PreparedPayload> ParsePreparedPayload(std::string_view text);
 StatusOr<WsatMessage> SendWsatMessage(net::Transport* transport,
                                       const std::string& participant,
                                       WsatOp op, const std::string& query_id);
+
+/// Sends a fully populated WS-AT request (kRepair carries more than the
+/// verb + query id) to `participant`'s wsat endpoint and parses the reply.
+StatusOr<WsatMessage> SendWsatEnvelope(net::Transport* transport,
+                                       const std::string& participant,
+                                       const WsatMessage& request);
 
 /// Durable coordinator-side state the 2PC driver records into. Implemented
 /// by XrpcService on top of its transaction WAL; null in legacy callers
@@ -100,6 +152,10 @@ struct CommitOutcome {
   /// budget. The decision stands (committed == true); these are parked and
   /// drained by coordinator retry or participant-initiated inquiry.
   std::vector<std::string> in_doubt;
+  /// Union of the fragments every yes-vote reported writing (deduplicated
+  /// by collection#shard at the max version). On commit the caller
+  /// advances the catalog's fragment data versions from this list.
+  std::vector<WrittenFragment> fragments;
 };
 
 /// Knobs of RunTwoPhaseCommit beyond the classic all-or-nothing drive.

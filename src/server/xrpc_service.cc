@@ -141,15 +141,20 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
     int64_t version = 0;
     const bool known =
         options_.catalog->Snapshot(scope.collection, &collection, &version);
+    // An unknown collection is reported as such BEFORE any version
+    // comparison: two independent catalogs can share a version counter
+    // value, and "version mismatch" on a collection this peer has never
+    // heard of sends the caller chasing a catalog refetch that cannot help.
+    if (!known) {
+      return stale_reply("collection " + scope.collection + " unknown at " +
+                         options_.self_uri);
+    }
     if (version != scope.catalog_version) {
       return stale_reply("peer " + options_.self_uri + " at catalog version " +
                          std::to_string(version) + ", caller routed by " +
                          std::to_string(scope.catalog_version));
     }
-    // Equal versions but an unknown collection / out-of-range shard can
-    // still happen across independent catalogs whose counters coincide;
-    // treat it as the same fence (the caller refetches and re-routes).
-    if (!known || scope.shard_index < 0 ||
+    if (scope.shard_index < 0 ||
         scope.shard_index >= static_cast<int>(collection.shards.size())) {
       return stale_reply("shard " + std::to_string(scope.shard_index) +
                          " of collection " + scope.collection +
@@ -165,6 +170,22 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
                          " holds no replica of shard " +
                          std::to_string(scope.shard_index) + " of " +
                          scope.collection);
+    }
+    // Data fence (DESIGN.md §17): the caller routed by the fragment's
+    // authoritative data version; a copy whose applied version lags it
+    // must not serve — the retriable StaleReplica fault makes failover
+    // skip to an up-to-date copy (and fences writes at lagging copies,
+    // which must repair before accepting new updates).
+    if (scope.data_version > 0 &&
+        database_->AppliedDataVersion(shard.doc_name) < scope.data_version) {
+      if (metrics_ != nullptr) {
+        metrics_->RecordStaleReplicaReject(options_.self_uri);
+      }
+      return fault_reply(Status::StaleReplica(
+          "fragment " + shard.doc_name + " at " + options_.self_uri +
+          " applied data version " +
+          std::to_string(database_->AppliedDataVersion(shard.doc_name)) +
+          ", caller routed by " + std::to_string(scope.data_version)));
     }
     pinned_fragment.emplace(collection.name, shard.doc_name);
   }
@@ -251,6 +272,19 @@ StatusOr<std::string> XrpcService::HandleXrpc(const std::string& body) {
       // Rule R'Fu: defer; the coordinator commits via WS-AT.
       session->pul.BeginCall();
       session->pul.Merge(std::move(pul));
+      if (request.shard.has_value() && pinned_fragment.has_value()) {
+        // Remember which fragment this updating call targets and the data
+        // version a commit will produce (routed version + 1). Filtered to
+        // the docs the PUL actually writes at Prepare, voted back to the
+        // coordinator, and installed as the applied data version on apply.
+        QuerySession::FragmentTarget& t =
+            session->fragment_targets[pinned_fragment->second];
+        t.collection = request.shard->collection;
+        t.shard_index = request.shard->shard_index;
+        if (request.shard->data_version + 1 > t.target_version) {
+          t.target_version = request.shard->data_version + 1;
+        }
+      }
     } else {
       // Rule RFu: apply each request's updates immediately.
       Status applied = ApplyImmediate(&pul, provider.get());
@@ -334,6 +368,13 @@ StatusOr<PreparedPayload> XrpcService::BuildPreparedPayload(
     if (it == session->docs.end()) continue;  // fn:put of a new document
     payload.docs.emplace_back(name, it->second.second);
   }
+  // Only fragments the PUL actually writes vote a version advance; an
+  // unwritten fragment's target would advance the catalog past every copy.
+  for (const auto& [doc, target] : session->fragment_targets) {
+    if (session->written_docs.count(doc) == 0) continue;
+    payload.fragments.push_back(
+        {doc, target.collection, target.shard_index, target.target_version});
+  }
   auto namer = [session](const xml::Node* root) -> StatusOr<std::string> {
     for (const auto& [name, versioned] : session->docs) {
       if (versioned.first.get() == root) return name;
@@ -353,6 +394,10 @@ Status XrpcService::ApplyPreparedSession(QuerySession* session) {
     if (it == session->docs.end()) continue;  // fn:put handled by sink
     XRPC_RETURN_IF_ERROR(
         database_->ReplaceIfVersion(name, it->second.second, it->second.first));
+    auto target = session->fragment_targets.find(name);
+    if (target != session->fragment_targets.end()) {
+      database_->SetAppliedDataVersion(name, target->second.target_version);
+    }
   }
   return Status::OK();
 }
@@ -365,6 +410,10 @@ StatusOr<QuerySession*> XrpcService::RestoreInDoubtSession(
   // Deadline is moot: prepared sessions are exempt from expiry.
   session->deadline_us = isolation_.NowMicros();
   session->prepared = true;
+  for (const WrittenFragment& f : p.fragments) {
+    session->fragment_targets[f.doc] = {f.collection, f.shard_index,
+                                        f.version};
+  }
   for (const auto& [name, version] : p.docs) {
     // Pin a fresh clone at the RECORDED base version: while this peer was
     // down it accepted no commits, so the live tree still carries the state
@@ -441,8 +490,18 @@ StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
         return respond_abort(session_or.status().ToString());
       }
       QuerySession* session = session_or.value();
+      auto vote_fragments = [&](QuerySession* s) {
+        for (const auto& [doc, t] : s->fragment_targets) {
+          if (s->written_docs.count(doc) == 0) continue;
+          reply.fragments.push_back(
+              {doc, t.collection, t.shard_index, t.target_version});
+        }
+      };
       if (session->prepared) {
         // Duplicate Prepare (retried envelope): the PUL is already logged.
+        // Re-vote the same fragment list — the first vote may have been
+        // the message that got lost.
+        vote_fragments(session);
         return idempotent_reply(true, "");
       }
       XRPC_RETURN_IF_ERROR(ResolveWrittenDocs(session));
@@ -471,6 +530,7 @@ StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
       }
       session->prepared = true;
       reply.ok = true;
+      vote_fragments(session);
       // kAfterVote: the yes-vote still reaches the coordinator, then the
       // peer dies holding an in-doubt transaction.
       (void)TriggerCrash(CrashPoint::kAfterVote);
@@ -557,6 +617,13 @@ StatusOr<std::string> XrpcService::HandleWsat(const std::string& body) {
       reply.outcome = (o.has_value() && *o == TxnOutcome::kCommitted)
                           ? "committed"
                           : "aborted";
+      return respond();
+    }
+
+    case WsatOp::kRepair: {
+      // Anti-entropy donor side (server/repair.cc): answer with the
+      // committed PULs — or the full fragment — a lagging copy is missing.
+      reply = BuildRepairReply(msg);
       return respond();
     }
   }
@@ -858,6 +925,12 @@ Status XrpcService::Restart(net::Transport* transport) {
       have_coord_work = !coord_.empty();
     }
     if (have_coord_work) note(RetryInDoubt(transport));
+    // 6. Anti-entropy: while this peer was down it may have missed whole
+    // committed transactions (no PREPARED record to recover from). Compare
+    // fragment data versions against the catalog and catch up from a peer
+    // copy before serving reads (which the StaleReplica fence would reject
+    // anyway until the gap closes).
+    note(RepairReplica(transport));
   }
   return first_error;
 }

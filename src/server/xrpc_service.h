@@ -104,6 +104,17 @@ class XrpcService : public net::SoapEndpoint, public CoordinatorJournal {
   /// Returns OK when none remain in doubt.
   Status RetryInDoubt(net::Transport* transport);
 
+  /// Anti-entropy resync (DESIGN.md §17; implemented in server/repair.cc).
+  /// First resolves participant in-doubt transactions by coordinator
+  /// inquiry (so a parked prepared PUL is never double-applied by repair),
+  /// then compares every locally held fragment's applied data version
+  /// against the catalog's authoritative version and catches lagging
+  /// fragments up from a peer copy: missed committed PULs are replayed
+  /// when a donor's WAL covers the gap contiguously, else the whole
+  /// fragment is transferred. Runs automatically at the end of Restart();
+  /// also reachable as Peer::Repair() after a reconnect.
+  Status RepairReplica(net::Transport* transport);
+
   /// queryIDs currently parked in-doubt (either role).
   size_t in_doubt_count() const;
 
@@ -176,6 +187,25 @@ class XrpcService : public net::SoapEndpoint, public CoordinatorJournal {
   /// Resolves participant-side in-doubt transactions by inquiring their
   /// coordinators; commits or aborts per the answer (presumed abort).
   Status ResolveParticipantInDoubt(net::Transport* transport);
+
+  /// Donor side of the WS-AT kRepair verb (server/repair.cc): builds the
+  /// delta (or full-transfer) reply for a lagging copy's catch-up request.
+  WsatMessage BuildRepairReply(const WsatMessage& request);
+
+  /// Requester side (server/repair.cc): catches one lagging fragment up
+  /// from `donor`, delta-first with full-transfer fallback.
+  Status ResyncFragmentFrom(net::Transport* transport,
+                            const std::string& donor,
+                            const std::string& collection,
+                            const core::ShardInfo& shard,
+                            uint64_t authoritative);
+
+  /// Replays a delta-mode repair reply (missed committed PULs, in version
+  /// order) against the live fragment and verifies the donor's digest.
+  Status ApplyRepairDeltas(const WsatMessage& reply);
+
+  /// Installs a full-transfer repair reply as the new fragment state.
+  Status ApplyRepairFullBody(const WsatMessage& reply);
 
   /// True (and the crash latch set) if the armed crash point is `point`.
   bool TriggerCrash(CrashPoint point);

@@ -154,6 +154,10 @@ std::string SerializeRequest(const XrpcRequest& request) {
         Node::NewAttribute(QName("index"), std::to_string(scope.shard_index)));
     shard->SetAttribute(Node::NewAttribute(
         QName("catalog-version"), std::to_string(scope.catalog_version)));
+    if (scope.data_version > 0) {
+      shard->SetAttribute(Node::NewAttribute(
+          QName("data-version"), std::to_string(scope.data_version)));
+    }
     header->AppendChild(std::move(shard));
   }
   return SerializeEnvelope(NewEnvelope(std::move(req), std::move(header)));
@@ -207,6 +211,17 @@ StatusOr<XrpcRequest> ParseRequest(std::string_view text) {
         }
         scope.shard_index = static_cast<int>(index.value());
         scope.catalog_version = version.value();
+        // data-version is optional: requests from pre-versioning senders
+        // carry no attribute and parse as 0 (fence disabled).
+        if (const Node* dv = c->FindAttribute(QName("data-version"))) {
+          auto data_version = ParseInt64(dv->value());
+          if (!data_version.ok() || data_version.value() < 0) {
+            return Status::InvalidArgument(
+                "SOAP: malformed xrpc:shard data-version: \"" + dv->value() +
+                "\"");
+          }
+          scope.data_version = static_cast<uint64_t>(data_version.value());
+        }
         out.shard = std::move(scope);
         continue;
       }
@@ -341,6 +356,13 @@ Status StatusFromFault(const Fault& fault) {
   // at-most-once.
   if (fault.reason.rfind(kStaleCatalogPrefix, 0) == 0) {
     return Status::StaleCatalog(fault.reason.substr(kStaleCatalogPrefix.size()));
+  }
+  // StaleReplica is the data-version fence: this COPY of the fragment is
+  // behind, so the caller may retry the identical read at another replica
+  // (unlike StaleCatalog, where every copy shares the stale routing).
+  constexpr std::string_view kStaleReplicaPrefix = "StaleReplica: ";
+  if (fault.reason.rfind(kStaleReplicaPrefix, 0) == 0) {
+    return Status::StaleReplica(fault.reason.substr(kStaleReplicaPrefix.size()));
   }
   return Status::SoapFault(fault.code + ": " + fault.reason);
 }

@@ -57,10 +57,16 @@ struct XrpcRequest {
   ///  - fragment pinning: a replica peer holds several fragments of the
   ///    same collection, so "resolve the logical name to the local
   ///    fragment" is ambiguous; the scope names the exact shard to serve.
+  ///  - data fencing: `data_version` is the fragment's authoritative data
+  ///    version at decomposition time (0 = unversioned). A replica whose
+  ///    applied version lags it rejects with the retriable StaleReplica
+  ///    fault, so failover skips lagging copies instead of serving stale
+  ///    data.
   struct ShardScope {
     std::string collection;      ///< logical collection name
     int shard_index = 0;         ///< which shard this subcall reads
     int64_t catalog_version = 0; ///< sender's catalog version (fencing token)
+    uint64_t data_version = 0;   ///< fragment data version (0 = unversioned)
   };
   std::optional<ShardScope> shard;
 };

@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "core/peer_network.h"
+#include "server/rpc_client.h"
+#include "soap/message.h"
 #include "xdm/item.h"
+#include "xml/serializer.h"
 #include "xmark/shard_loader.h"
 #include "xmark/xmark.h"
 
@@ -236,6 +239,201 @@ TEST(FailoverTest, OpenBreakerSkipsStraightToReplica) {
   EXPECT_GE(m.breaker_opens(), 1);
   EXPECT_GT(m.breaker_short_circuits(), short_circuits_before);
   EXPECT_GE(m.failover_successes(), 2);
+}
+
+// -- Replicated writes and anti-entropy resync (DESIGN.md §17) --------------
+
+// Updating broadcast through repeatable-read 2PC: every copy of every
+// shard enlists as a participant (all-copies write).
+constexpr char kUpdBroadcast[] =
+    "declare option xrpc:isolation \"repeatable\";\n"
+    "declare option xrpc:timeout \"60\";\n"
+    "import module namespace u=\"upd_shard\" at \"u.xq\";\n"
+    R"(execute at {"shard:auctions.xml"} {u:stamp()})";
+
+std::string FragName(int shard) {
+  return "auctions.xml." + std::to_string(shard);
+}
+
+/// Serialized bytes of one fragment as a peer currently stores it — the
+/// unit of the byte-identity checks below.
+std::string FragmentBytes(Peer* peer, const std::string& doc) {
+  auto d = peer->database().GetDocument(doc);
+  if (!d.ok()) return "<missing: " + d.status().ToString() + ">";
+  return xml::SerializeNode(*d.value());
+}
+
+void RegisterUpdModule(Deployment& d) {
+  for (Peer* p : d.shards) {
+    ASSERT_TRUE(p->RegisterModule(kUpdModule, "u.xq").ok());
+  }
+  ASSERT_TRUE(d.p0->RegisterModule(kUpdModule, "u.xq").ok());
+}
+
+TEST(FailoverTest, UnknownCollectionFenceWinsOverDataVersionFence) {
+  // Regression: the admission fences must check "is this collection known
+  // here at all" BEFORE any version comparison. A scope naming a foreign
+  // collection with an arbitrarily high data version must come back as the
+  // catalog-class "unknown" fault — never StaleReplica, which would send
+  // the caller skipping replicas of a collection this peer has never held.
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kRelational);
+  server::RpcClient client(&d.net->network(), {});
+  soap::XrpcRequest req;
+  req.module_ns = "functions_b";
+  req.method = "Q_B1";
+  req.arity = 0;
+  req.calls.emplace_back();
+  req.shard = soap::XrpcRequest::ShardScope{"ghost.xml", 0,
+                                            /*catalog_version=*/1,
+                                            /*data_version=*/999};
+  auto resp = client.ExecuteBulk(d.shards[0]->uri(), req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kStaleCatalog) << resp.status();
+  EXPECT_NE(resp.status().ToString().find("unknown"), std::string::npos)
+      << resp.status();
+  EXPECT_EQ(d.net->metrics().stale_replica_rejects(), 0);
+}
+
+TEST(FailoverTest, LaggingDataVersionFencesWithStaleReplica) {
+  // The data fence proper: known collection, matching catalog version,
+  // served shard — but the caller routed by a data version this copy has
+  // not applied. The reject must be the retriable StaleReplica class (so
+  // failover skips to a current copy) and land in its own metric.
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kRelational);
+  ShardedCollection c;
+  int64_t version = 0;
+  ASSERT_TRUE(d.net->catalog().Snapshot("auctions.xml", &c, &version));
+  server::RpcClient client(&d.net->network(), {});
+  soap::XrpcRequest req;
+  req.module_ns = "functions_b";
+  req.method = "Q_B1";
+  req.arity = 0;
+  req.calls.emplace_back();
+  req.shard = soap::XrpcRequest::ShardScope{"auctions.xml", 0, version,
+                                            /*data_version=*/7};
+  auto resp = client.ExecuteBulk(c.shards[0].peer_uri, req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kStaleReplica) << resp.status();
+  EXPECT_GE(d.net->metrics().stale_replica_rejects(), 1);
+  EXPECT_NE(d.net->metrics().Report().find("stale-replica:"),
+            std::string::npos);
+}
+
+TEST(FailoverTest, ReplicaCrashDuringCommitResyncsByteIdentically) {
+  // The acceptance scenario: a replica crashes during phase 2 (the commit
+  // decision is durable, its apply was lost), restarts, resyncs — and then
+  // holds fragments byte-identical to every surviving copy, while the
+  // cluster-wide read is byte-identical to a healthy updated run.
+  Deployment healthy = MakeDeployment(/*replication_factor=*/1,
+                                      EngineKind::kInterpreter);
+  RegisterUpdModule(healthy);
+  auto ref = healthy.net->Execute("p0", kUpdBroadcast);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  ASSERT_TRUE(ref->committed) << ref->abort_reason;
+  const std::string updated_baseline = RunBroadcast(healthy);
+  ASSERT_EQ(updated_baseline.find("ERROR"), std::string::npos);
+
+  Deployment d = MakeDeployment(/*replication_factor=*/2,
+                                EngineKind::kInterpreter);
+  RegisterUpdModule(d);
+  d.shards[1]->InjectCrash(server::CrashPoint::kBeforeCommitApply);
+  auto report = d.net->Execute("p0", kUpdBroadcast);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->committed) << report->abort_reason;
+  EXPECT_TRUE(d.shards[1]->crashed());
+  ASSERT_FALSE(report->in_doubt.empty());
+
+  // Restart replays the WAL, resolves the in-doubt prepare by coordinator
+  // inquiry, and runs the anti-entropy resync.
+  ASSERT_TRUE(d.shards[1]->Restart().ok());
+  ASSERT_TRUE(d.p0->service().RetryInDoubt(&d.net->network()).ok());
+
+  // Peer 1 holds shard 0's replica and shard 1's primary (ring layout);
+  // both must be byte-identical to the other copy of the same shard.
+  EXPECT_EQ(FragmentBytes(d.shards[1], FragName(0)),
+            FragmentBytes(d.shards[0], FragName(0)));
+  EXPECT_EQ(FragmentBytes(d.shards[1], FragName(1)),
+            FragmentBytes(d.shards[2], FragName(1)));
+  EXPECT_NE(FragmentBytes(d.shards[1], FragName(0)).find("<stamp/>"),
+            std::string::npos);
+  // And the cluster serves the healthy updated result, byte for byte.
+  EXPECT_EQ(RunBroadcast(d), updated_baseline);
+}
+
+TEST(FailoverTest, StaleReplicaSkipIsolatesLaggingCopy) {
+  // A copy that verifiably missed a commit (crashed before applying it,
+  // restarted without a transport, so it could not resolve its in-doubt
+  // prepare) self-fences with StaleReplica; a read whose primary is also
+  // dead must skip past it to the one current copy and still answer byte
+  // for byte.
+  Deployment d = MakeDeployment(/*replication_factor=*/3,
+                                EngineKind::kInterpreter);
+  RegisterUpdModule(d);
+  d.shards[1]->InjectCrash(server::CrashPoint::kBeforeCommitApply);
+  auto report = d.net->Execute("p0", kUpdBroadcast);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->committed) << report->abort_reason;
+  const std::string updated_baseline = RunBroadcast(d);
+  ASSERT_EQ(updated_baseline.find("ERROR"), std::string::npos);
+
+  // WAL-only restart: the prepare is parked in doubt, the commit stays
+  // unapplied, so peer 1 serves — but lags every fragment it holds.
+  ASSERT_TRUE(d.shards[1]->service().Restart(nullptr).ok());
+  EXPECT_LT(d.shards[1]->database().AppliedDataVersion(FragName(0)),
+            d.net->catalog().FragmentDataVersion("auctions.xml", 0));
+
+  d.shards[0]->Disconnect();  // shard 0: primary dead, replica 1 lagging
+  EXPECT_EQ(RunBroadcast(d), updated_baseline);
+  const net::RpcMetrics& m = d.net->metrics();
+  EXPECT_GE(m.stale_replica_rejects(), 1);
+  EXPECT_GE(m.stale_replica_skips(), 1);
+  EXPECT_GE(m.failover_successes(), 1);
+  EXPECT_NE(m.Report().find("stale-replica:"), std::string::npos);
+
+  // Repair heals the lag (in-doubt inquiry at the live coordinator), after
+  // which the copy is byte-identical and serves again.
+  ASSERT_TRUE(d.shards[1]->Repair().ok());
+  EXPECT_EQ(d.shards[1]->database().AppliedDataVersion(FragName(0)),
+            d.net->catalog().FragmentDataVersion("auctions.xml", 0));
+  EXPECT_EQ(FragmentBytes(d.shards[1], FragName(0)),
+            FragmentBytes(d.shards[2], FragName(0)));
+}
+
+TEST(FailoverTest, JoinedReplicaCatchesUpByDonorWalReplay) {
+  // Anti-entropy delta path: a replica that joins AFTER a commit holds the
+  // pre-update fragment at applied version 0 while the catalog says 1. Its
+  // resync must replay the missed PUL from a donor's WAL (no full
+  // transfer) and converge byte-identically. rf=1 keeps each donor's PUL
+  // scoped to a single fragment — with more copies per peer the PUL also
+  // writes fragments the joiner does not hold, which (by design) fails the
+  // delta replay and falls back to full transfer.
+  Deployment d = MakeDeployment(/*replication_factor=*/1,
+                                EngineKind::kInterpreter);
+  RegisterUpdModule(d);
+  const std::string pre_update = FragmentBytes(d.shards[0], FragName(0));
+  auto report = d.net->Execute("p0", kUpdBroadcast);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->committed) << report->abort_reason;
+
+  Peer* joiner = d.net->AddPeer("joiner", EngineKind::kInterpreter);
+  ASSERT_TRUE(joiner->AddDocument(FragName(0), pre_update).ok());
+  ShardedCollection c;
+  ASSERT_TRUE(d.net->catalog().Snapshot("auctions.xml", &c, nullptr));
+  c.shards[0].replicas.push_back(joiner->uri());
+  ASSERT_TRUE(d.net->catalog().RegisterCollection(std::move(c)).ok());
+
+  ASSERT_TRUE(joiner->Repair().ok());
+  EXPECT_EQ(joiner->database().AppliedDataVersion(FragName(0)),
+            d.net->catalog().FragmentDataVersion("auctions.xml", 0));
+  EXPECT_EQ(FragmentBytes(joiner, FragName(0)),
+            FragmentBytes(d.shards[0], FragName(0)));
+  const net::RpcMetrics& m = d.net->metrics();
+  EXPECT_GE(m.repair_resyncs(), 1);
+  EXPECT_GE(m.repair_puls_replayed(), 1);
+  EXPECT_EQ(m.repair_full_transfers(), 0);
+  EXPECT_NE(m.Report().find("repair:"), std::string::npos);
 }
 
 TEST(FailoverTest, RevivedPrimaryServesAgain) {

@@ -1,0 +1,142 @@
+// Unit tests of the pure anti-entropy helpers (DESIGN.md §17):
+// CollectCommittedDeltas — the donor-side scan that turns a replayed WAL
+// into an ordered, contiguous chain of committed PULs covering a version
+// range (or nullopt, forcing full transfer) — and FragmentDigest, the
+// content digest the requester verifies a delta replay against.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/repair.h"
+#include "server/txn_log.h"
+#include "server/wsat.h"
+#include "xml/parser.h"
+
+namespace xrpc::server {
+namespace {
+
+using Record = TxnLog::Record;
+using RecordType = TxnLog::RecordType;
+
+constexpr char kDoc[] = "auctions.xml.0";
+constexpr char kOtherDoc[] = "auctions.xml.1";
+
+/// A PREPARED record whose payload writes `doc` at `version` with a
+/// distinguishable (opaque to the scan) PUL body.
+Record Prepared(const std::string& qid, const std::string& doc,
+                uint64_t version) {
+  PreparedPayload payload;
+  payload.coordinator = "xrpc://p0";
+  payload.pul = "pul-of-" + qid;
+  payload.fragments.push_back({doc, "auctions.xml", 0, version});
+  return {RecordType::kPrepared, qid, SerializePreparedPayload(payload)};
+}
+
+Record Committed(const std::string& qid) {
+  return {RecordType::kCommitted, qid, ""};
+}
+
+Record Aborted(const std::string& qid) {
+  return {RecordType::kAborted, qid, ""};
+}
+
+TEST(CollectCommittedDeltasTest, ContiguousChainComesBackInVersionOrder) {
+  // Log order scrambled on purpose: the scan orders by produced version,
+  // not append order.
+  std::vector<Record> wal = {
+      Prepared("q2", kDoc, 2), Committed("q2"),
+      Prepared("q1", kDoc, 1), Committed("q1"),
+      Prepared("q3", kDoc, 3), Committed("q3"),
+  };
+  auto deltas = CollectCommittedDeltas(wal, kDoc, /*from_version=*/0,
+                                       /*to_version=*/3);
+  ASSERT_TRUE(deltas.has_value());
+  ASSERT_EQ(deltas->size(), 3u);
+  EXPECT_EQ((*deltas)[0].version, 1u);
+  EXPECT_EQ((*deltas)[0].query_id, "q1");
+  EXPECT_EQ((*deltas)[0].pul, "pul-of-q1");
+  EXPECT_EQ((*deltas)[1].version, 2u);
+  EXPECT_EQ((*deltas)[2].version, 3u);
+}
+
+TEST(CollectCommittedDeltasTest, RangeIsHalfOpenFromBelow) {
+  // (from, to] — a requester already at version 2 only needs version 3.
+  std::vector<Record> wal = {
+      Prepared("q1", kDoc, 1), Committed("q1"),
+      Prepared("q2", kDoc, 2), Committed("q2"),
+      Prepared("q3", kDoc, 3), Committed("q3"),
+  };
+  auto deltas = CollectCommittedDeltas(wal, kDoc, 2, 3);
+  ASSERT_TRUE(deltas.has_value());
+  ASSERT_EQ(deltas->size(), 1u);
+  EXPECT_EQ((*deltas)[0].version, 3u);
+  EXPECT_EQ((*deltas)[0].query_id, "q3");
+}
+
+TEST(CollectCommittedDeltasTest, HoleInTheChainForcesFullTransfer) {
+  // Version 2 committed at another copy (or the WAL was truncated): a
+  // replay of {1, 3} would silently skip an update, so the scan refuses.
+  std::vector<Record> wal = {
+      Prepared("q1", kDoc, 1), Committed("q1"),
+      Prepared("q3", kDoc, 3), Committed("q3"),
+  };
+  EXPECT_FALSE(CollectCommittedDeltas(wal, kDoc, 0, 3).has_value());
+}
+
+TEST(CollectCommittedDeltasTest, UndecidedAndAbortedNeverContribute) {
+  // q2 prepared but never decided; q3 aborted after preparing. Neither may
+  // leak into a replay — and their absence is a hole, not a shorter chain.
+  std::vector<Record> wal = {
+      Prepared("q1", kDoc, 1), Committed("q1"),
+      Prepared("q2", kDoc, 2),
+      Prepared("q3", kDoc, 3), Aborted("q3"),
+  };
+  auto only_first = CollectCommittedDeltas(wal, kDoc, 0, 1);
+  ASSERT_TRUE(only_first.has_value());
+  EXPECT_EQ(only_first->size(), 1u);
+  EXPECT_FALSE(CollectCommittedDeltas(wal, kDoc, 0, 2).has_value());
+  EXPECT_FALSE(CollectCommittedDeltas(wal, kDoc, 0, 3).has_value());
+}
+
+TEST(CollectCommittedDeltasTest, OtherFragmentsAreInvisible) {
+  // A transaction that wrote only the neighboring fragment must not appear
+  // in this fragment's chain — even though it committed.
+  std::vector<Record> wal = {
+      Prepared("q1", kDoc, 1), Committed("q1"),
+      Prepared("q2", kOtherDoc, 2), Committed("q2"),
+  };
+  auto deltas = CollectCommittedDeltas(wal, kDoc, 0, 1);
+  ASSERT_TRUE(deltas.has_value());
+  ASSERT_EQ(deltas->size(), 1u);
+  EXPECT_EQ((*deltas)[0].query_id, "q1");
+  EXPECT_FALSE(CollectCommittedDeltas(wal, kDoc, 0, 2).has_value());
+}
+
+TEST(CollectCommittedDeltasTest, EmptyRangeIsAnEmptyChain) {
+  std::vector<Record> wal = {Prepared("q1", kDoc, 1), Committed("q1")};
+  auto deltas = CollectCommittedDeltas(wal, kDoc, 1, 1);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_TRUE(deltas->empty());
+}
+
+TEST(FragmentDigestTest, ByteIdenticalTreesDigestEqual) {
+  auto a = xml::ParseXml("<site><item id=\"1\">x</item></site>");
+  auto b = xml::ParseXml("<site><item id=\"1\">x</item></site>");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(FragmentDigest(*a.value()), FragmentDigest(*b.value()));
+}
+
+TEST(FragmentDigestTest, DivergentTreesDigestDifferently) {
+  // The exact divergence repair must catch: one missing stamp element.
+  auto a = xml::ParseXml("<site><stamp/><stamp/></site>");
+  auto b = xml::ParseXml("<site><stamp/></site>");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(FragmentDigest(*a.value()), FragmentDigest(*b.value()));
+}
+
+}  // namespace
+}  // namespace xrpc::server

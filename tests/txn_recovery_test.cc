@@ -17,6 +17,9 @@
 #include "server/rpc_client.h"
 #include "server/wsat.h"
 #include "tests/test_util.h"
+#include "xmark/shard_loader.h"
+#include "xmark/xmark.h"
+#include "xml/serializer.h"
 
 namespace xrpc::core {
 namespace {
@@ -404,6 +407,122 @@ TEST_F(TxnRecoveryTest, FileBackedWalSurvivesRestart) {
   EXPECT_TRUE(saw_prepared);
   EXPECT_TRUE(saw_committed);
   EXPECT_TRUE(saw_applied);
+}
+
+// -- Replicated writes: partition during commit heals via repair ------------
+
+TEST(ShardedRecoveryTest, PartitionDuringCommitHealsViaRepair) {
+  // All-copies write over a replicated shard (DESIGN.md §17): every Commit
+  // toward the replica copy is lost in transit. The decision is durable and
+  // the primary applies; the replica parks its prepared PUL in doubt. Once
+  // the partition heals, Repair() resolves the park by coordinator inquiry
+  // and the copy converges byte-identically with the primary — applying the
+  // PUL exactly once.
+  PeerNetwork net;
+  xmark::ShardLoadOptions opts;
+  opts.num_shards = 3;
+  opts.replication_factor = 2;
+  xmark::XmarkConfig cfg;
+  cfg.num_persons = 12;
+  cfg.num_closed_auctions = 16;
+  cfg.num_matches = 4;
+  cfg.annotation_bytes = 8;
+  auto loaded = xmark::LoadShardedXmark(&net, cfg, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Peer* p0 = net.AddPeer("p0", EngineKind::kInterpreter);
+  constexpr char kShardUpd[] = R"(
+    module namespace u = "upd_part";
+    declare updating function u:stamp()
+    { insert nodes <stamp/> into doc("auctions.xml")/site };
+  )";
+  for (Peer* p : loaded->peers) {
+    ASSERT_TRUE(p->RegisterModule(kShardUpd, "u.xq").ok());
+  }
+  ASSERT_TRUE(p0->RegisterModule(kShardUpd, "u.xq").ok());
+
+  // Stage the updating call at both copies of shard 0 under one queryID,
+  // each request scoped to the fragment it must resolve.
+  ShardedCollection c;
+  int64_t version = 0;
+  ASSERT_TRUE(net.catalog().Snapshot("auctions.xml", &c, &version));
+  ASSERT_FALSE(c.shards[0].replicas.empty());
+  const std::string primary = c.shards[0].peer_uri;
+  const std::string replica = c.shards[0].replicas[0];
+  const std::string frag = c.shards[0].doc_name;
+  soap::QueryId qid;
+  qid.id = "partition-1";
+  qid.host = p0->uri();
+  qid.timestamp = 1;
+  qid.timeout_sec = 60;
+  server::RpcClient::Options copts;
+  copts.isolation = server::IsolationLevel::kRepeatable;
+  copts.query_id = qid;
+  server::RpcClient client(&net.network(), copts);
+  soap::XrpcRequest req;
+  req.module_ns = "upd_part";
+  req.method = "stamp";
+  req.arity = 0;
+  req.updating = true;
+  req.calls.emplace_back();
+  req.shard = soap::XrpcRequest::ShardScope{
+      "auctions.xml", 0, version,
+      net.catalog().FragmentDataVersion("auctions.xml", 0)};
+  ASSERT_TRUE(client.ExecuteBulk(primary, req).ok());
+  ASSERT_TRUE(client.ExecuteBulk(replica, req).ok());
+
+  // Phase 2 partition: every Commit toward the replica vanishes; the
+  // bounded retry exhausts and parks the participant in doubt.
+  CommitDropTransport flaky(&net.network(), replica, /*failures=*/1000);
+  int64_t slept_us = 0;
+  TwoPhaseCommitOptions options;
+  options.journal = &p0->service();
+  options.commit_retry =
+      net::RetryPolicy{.max_attempts = 2, .initial_backoff_us = 100};
+  options.sleep = [&slept_us](int64_t us) { slept_us += us; };
+  auto outcome =
+      RunTwoPhaseCommit(&flaky, {primary, replica}, qid.id, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->committed);
+  ASSERT_EQ(outcome->in_doubt.size(), 1u);
+  EXPECT_EQ(outcome->in_doubt[0], replica);
+  // What PeerNetwork::Execute does on commit: advance the authoritative
+  // fragment versions from the yes-votes' piggybacked write sets.
+  for (const server::WrittenFragment& f : outcome->fragments) {
+    net.catalog().AdvanceFragmentDataVersion(f.collection, f.shard_index,
+                                             f.version);
+  }
+  EXPECT_EQ(net.catalog().FragmentDataVersion("auctions.xml", 0), 1u);
+
+  auto peer_of = [&](const std::string& uri) {
+    return net.GetPeer(uri.substr(std::string("xrpc://").size()));
+  };
+  Peer* primary_peer = peer_of(primary);
+  Peer* replica_peer = peer_of(replica);
+  ASSERT_NE(primary_peer, nullptr);
+  ASSERT_NE(replica_peer, nullptr);
+  auto frag_bytes = [&](Peer* p) {
+    auto d = p->database().GetDocument(frag);
+    if (!d.ok()) return std::string("<missing>");
+    return xml::SerializeNode(*d.value());
+  };
+  // The primary applied; the partitioned replica still serves pre-commit
+  // bytes and lags the authoritative data version.
+  EXPECT_EQ(primary_peer->database().AppliedDataVersion(frag), 1u);
+  EXPECT_LT(replica_peer->database().AppliedDataVersion(frag), 1u);
+  EXPECT_NE(frag_bytes(primary_peer), frag_bytes(replica_peer));
+
+  // Heal: the replica repairs over the (no longer partitioned) network.
+  ASSERT_TRUE(replica_peer->Repair().ok());
+  EXPECT_EQ(replica_peer->database().AppliedDataVersion(frag), 1u);
+  EXPECT_EQ(frag_bytes(replica_peer), frag_bytes(primary_peer));
+  EXPECT_NE(frag_bytes(replica_peer).find("<stamp/>"), std::string::npos);
+  EXPECT_EQ(replica_peer->service().isolation().active_sessions(), 0u);
+
+  // The coordinator drains its parked participant with an idempotent
+  // commit retry; the replica must not apply a second time.
+  ASSERT_TRUE(p0->service().RetryInDoubt(&net.network()).ok());
+  EXPECT_EQ(p0->service().in_doubt_count(), 0u);
+  EXPECT_EQ(frag_bytes(replica_peer), frag_bytes(primary_peer));
 }
 
 TEST_F(TxnRecoveryTest, ConcurrentCommitRedeliveryAppliesOnce) {

@@ -11,7 +11,11 @@
 #     serial equivalence);
 #  4. an elastic-membership chaos smoke at seeds 1-3 (peers joining and
 #     leaving mid-run, shard rebalances, partitions healing) asserting
-#     the six chaos invariants including no-lost-shard.
+#     the six chaos invariants including no-lost-shard;
+#  5. the same elastic smoke with --updates: a mid-schedule updating
+#     broadcast rides the all-copies 2PC, and after quiesce+repair every
+#     catalog-listed copy of every fragment must be byte-identical to the
+#     chaos-free serial state (replica-convergence, DESIGN.md §17).
 #
 # Long soak campaigns (thousands of queries/schedules, many seeds) run the
 # same binaries by hand — see EXPERIMENTS.md.
@@ -37,6 +41,10 @@ cmake --build "$BUILD" -j --target \
 for seed in 1 2 3; do
   "$BUILD/tools/fuzz_schedules" --chaos-elastic --seed "$seed" --count 60 \
       --out-dir "$OUT"
+done
+for seed in 1 2; do
+  "$BUILD/tools/fuzz_schedules" --chaos-elastic --updates --seed "$seed" \
+      --count 30 --out-dir "$OUT"
 done
 
 echo "fuzz smoke: OK"

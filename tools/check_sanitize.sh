@@ -9,9 +9,11 @@
 # catalog epoch fencing, circuit-breaker probe races; DESIGN.md §14) and
 # the `parallel` lane (the morsel-parallel executor's determinism tests at
 # exec_threads in {1,2,8} — corpus, seeded-random, sharded scatter-gather
-# and cancellation-under-parallelism; DESIGN.md §15), and the `workload`
+# and cancellation-under-parallelism; DESIGN.md §15), the `workload`
 # lane (the open-loop multi-tenant driver and the elastic-membership
-# chaos invariants; DESIGN.md §16).
+# chaos invariants; DESIGN.md §16), and the `repair` lane (replicated
+# writes: all-copies 2PC, fragment data versioning, the StaleReplica
+# fence and anti-entropy resync; DESIGN.md §17).
 #
 # Usage: tools/check_sanitize.sh [thread|address]
 set -euo pipefail
@@ -37,4 +39,10 @@ ctest --output-on-failure -j"$(nproc)" -L parallel
 # report must stay byte-identical under TSan's scheduling perturbation)
 # and the elastic no-lost-shard sabotage self-test (DESIGN.md §16).
 ctest --output-on-failure -j"$(nproc)" -L workload
+# The repair lane by label: the WAL-delta chain / fragment-digest units
+# (repair_test), the lagging-copy fences and resync end-to-ends
+# (failover_test) and the partition-heals-via-repair 2PC recovery paths
+# (txn_recovery_test) — all of which race commit apply against reads
+# (DESIGN.md §17).
+ctest --output-on-failure -j"$(nproc)" -L repair
 echo "sanitize($SANITIZER): OK"

@@ -25,6 +25,17 @@
 //   fuzz_schedules --chaos-elastic --seed 7 --count 500
 //   fuzz_schedules --chaos-elastic --replay elastic-7-42.repro
 //
+// --updates (with --chaos or --chaos-elastic) arms the mid-schedule
+// updating broadcast (DESIGN.md §17): an all-copies 2PC write races the
+// kills/joins/rebalances, reads must match the updated baseline iff it
+// committed, and after quiesce+repair every replica must be byte-identical
+// to the chaos-free serial state. --sabotage-write (with --chaos)
+// self-tests that convergence detector with a primary-only direct write.
+//
+//   fuzz_schedules --chaos --updates --seed 7 --count 500
+//   fuzz_schedules --chaos --updates --sabotage-write --count 20
+//   fuzz_schedules --chaos-elastic --updates --seed 7 --count 200
+//
 // Exit status: 0 = every schedule satisfied all invariants; 1 = at least
 // one violation (repro file written); 2 = usage / replay input error.
 
@@ -54,8 +65,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fuzz_schedules [--chaos|--chaos-elastic] [--seed N] [--count N]\n"
-      "                      [--wal-dir DIR] [--out-dir DIR]\n"
-      "                      [--sabotage] [--verbose]\n"
+      "                      [--wal-dir DIR] [--out-dir DIR] [--updates]\n"
+      "                      [--sabotage] [--sabotage-write] [--verbose]\n"
       "       fuzz_schedules [--chaos|--chaos-elastic] --replay FILE\n"
       "                      [--wal-dir DIR]\n");
   return 2;
@@ -123,13 +134,15 @@ int RunElastic(const ElasticConfig& config, int count, bool verbose,
   std::printf(
       "fuzz_schedules --chaos-elastic: explored=%lld queries_ok=%lld "
       "clean_faults=%lld events_fired=%lld failover=%lld reroutes=%lld "
-      "violations=%lld\n",
+      "updates_committed=%lld updates_aborted=%lld violations=%lld\n",
       static_cast<long long>(s.explored),
       static_cast<long long>(s.queries_ok),
       static_cast<long long>(s.clean_faults),
       static_cast<long long>(s.events_fired),
       static_cast<long long>(s.failover_successes),
       static_cast<long long>(s.stale_reroutes),
+      static_cast<long long>(s.updates_committed),
+      static_cast<long long>(s.updates_aborted),
       static_cast<long long>(s.violations));
   if (config.sabotage_lost_shard) {
     // Self-test mode: success means the no-lost-shard detector caught the
@@ -199,13 +212,16 @@ int RunChaos(const ChaosConfig& config, int count, bool verbose,
   const auto& s = explorer.stats();
   std::printf(
       "fuzz_schedules --chaos: explored=%lld survived=%lld clean_faults=%lld "
-      "failover=%lld reroutes=%lld violations=%lld\n",
+      "failover=%lld reroutes=%lld updates_committed=%lld "
+      "updates_aborted=%lld violations=%lld\n",
       static_cast<long long>(s.explored), static_cast<long long>(s.survived),
       static_cast<long long>(s.clean_faults),
       static_cast<long long>(s.failover_successes),
       static_cast<long long>(s.stale_reroutes),
+      static_cast<long long>(s.updates_committed),
+      static_cast<long long>(s.updates_aborted),
       static_cast<long long>(s.violations));
-  if (config.sabotage_divergence) {
+  if (config.sabotage_divergence || config.sabotage_primary_only_write) {
     return violations > 0 ? 0 : 1;
   }
   return violations == 0 ? 0 : 1;
@@ -231,6 +247,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool chaos = false;
   bool chaos_elastic = false;
+  bool with_updates = false;
+  bool sabotage_write = false;
   std::string out_dir = ".";
   std::string replay_path;
 
@@ -261,6 +279,10 @@ int main(int argc, char** argv) {
       out_dir = v;
     } else if (arg == "--sabotage") {
       config.sabotage_double_apply = true;
+    } else if (arg == "--sabotage-write") {
+      sabotage_write = true;
+    } else if (arg == "--updates") {
+      with_updates = true;
     } else if (arg == "--replay") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -276,6 +298,7 @@ int main(int argc, char** argv) {
     ElasticConfig elastic_config;
     elastic_config.seed = config.seed;
     elastic_config.sabotage_lost_shard = config.sabotage_double_apply;
+    elastic_config.with_updates = with_updates;
     return RunElastic(elastic_config, count, verbose, out_dir, replay_path);
   }
 
@@ -283,6 +306,8 @@ int main(int argc, char** argv) {
     ChaosConfig chaos_config;
     chaos_config.seed = config.seed;
     chaos_config.sabotage_divergence = config.sabotage_double_apply;
+    chaos_config.with_updates = with_updates;
+    chaos_config.sabotage_primary_only_write = sabotage_write;
     return RunChaos(chaos_config, count, verbose, out_dir, replay_path);
   }
 
